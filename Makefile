@@ -1,0 +1,35 @@
+# Convenience targets for the dplearn reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench experiments quick-experiments fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every reproduction table at full size (EXPERIMENTS.md data).
+experiments:
+	$(GO) run ./cmd/dplearn-experiments -seed 42 -parallel 4
+
+quick-experiments:
+	$(GO) run ./cmd/dplearn-experiments -seed 42 -quick -parallel 4
+
+fmt:
+	gofmt -w .

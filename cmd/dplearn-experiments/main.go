@@ -1,0 +1,49 @@
+// Command dplearn-experiments regenerates the reproduction tables
+// (E1–E10 in DESIGN.md). Each table validates one theorem or figure of
+// "Differentially-private Learning and Information Theory" (Mir, 2012).
+//
+// Usage:
+//
+//	dplearn-experiments [-run E1,E5] [-seed 42] [-quick]
+//
+// Without -run, every experiment runs in ID order. -quick shrinks the
+// workloads (the same mode the benchmarks use).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Int64("seed", 42, "random seed for reproducibility")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
+	format := flag.String("format", "text", "output format: text, csv, or json")
+	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	ids := experiments.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	tables, err := experiments.RunMany(ids, opts, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if err := t.RenderAs(os.Stdout, experiments.Format(*format)); err != nil {
+			fmt.Fprintf(os.Stderr, "dplearn-experiments: render: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

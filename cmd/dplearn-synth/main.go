@@ -1,0 +1,70 @@
+// Command dplearn-synth generates ε-DP synthetic data with MWEM over a
+// discretized 1-D domain and reports workload error against the true
+// distribution.
+//
+// Usage:
+//
+//	dplearn-synth [-n 5000] [-domain 16] [-rounds 8] [-eps 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/mechanism"
+	"repro/internal/rng"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "number of records")
+	domain := flag.Int("domain", 16, "domain size after discretization")
+	rounds := flag.Int("rounds", 8, "MWEM rounds T")
+	eps := flag.Float64("eps", 1.0, "total privacy budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	g := rng.New(*seed)
+	// Synthetic "age-like" skewed integer data.
+	d := &dataset.Dataset{}
+	for i := 0; i < *n; i++ {
+		var v int
+		if g.Bernoulli(0.7) {
+			v = 2 + g.Intn(*domain/3)
+		} else {
+			v = g.Intn(*domain)
+		}
+		d.Append(dataset.Example{X: []float64{float64(v)}})
+	}
+
+	queries := mechanism.IntervalQueries(*domain)
+	m, err := mechanism.NewMWEM(*domain, queries, *rounds, *eps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-synth: %v\n", err)
+		os.Exit(1)
+	}
+	truth := m.Histogram(d)
+	synth, err := m.Run(d, g)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-synth: %v\n", err)
+		os.Exit(1)
+	}
+	uniform := make([]float64, *domain)
+	for v := range uniform {
+		uniform[v] = 1 / float64(*domain)
+	}
+
+	fmt.Printf("MWEM synthetic data: n=%d, domain=%d, %d interval queries, T=%d, %s\n\n",
+		*n, *domain, len(queries), *rounds, m.Guarantee())
+	fmt.Println("value  true     synthetic  sketch(true | synth)")
+	for v := 0; v < *domain; v++ {
+		fmt.Printf("%5d  %.4f   %.4f     %-20s| %s\n",
+			v, truth[v], synth[v],
+			strings.Repeat("#", int(truth[v]*100)),
+			strings.Repeat("#", int(synth[v]*100)))
+	}
+	fmt.Printf("\nmax interval-query error: mwem=%.4f, uniform baseline=%.4f\n",
+		m.MaxQueryError(synth, truth), m.MaxQueryError(uniform, truth))
+}

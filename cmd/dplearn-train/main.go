@@ -1,0 +1,98 @@
+// Command dplearn-train trains a differentially-private linear classifier
+// on a CSV file with the Gibbs estimator and prints the predictor with
+// its privacy and PAC-Bayes certificates.
+//
+// The CSV must contain numeric feature columns and a label column with
+// values ±1 (or use -labelmap "pos=1,neg=-1"). Example:
+//
+//	dplearn-train -csv data.csv -label 3 -eps 1.0 -grid 9 -box 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	dplearn "repro"
+	"repro/internal/dataset"
+	"repro/internal/learn"
+)
+
+func main() {
+	csvPath := flag.String("csv", "", "path to the CSV file (required)")
+	labelCol := flag.Int("label", -1, "label column index (required)")
+	labelMap := flag.String("labelmap", "", "optional label mapping, e.g. \"spam=1,ham=-1\"")
+	hasHeader := flag.Bool("header", true, "CSV has a header row")
+	eps := flag.Float64("eps", 1.0, "privacy budget")
+	delta := flag.Float64("delta", 0.05, "PAC-Bayes confidence parameter")
+	gridPts := flag.Int("grid", 9, "grid points per dimension")
+	box := flag.Float64("box", 2, "coefficient box half-width")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if *csvPath == "" || *labelCol < 0 {
+		fmt.Fprintln(os.Stderr, "dplearn-train: -csv and -label are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var lm map[string]float64
+	if *labelMap != "" {
+		lm = map[string]float64{}
+		for _, pair := range strings.Split(*labelMap, ",") {
+			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("bad -labelmap entry %q", pair))
+			}
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				fatal(err)
+			}
+			lm[kv[0]] = v
+		}
+	}
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.FromCSV(f, dataset.CSVOptions{
+		LabelColumn: *labelCol,
+		HasHeader:   *hasHeader,
+		LabelMap:    lm,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	d.NormalizeRows()
+
+	grid := learn.NewGrid(-*box, *box, d.Dim(), *gridPts)
+	learner, err := dplearn.NewLearner(dplearn.Config{
+		Loss:    learn.ZeroOneLoss{},
+		Thetas:  grid.Thetas(),
+		Epsilon: *eps,
+		Delta:   *delta,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	g := dplearn.NewRNG(*seed)
+	fit, err := learner.Fit(d, g)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("loaded %d examples with %d features from %s\n", d.Len(), d.Dim(), *csvPath)
+	fmt.Printf("predictor: %v\n", fit.Theta)
+	fmt.Printf("training 0-1 error: %.4f\n", learn.ClassificationError(fit.Theta, d))
+	c := fit.Certificate
+	fmt.Printf("privacy certificate (Theorem 4.1): %s at lambda=%.4g\n", c.Privacy, c.Lambda)
+	fmt.Printf("risk certificate (Theorem 3.1): true risk <= %.4f w.p. %.0f%%\n", c.RiskBound, 100*(1-c.Delta))
+	fmt.Printf("posterior stats: E[emp risk]=%.4f, KL=%.4f nats\n", c.ExpEmpRisk, c.KL)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dplearn-train: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Package dplearn is a Go reproduction of "Differentially-private
+// Learning and Information Theory" (Darakhshan Mir, PAIS/EDBT 2012).
+//
+// The paper identifies the Gibbs posterior that minimizes PAC-Bayesian
+// generalization bounds with McSherry–Talwar's exponential mechanism, and
+// recasts differentially-private learning as the design of an information
+// channel from the training sample to the released predictor that
+// minimizes empirical risk regularized by mutual information. This
+// package re-exports the user-facing API assembled from the internal
+// subsystems:
+//
+//   - Learner / Config / Fitted / Certificate — private learning with
+//     privacy (Theorem 4.1) and PAC-Bayes risk (Theorem 3.1) certificates
+//     (internal/core).
+//   - The DP mechanism family (internal/mechanism), the Gibbs estimator
+//     (internal/gibbs), PAC-Bayes bounds (internal/pacbayes), the exact
+//     Figure-1 information channel (internal/channel), the privacy
+//     auditor (internal/audit), and the experiment suite regenerating
+//     every validated table (internal/experiments).
+//
+// # Quickstart
+//
+//	grid := learn.NewGrid(-2, 2, 1, 17)
+//	l, err := dplearn.NewLearner(dplearn.Config{
+//		Loss:    learn.ZeroOneLoss{},
+//		Thetas:  grid.Thetas(),
+//		Epsilon: 1.0,
+//	})
+//	fit, err := l.Fit(trainingData, rng.New(42))
+//	// fit.Theta is the private predictor;
+//	// fit.Certificate.Privacy is exactly 1.0-DP (Theorem 4.1);
+//	// fit.Certificate.RiskBound bounds its true risk w.p. 0.95 (Theorem 3.1).
+//
+// See the examples/ directory for runnable programs and EXPERIMENTS.md
+// for the reproduction results.
+package dplearn
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Config configures a private learner. See core.Config.
+type Config = core.Config
+
+// Learner is a configured private learner. See core.Learner.
+type Learner = core.Learner
+
+// Fitted is the outcome of a private fit. See core.Fitted.
+type Fitted = core.Fitted
+
+// Certificate bundles the privacy and risk guarantees of a fit.
+// See core.Certificate.
+type Certificate = core.Certificate
+
+// InformationAccount reports the exact leakage of a learner's channel.
+// See core.InformationAccount.
+type InformationAccount = core.InformationAccount
+
+// DensityEstimate is a piecewise-constant density. See core.DensityEstimate.
+type DensityEstimate = core.DensityEstimate
+
+// PrivateSummary is an ε-DP release of one feature's basic statistics.
+// See core.PrivateSummary.
+type PrivateSummary = core.PrivateSummary
+
+// SummaryConfig configures a PrivateSummary release. See core.SummaryConfig.
+type SummaryConfig = core.SummaryConfig
+
+// Dataset re-exports the sample abstraction.
+type Dataset = dataset.Dataset
+
+// Example re-exports a single record Z = (X, Y).
+type Example = dataset.Example
+
+// ErrBadConfig is returned for invalid learner configuration.
+var ErrBadConfig = core.ErrBadConfig
+
+// NewLearner validates a Config and returns a Learner.
+func NewLearner(cfg Config) (*Learner, error) { return core.NewLearner(cfg) }
+
+// NewRNG returns a deterministic random source for Fit and the samplers.
+func NewRNG(seed int64) *rng.RNG { return rng.New(seed) }
+
+// PrivateHistogramDensity releases an ε-DP histogram density (Laplace
+// mechanism + post-processing). See core.PrivateHistogramDensity.
+func PrivateHistogramDensity(d *Dataset, j, bins int, lo, hi, epsilon float64, g *rng.RNG) (*DensityEstimate, error) {
+	return core.PrivateHistogramDensity(d, j, bins, lo, hi, epsilon, g)
+}
+
+// GibbsHistogramDensity selects a histogram density by the exponential
+// mechanism. See core.GibbsHistogramDensity.
+func GibbsHistogramDensity(d *Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, g *rng.RNG) (*DensityEstimate, int, error) {
+	return core.GibbsHistogramDensity(d, j, binChoices, lo, hi, clip, epsilon, g)
+}
+
+// ReleaseSummary computes an ε-DP summary of one feature.
+// See core.ReleaseSummary.
+func ReleaseSummary(d *Dataset, cfg SummaryConfig, g *rng.RNG) (*PrivateSummary, error) {
+	return core.ReleaseSummary(d, cfg, g)
+}

@@ -1,0 +1,63 @@
+package dplearn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/learn"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := NewRNG(1)
+	model := dataset.LogisticModel{Weights: []float64{3}, Bias: 0}
+	train := model.Generate(200, g)
+	grid := learn.NewGrid(-2, 2, 1, 9)
+	l, err := NewLearner(Config{
+		Loss:    learn.ZeroOneLoss{},
+		Thetas:  grid.Thetas(),
+		Epsilon: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := l.Fit(train, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Certificate.Privacy.Epsilon != 2 {
+		t.Errorf("privacy = %v", fit.Certificate.Privacy)
+	}
+	if len(fit.Theta) != 1 {
+		t.Errorf("theta = %v", fit.Theta)
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := NewLearner(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("expected ErrBadConfig, got %v", err)
+	}
+}
+
+func TestFacadeDensity(t *testing.T) {
+	g := NewRNG(3)
+	mix := dataset.GaussianMixture{Means: []float64{0}, Sigmas: []float64{1}, Weights: []float64{1}}
+	d := mix.Generate(1000, g)
+	dens, err := PrivateHistogramDensity(d, 0, 16, -4, 4, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dens.At(0) <= dens.At(3.5) {
+		t.Error("density should peak near the mode")
+	}
+	gd, bins, err := GibbsHistogramDensity(d, 0, []int{8, 16, 32}, -4, 4, 10, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bins != 8 && bins != 16 && bins != 32 {
+		t.Errorf("bins = %d", bins)
+	}
+	if gd.At(0) <= 0 {
+		t.Error("smoothed density must be positive on support")
+	}
+}

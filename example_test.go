@@ -1,0 +1,37 @@
+package dplearn_test
+
+import (
+	"fmt"
+
+	dplearn "repro"
+	"repro/internal/dataset"
+	"repro/internal/learn"
+)
+
+// Example is the package-level quickstart: privately fit a classifier and
+// read off both certificates.
+func Example() {
+	g := dplearn.NewRNG(42)
+	train := dataset.LogisticModel{Weights: []float64{3}}.Generate(400, g)
+	grid := learn.NewGrid(-2, 2, 1, 17)
+
+	learner, err := dplearn.NewLearner(dplearn.Config{
+		Loss:    learn.ZeroOneLoss{},
+		Thetas:  grid.Thetas(),
+		Epsilon: 1.0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fit, err := learner.Fit(train, g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("privacy: %s\n", fit.Certificate.Privacy)
+	fmt.Printf("risk bound below 1: %v\n", fit.Certificate.RiskBound < 1)
+	fmt.Printf("predictor dimension: %d\n", len(fit.Theta))
+	// Output:
+	// privacy: 1-DP
+	// risk bound below 1: true
+	// predictor dimension: 1
+}

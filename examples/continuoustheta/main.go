@@ -1,0 +1,81 @@
+// continuoustheta demonstrates the Gibbs estimator over a CONTINUOUS
+// predictor space — the setting where McSherry–Talwar's exponential
+// mechanism is defined via a base measure but is "not always
+// computationally efficient". We sample the continuous Gibbs density with
+// random-walk Metropolis–Hastings and with MALA, check their agreement
+// against a fine-grid exact computation, and report mixing diagnostics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dplearn "repro"
+	"repro/internal/dataset"
+	"repro/internal/gibbs"
+	"repro/internal/learn"
+	"repro/internal/mathx"
+)
+
+func main() {
+	g := dplearn.NewRNG(23)
+
+	// Private 1-D regression: y = 0.8·x + noise, clipped squared loss.
+	model := dataset.LinearModel{Weights: []float64{0.8}, Noise: 0.2}
+	train := model.Generate(300, g)
+	loss := learn.NewClippedLoss(learn.SquaredLoss{}, 4)
+	epsilon := 2.0
+	lambda := gibbs.LambdaForEpsilon(epsilon, loss, train.Len())
+	fmt.Printf("privacy budget eps = %.1f  =>  lambda = eps*n/(2M) = %.4g (Theorem 4.1)\n\n", epsilon, lambda)
+
+	// Exact reference on a fine grid.
+	fineAxis := mathx.Linspace(-2, 2, 2001)
+	fine := make([][]float64, len(fineAxis))
+	for i, v := range fineAxis {
+		fine[i] = []float64{v}
+	}
+	exact, err := gibbs.New(loss, fine, nil, lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := exact.PosteriorMeanTheta(train)[0]
+	fmt.Printf("exact posterior mean (2001-point grid): %.4f (truth 0.8)\n\n", ref)
+
+	// Continuous samplers on the same unnormalized density.
+	target := gibbs.ContinuousTarget(loss, train, lambda, gibbs.BoxLogPrior(-2, 2))
+	report := func(name string, samples [][]float64, rate float64) {
+		var w mathx.Welford
+		chain := make([]float64, len(samples))
+		for i, x := range samples {
+			w.Add(x[0])
+			chain[i] = x[0]
+		}
+		fmt.Printf("%-22s mean=%.4f  |err|=%.4f  accept=%.2f  ESS=%.0f/%d\n",
+			name, w.Mean(), abs(w.Mean()-ref), rate, gibbs.EffectiveSampleSize(chain), len(chain))
+	}
+
+	mh := &gibbs.MHSampler{LogTarget: target, Step: 0.05}
+	s1, r1, err := mh.Run([]float64{0}, 3000, 8000, 2, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("random-walk MH", s1, r1)
+
+	mala := &gibbs.MALASampler{LogTarget: target, Tau: 0.04}
+	s2, r2, err := mala.Run([]float64{0}, 3000, 8000, 2, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("MALA", s2, r2)
+
+	fmt.Println("\nboth chains target the same exponential-mechanism density, so any")
+	fmt.Println("single released draw inherits the eps-DP certificate of Theorem 4.1")
+	fmt.Println("(up to MCMC convergence error — which the diagnostics above quantify).")
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

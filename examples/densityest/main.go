@@ -1,0 +1,45 @@
+// densityest demonstrates the paper's future-work direction (Section 5):
+// differentially-private density estimation, comparing the
+// Laplace-histogram release with the Gibbs-selected histogram against the
+// true mixture density.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	dplearn "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	g := dplearn.NewRNG(19)
+	mix := dataset.GaussianMixture{
+		Means:   []float64{-1.2, 1.2},
+		Sigmas:  []float64{0.4, 0.6},
+		Weights: []float64{1, 1.5},
+	}
+	d := mix.Generate(3000, g)
+	lo, hi := -4.0, 4.0
+	eps := 1.0
+
+	lap, err := dplearn.PrivateHistogramDensity(d, 0, 32, lo, hi, eps, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gibbsDens, bins, err := dplearn.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, eps, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("n=%d records, eps=%.1f; Gibbs selected %d bins\n\n", d.Len(), eps, bins)
+	fmt.Println("   x     true     laplace  gibbs    sketch (laplace)")
+	for x := -3.5; x <= 3.51; x += 0.5 {
+		lv := lap.At(x)
+		fmt.Printf("%+5.1f   %.4f   %.4f   %.4f   %s\n",
+			x, mix.Density(x), lv, gibbsDens.At(x), strings.Repeat("#", int(lv*60)))
+	}
+	fmt.Println("\nboth private estimates track the bimodal shape; the Laplace release is")
+	fmt.Println("eps-DP by Theorem 2.1 + post-processing, the Gibbs selection by Theorem 2.2.")
+}

@@ -1,0 +1,69 @@
+// privatelogit compares four learners on differentially-private logistic
+// classification — the scenario the paper's introduction motivates via
+// Chaudhuri et al.: non-private ERM, the Gibbs estimator (the paper's
+// mechanism), output perturbation, and objective perturbation, across a
+// sweep of privacy budgets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dplearn "repro"
+	"repro/internal/dataset"
+	"repro/internal/learn"
+	"repro/internal/mathx"
+)
+
+func main() {
+	g := dplearn.NewRNG(7)
+	model := dataset.LogisticModel{Weights: []float64{2, -1.5}, Bias: 0}
+	train := model.Generate(1500, g).NormalizeRows()
+	test := model.Generate(6000, g).NormalizeRows()
+	grid := learn.NewGrid(-2, 2, 2, 17)
+	lambdaReg := 0.01
+	gd := learn.GDOptions{MaxIter: 400}
+	const reps = 20
+
+	erm, err := learn.LogisticRegression(train, lambdaReg, gd)
+	if err != nil && err != learn.ErrNotConverged {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-private ERM test error: %.4f (Bayes error ≈ %.4f)\n\n",
+		learn.ClassificationError(erm, test), model.BayesError(20000, g))
+	fmt.Println("eps     gibbs   output-pert  objective-pert")
+
+	for _, eps := range []float64{0.05, 0.2, 0.8, 3.2} {
+		learner, err := dplearn.NewLearner(dplearn.Config{
+			Loss:    learn.ZeroOneLoss{},
+			Thetas:  grid.Thetas(),
+			Epsilon: eps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var gibbsErr, outErr, objErr mathx.Welford
+		for r := 0; r < reps; r++ {
+			fit, err := learner.Fit(train, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gibbsErr.Add(learn.ClassificationError(fit.Theta, test))
+
+			thOut, err := learn.OutputPerturbationLogistic(train, lambdaReg, eps, gd, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			outErr.Add(learn.ClassificationError(thOut, test))
+
+			thObj, err := learn.ObjectivePerturbationLogistic(train, lambdaReg, eps, gd, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			objErr.Add(learn.ClassificationError(thObj, test))
+		}
+		fmt.Printf("%-7.3g %-7.4f %-12.4f %-7.4f\n", eps, gibbsErr.Mean(), outErr.Mean(), objErr.Mean())
+	}
+	fmt.Println("\nexpected shape: all methods approach the non-private error as eps grows;")
+	fmt.Println("gibbs and objective perturbation degrade more gracefully than output perturbation at small eps.")
+}

@@ -1,0 +1,58 @@
+// privatepca demonstrates differentially-private principal component
+// analysis by symmetric input perturbation: the second-moment matrix of
+// row-normalized data is perturbed with symmetric Laplace noise and
+// eigendecomposed — the released subspace is ε-DP by post-processing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dplearn "repro"
+	"repro/internal/dataset"
+	"repro/internal/learn"
+	"repro/internal/mathx"
+)
+
+func main() {
+	g := dplearn.NewRNG(41)
+
+	// Data concentrated along one direction in R³, scaled into the unit
+	// ball (required for the sensitivity calibration).
+	dir := []float64{3, 1, 0.2}
+	dirNorm := mathx.L2Norm(dir)
+	d := &dataset.Dataset{}
+	for i := 0; i < 4000; i++ {
+		s := g.Normal(0, 0.5)
+		x := make([]float64, 3)
+		for j := range x {
+			x[j] = s*dir[j]/dirNorm + g.Normal(0, 0.05)
+		}
+		d.Append(dataset.Example{X: x})
+	}
+	d.NormalizeRows()
+
+	exact, err := learn.PCA(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueC := learn.SecondMomentMatrix(d)
+	fmt.Printf("exact eigenvalues: %.4f %.4f %.4f\n", exact.Values[0], exact.Values[1], exact.Values[2])
+	fmt.Printf("exact top-1 captured variance: %.4f\n\n", learn.CapturedVariance(trueC, exact.Components, 1))
+
+	fmt.Println("eps    private top-1 captured  vs exact")
+	for _, eps := range []float64{0.1, 0.5, 2, 10} {
+		var w mathx.Welford
+		for r := 0; r < 20; r++ {
+			priv, err := learn.PrivatePCA(d, eps, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			w.Add(learn.CapturedVariance(trueC, priv.Components, 1))
+		}
+		exactVar := learn.CapturedVariance(trueC, exact.Components, 1)
+		fmt.Printf("%-6.2g %-24.4f %.1f%%\n", eps, w.Mean(), 100*w.Mean()/exactVar)
+	}
+	fmt.Println("\nthe private subspace approaches the exact one as eps grows; the release")
+	fmt.Println("is eps-DP because eigendecomposition is post-processing of a Laplace release.")
+}

@@ -1,0 +1,62 @@
+// privatesummary releases an ε-DP statistical summary of a sensitive
+// numeric column — the "statistical database" scenario the paper's
+// introduction opens with — using the full mechanism family with an
+// explicit budget split: Laplace for count and mean, the exponential
+// mechanism for quantiles, and a noised histogram.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func main() {
+	g := rng.New(31)
+
+	// Sensitive data: 2000 "incomes" in [0, 1] (scaled), right-skewed.
+	d := &dataset.Dataset{}
+	for i := 0; i < 2000; i++ {
+		v := g.Beta(2, 5)
+		d.Append(dataset.Example{X: []float64{v}})
+	}
+
+	eps := 4.0
+	s, err := core.ReleaseSummary(d, core.SummaryConfig{
+		Feature:   0,
+		Lo:        0,
+		Hi:        1,
+		Bins:      12,
+		Quantiles: []float64{0.1, 0.5, 0.9},
+		Epsilon:   eps,
+	}, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("private summary at total budget %s (split across parts):\n\n", s.Spent)
+	fmt.Printf("  count  ≈ %.0f  (true %d)\n", s.Count, d.Len())
+	trueMean := mathx.SumSlice(d.Feature(0)) / float64(d.Len())
+	fmt.Printf("  mean   ≈ %.4f (true %.4f)\n", s.Mean, trueMean)
+	ps := make([]float64, 0, len(s.Quantiles))
+	for p := range s.Quantiles {
+		ps = append(ps, p)
+	}
+	sort.Float64s(ps)
+	for _, p := range ps {
+		fmt.Printf("  q%.0f%%   ≈ %.4f\n", p*100, s.Quantiles[p])
+	}
+	fmt.Println("\n  histogram (normalized, noised):")
+	for i, v := range s.Histogram {
+		lo := s.Lo + float64(i)*(s.Hi-s.Lo)/float64(len(s.Histogram))
+		fmt.Printf("  [%.2f) %.3f %s\n", lo, v, strings.Repeat("#", int(v*80)))
+	}
+	fmt.Println("\nevery number above is differentially private; the accountant proves")
+	fmt.Printf("the whole release costs exactly ε = %.1f by basic composition.\n", eps)
+}

@@ -1,0 +1,215 @@
+// Package audit verifies differential-privacy guarantees empirically.
+// Given a mechanism and a pair of neighboring datasets, it estimates the
+// realized privacy loss
+//
+//	ε̂ = max over outputs y of |log (P[M(D)=y] / P[M(D′)=y])|
+//
+// either exactly (when the mechanism exposes its full output
+// distribution, as the exponential mechanism and Gibbs posterior do) or
+// by Monte-Carlo histogramming of sampled outputs (for continuous
+// mechanisms like Laplace). A mechanism satisfies its claimed ε-DP
+// guarantee only if ε̂ ≤ ε for every neighbor pair — the check behind
+// experiments E1, E2 and E5.
+//
+// The Monte-Carlo estimator is necessarily approximate: it lower-bounds
+// the true privacy loss over the probed events and carries sampling
+// noise, so audits compare ε̂ against ε with a tolerance, and treat
+// ε̂ ≫ ε as a genuine violation.
+package audit
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// ErrNoMass is returned when sampled outputs provide no overlapping events
+// to compare.
+var ErrNoMass = errors.New("audit: no overlapping output mass between neighbors")
+
+// ExactEpsilon returns the exact realized privacy loss between two
+// discrete output distributions given as normalized log-probability
+// vectors: max_i |logP[i] − logQ[i]| over indices where either has mass.
+// An output with mass in one distribution and none in the other yields
+// +Inf (a pure-DP violation).
+func ExactEpsilon(logP, logQ []float64) float64 {
+	if len(logP) != len(logQ) {
+		panic("audit: ExactEpsilon length mismatch")
+	}
+	var eps float64
+	for i := range logP {
+		pInf := math.IsInf(logP[i], -1)
+		qInf := math.IsInf(logQ[i], -1)
+		switch {
+		case pInf && qInf:
+			continue
+		case pInf || qInf:
+			return math.Inf(1)
+		default:
+			if d := math.Abs(logP[i] - logQ[i]); d > eps {
+				eps = d
+			}
+		}
+	}
+	return eps
+}
+
+// DiscreteMechanism is a mechanism with a finite output range that can
+// report its exact conditional output distribution.
+type DiscreteMechanism interface {
+	LogProbabilities(d *dataset.Dataset) []float64
+}
+
+// ExactAudit computes the exact realized privacy loss of a discrete
+// mechanism over a set of neighbor pairs, returning the maximum.
+func ExactAudit(m DiscreteMechanism, pairs []NeighborPair) float64 {
+	var eps float64
+	for _, p := range pairs {
+		if e := ExactEpsilon(m.LogProbabilities(p.D), m.LogProbabilities(p.DPrime)); e > eps {
+			eps = e
+		}
+	}
+	return eps
+}
+
+// NeighborPair is a dataset and one of its neighbors.
+type NeighborPair struct {
+	D, DPrime *dataset.Dataset
+}
+
+// RandomNeighborPairs generates count neighbor pairs: base datasets drawn
+// from gen, with one uniformly-chosen record replaced by a record from an
+// independently generated dataset.
+func RandomNeighborPairs(gen func(*rng.RNG) *dataset.Dataset, count int, g *rng.RNG) []NeighborPair {
+	pairs := make([]NeighborPair, 0, count)
+	for i := 0; i < count; i++ {
+		d := gen(g)
+		alt := gen(g)
+		idx := g.Intn(d.Len())
+		pairs = append(pairs, NeighborPair{
+			D:      d,
+			DPrime: d.ReplaceOne(idx, alt.Examples[g.Intn(alt.Len())]),
+		})
+	}
+	return pairs
+}
+
+// WorstCaseBinaryPair returns the canonical worst-case neighbor pair for
+// counting queries on binary data: all-zeros versus all-zeros with one
+// record flipped to one.
+func WorstCaseBinaryPair(n int) NeighborPair {
+	zeros := make([]int, n)
+	d := dataset.BernoulliTable{}.FromBits(zeros)
+	flipped := make([]int, n)
+	flipped[0] = 1
+	return NeighborPair{D: d, DPrime: dataset.BernoulliTable{}.FromBits(flipped)}
+}
+
+// SampledResult reports a Monte-Carlo privacy audit.
+type SampledResult struct {
+	// EmpiricalEpsilon is the largest observed |log ratio| across
+	// compared events.
+	EmpiricalEpsilon float64
+	// EventsCompared counts output events with enough mass on both sides
+	// to be compared.
+	EventsCompared int
+	// Samples is the per-dataset sample count used.
+	Samples int
+}
+
+// SampleContinuous audits a real-valued mechanism by drawing samples
+// outputs on each of D and D′, histogramming both over a common range, and
+// comparing per-bin frequencies. Bins with fewer than minCount samples on
+// either side are skipped (their ratio estimates are too noisy to be
+// evidence). It returns ErrNoMass if no bin qualifies.
+func SampleContinuous(release func(*dataset.Dataset, *rng.RNG) float64, pair NeighborPair, samples, bins, minCount int, g *rng.RNG) (SampledResult, error) {
+	if samples <= 0 || bins <= 0 {
+		panic("audit: SampleContinuous requires positive samples and bins")
+	}
+	outD := make([]float64, samples)
+	outP := make([]float64, samples)
+	for i := 0; i < samples; i++ {
+		outD[i] = release(pair.D, g)
+		outP[i] = release(pair.DPrime, g)
+	}
+	lo, hi := outD[0], outD[0]
+	for _, v := range outD {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for _, v := range outP {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	countD := make([]int, bins)
+	countP := make([]int, bins)
+	binOf := func(v float64) int {
+		idx := int(math.Floor((v - lo) / (hi - lo) * float64(bins)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		return idx
+	}
+	for i := 0; i < samples; i++ {
+		countD[binOf(outD[i])]++
+		countP[binOf(outP[i])]++
+	}
+	res := SampledResult{Samples: samples}
+	for b := 0; b < bins; b++ {
+		if countD[b] < minCount || countP[b] < minCount {
+			continue
+		}
+		res.EventsCompared++
+		ratio := math.Abs(math.Log(float64(countD[b])) - math.Log(float64(countP[b])))
+		if ratio > res.EmpiricalEpsilon {
+			res.EmpiricalEpsilon = ratio
+		}
+	}
+	if res.EventsCompared == 0 {
+		return res, ErrNoMass
+	}
+	return res, nil
+}
+
+// SampleDiscrete audits a mechanism with a finite output range by
+// sampling. Outcomes with fewer than minCount draws on either side are
+// skipped. It returns ErrNoMass if no outcome qualifies.
+func SampleDiscrete(release func(*dataset.Dataset, *rng.RNG) int, numOutcomes int, pair NeighborPair, samples, minCount int, g *rng.RNG) (SampledResult, error) {
+	if samples <= 0 || numOutcomes <= 0 {
+		panic("audit: SampleDiscrete requires positive samples and outcomes")
+	}
+	countD := make([]int, numOutcomes)
+	countP := make([]int, numOutcomes)
+	for i := 0; i < samples; i++ {
+		countD[release(pair.D, g)]++
+		countP[release(pair.DPrime, g)]++
+	}
+	res := SampledResult{Samples: samples}
+	for u := 0; u < numOutcomes; u++ {
+		if countD[u] < minCount || countP[u] < minCount {
+			continue
+		}
+		res.EventsCompared++
+		ratio := math.Abs(math.Log(float64(countD[u])) - math.Log(float64(countP[u])))
+		if ratio > res.EmpiricalEpsilon {
+			res.EmpiricalEpsilon = ratio
+		}
+	}
+	if res.EventsCompared == 0 {
+		return res, ErrNoMass
+	}
+	return res, nil
+}
+
+// LaplaceAnalyticEpsilon returns the exact realized privacy loss of the
+// scalar Laplace mechanism between two query values a and b at noise
+// scale s: |a − b| / s. Useful as ground truth when auditing the auditor.
+func LaplaceAnalyticEpsilon(a, b, scale float64) float64 {
+	return math.Abs(a-b) / scale
+}

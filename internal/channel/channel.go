@@ -1,0 +1,287 @@
+// Package channel implements the information-theoretic model of Section
+// 4.1 and Figure 1 of the paper: differentially-private learning viewed as
+// an information channel whose input is the sample Ẑ and whose output is
+// the predictor θ, with transition kernel p(θ|Ẑ) given by the learner's
+// posterior.
+//
+// Over an enumerable sample space the channel matrix is exact, so the
+// mutual information I(Ẑ;θ), the paper's regularized objective
+// E R̂ + (1/λ)·I(Ẑ;θ), and the DP leakage caps can all be computed
+// without estimation error. The package also implements the alternating
+// minimization of that objective (a rate–distortion / Blahut–Arimoto
+// iteration) whose fixed point is exactly a Gibbs channel — the
+// computational content of Theorem 4.2.
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/infotheory"
+	"repro/internal/mathx"
+)
+
+// ErrBadChannel is returned for malformed channel construction inputs.
+var ErrBadChannel = errors.New("channel: invalid construction")
+
+// DiscreteMechanism mirrors audit.DiscreteMechanism: a learner exposing
+// its exact posterior over a finite predictor space.
+type DiscreteMechanism interface {
+	LogProbabilities(d *dataset.Dataset) []float64
+}
+
+// Channel is a discrete memoryless channel from an enumerated sample
+// space to a finite predictor space, with an input distribution attached.
+type Channel struct {
+	// LogPX is the normalized log input distribution over sample-space
+	// points.
+	LogPX []float64
+	// Rows holds normalized log transition rows: Rows[i][j] = log p(θⱼ | Ẑᵢ).
+	Rows [][]float64
+}
+
+// FromMechanism enumerates the channel of a discrete learner over the
+// given sample-space points with the given (unnormalized) log input
+// masses.
+func FromMechanism(inputs []*dataset.Dataset, logPX []float64, m DiscreteMechanism) (*Channel, error) {
+	if len(inputs) == 0 || len(inputs) != len(logPX) || m == nil {
+		return nil, ErrBadChannel
+	}
+	px, logZ := mathx.LogNormalize(logPX)
+	if math.IsInf(logZ, -1) {
+		return nil, ErrBadChannel
+	}
+	rows := make([][]float64, len(inputs))
+	var width int
+	for i, d := range inputs {
+		r := m.LogProbabilities(d)
+		if i == 0 {
+			width = len(r)
+		} else if len(r) != width {
+			return nil, fmt.Errorf("channel: ragged mechanism output at input %d", i)
+		}
+		rows[i] = r
+	}
+	return &Channel{LogPX: px, Rows: rows}, nil
+}
+
+// New constructs a channel from explicit normalized log rows and input
+// masses, validating shapes and normalization to within 1e-6.
+func New(logPX []float64, rows [][]float64) (*Channel, error) {
+	if len(logPX) == 0 || len(logPX) != len(rows) {
+		return nil, ErrBadChannel
+	}
+	if !mathx.AlmostEqual(mathx.LogSumExp(logPX), 0, 1e-6) {
+		return nil, fmt.Errorf("channel: input distribution not normalized")
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
+			return nil, fmt.Errorf("channel: ragged row %d", i)
+		}
+		if !mathx.AlmostEqual(mathx.LogSumExp(r), 0, 1e-6) {
+			return nil, fmt.Errorf("channel: row %d not normalized", i)
+		}
+	}
+	return &Channel{LogPX: logPX, Rows: rows}, nil
+}
+
+// NumInputs returns the sample-space size.
+func (c *Channel) NumInputs() int { return len(c.LogPX) }
+
+// NumOutputs returns the predictor-space size.
+func (c *Channel) NumOutputs() int { return len(c.Rows[0]) }
+
+// Joint returns the joint distribution p(Ẑ, θ) in the linear domain.
+func (c *Channel) Joint() (*infotheory.Joint, error) {
+	table := make([][]float64, c.NumInputs())
+	for i := range table {
+		table[i] = make([]float64, c.NumOutputs())
+		for j := range table[i] {
+			table[i][j] = math.Exp(c.LogPX[i] + c.Rows[i][j])
+		}
+	}
+	return infotheory.NewJoint(table)
+}
+
+// MutualInformation returns the exact I(Ẑ;θ) in nats.
+func (c *Channel) MutualInformation() (float64, error) {
+	j, err := c.Joint()
+	if err != nil {
+		return 0, err
+	}
+	return j.MutualInformation(), nil
+}
+
+// OutputMarginalLog returns log p(θ) = log Σᵢ p(Ẑᵢ)·p(θ|Ẑᵢ) — the
+// paper's "optimal prior" E_Ẑ π̂ (Section 4).
+func (c *Channel) OutputMarginalLog() []float64 {
+	out := make([]float64, c.NumOutputs())
+	buf := make([]float64, c.NumInputs())
+	for j := range out {
+		for i := range buf {
+			buf[i] = c.LogPX[i] + c.Rows[i][j]
+		}
+		out[j] = mathx.LogSumExp(buf)
+	}
+	return out
+}
+
+// ExpectedValue returns E over the joint of vals[i][j] (e.g. per-input,
+// per-θ empirical risks).
+func (c *Channel) ExpectedValue(vals [][]float64) (float64, error) {
+	if len(vals) != c.NumInputs() {
+		return 0, ErrBadChannel
+	}
+	var k mathx.KahanSum
+	for i, row := range vals {
+		if len(row) != c.NumOutputs() {
+			return 0, ErrBadChannel
+		}
+		for j, v := range row {
+			w := math.Exp(c.LogPX[i] + c.Rows[i][j])
+			if w > 0 {
+				k.Add(w * v)
+			}
+		}
+	}
+	return k.Sum(), nil
+}
+
+// Objective returns the paper's Section-4 regularized objective
+//
+//	J(W) = E_{Ẑ,θ} R̂_Ẑ(θ) + (1/λ)·I(Ẑ;θ)
+//
+// for this channel under the given per-input per-θ risks.
+func (c *Channel) Objective(risks [][]float64, lambda float64) (float64, error) {
+	if lambda <= 0 {
+		return 0, ErrBadChannel
+	}
+	expRisk, err := c.ExpectedValue(risks)
+	if err != nil {
+		return 0, err
+	}
+	mi, err := c.MutualInformation()
+	if err != nil {
+		return 0, err
+	}
+	return expRisk + mi/lambda, nil
+}
+
+// ExpectedKLToPrior returns E_Ẑ KL(p(·|Ẑ) ‖ π) for an explicit log-prior
+// π. By the decomposition in Section 4, this equals I(Ẑ;θ) +
+// KL(marginal ‖ π), so it is minimized (equal to the MI) when π is the
+// output marginal.
+func (c *Channel) ExpectedKLToPrior(logPrior []float64) (float64, error) {
+	if len(logPrior) != c.NumOutputs() {
+		return 0, ErrBadChannel
+	}
+	var k mathx.KahanSum
+	for i, row := range c.Rows {
+		kl, err := infotheory.KLLogSpace(row, logPrior)
+		if err != nil {
+			return 0, err
+		}
+		k.Add(math.Exp(c.LogPX[i]) * kl)
+	}
+	return k.Sum(), nil
+}
+
+// Capacity returns the Shannon capacity of the channel (max over input
+// distributions of the MI) via Blahut–Arimoto, in nats.
+func (c *Channel) Capacity(tol float64, maxIter int) (float64, error) {
+	rows := make([][]float64, c.NumInputs())
+	for i, r := range c.Rows {
+		rows[i] = make([]float64, len(r))
+		for j, lv := range r {
+			rows[i][j] = math.Exp(lv)
+		}
+	}
+	cap_, _, err := infotheory.BlahutArimoto(rows, tol, maxIter)
+	return cap_, err
+}
+
+// MaxPairwiseLogRatio returns max over input pairs and outputs of
+// |log p(θ|Ẑ) − log p(θ|Ẑ′)| — the channel's worst-case distinguishing
+// power between any two sample-space points (not just neighbors).
+func (c *Channel) MaxPairwiseLogRatio() float64 {
+	var m float64
+	for a := 0; a < c.NumInputs(); a++ {
+		for b := a + 1; b < c.NumInputs(); b++ {
+			for j := 0; j < c.NumOutputs(); j++ {
+				la, lb := c.Rows[a][j], c.Rows[b][j]
+				aInf, bInf := math.IsInf(la, -1), math.IsInf(lb, -1)
+				if aInf && bInf {
+					continue
+				}
+				if aInf != bInf {
+					return math.Inf(1)
+				}
+				if d := math.Abs(la - lb); d > m {
+					m = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Compose post-processes the channel's output through a second (data-
+// independent) channel post, where post[j][k] = P(Z=k | θ=j): the result
+// is the channel Ẑ → Z. By the data-processing inequality the composed
+// channel can only leak less; the test suite asserts this.
+func (c *Channel) Compose(post [][]float64) (*Channel, error) {
+	if len(post) != c.NumOutputs() {
+		return nil, fmt.Errorf("channel: post-processing has %d rows for %d outputs", len(post), c.NumOutputs())
+	}
+	nOut := len(post[0])
+	postNorm := make([][]float64, len(post))
+	for j, row := range post {
+		if len(row) != nOut {
+			return nil, fmt.Errorf("channel: ragged post-processing row %d", j)
+		}
+		var total float64
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("channel: invalid post-processing row %d", j)
+			}
+			total += v
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("channel: zero-mass post-processing row %d", j)
+		}
+		postNorm[j] = make([]float64, nOut)
+		for k, v := range row {
+			postNorm[j][k] = v / total
+		}
+	}
+	rows := make([][]float64, c.NumInputs())
+	for i := range rows {
+		rows[i] = make([]float64, nOut)
+		for k := 0; k < nOut; k++ {
+			var p float64
+			for j := 0; j < c.NumOutputs(); j++ {
+				p += math.Exp(c.Rows[i][j]) * postNorm[j][k]
+			}
+			if p <= 0 {
+				rows[i][k] = math.Inf(-1)
+			} else {
+				rows[i][k] = math.Log(p)
+			}
+		}
+	}
+	return &Channel{LogPX: append([]float64(nil), c.LogPX...), Rows: rows}, nil
+}
+
+// DPLeakageCapNats returns the trivial mutual-information cap for an
+// ε-DP channel over a sample space of diameter diam (max replace-one
+// distance between any two inputs): every pairwise log ratio is at most
+// ε·diam, hence I(Ẑ;θ) ≤ capacity ≤ ε·diam nats.
+func DPLeakageCapNats(epsilon float64, diam int) float64 {
+	if epsilon < 0 || diam < 0 {
+		panic("channel: DPLeakageCapNats requires non-negative arguments")
+	}
+	return epsilon * float64(diam)
+}

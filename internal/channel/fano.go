@@ -1,0 +1,109 @@
+package channel
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/infotheory"
+	"repro/internal/mathx"
+)
+
+// This file implements the adversarial-reconstruction side of the
+// paper's channel view (Section 5's "lower bounds on the mutual
+// information ... and their implication on utility"): the Bayes-optimal
+// adversary that tries to reconstruct the sample Ẑ from the released
+// predictor θ, and the information-theoretic limits (Fano's inequality,
+// Bayes vulnerability) that cap any adversary's success.
+
+// ErrDegenerateChannel is returned when a computation needs more than one
+// input with positive mass.
+var ErrDegenerateChannel = errors.New("channel: degenerate channel")
+
+// BayesReconstructionAccuracy returns the success probability of the
+// Bayes-optimal adversary that observes θ and guesses the sample-space
+// point: Σⱼ maxᵢ p(Ẑᵢ)·p(θⱼ|Ẑᵢ). It equals the posterior Bayes
+// vulnerability of the channel.
+func (c *Channel) BayesReconstructionAccuracy() (float64, error) {
+	return infotheory.PosteriorVulnerability(c.linearPX(), c.linearRows())
+}
+
+// FanoErrorLowerBound returns Fano's lower bound on ANY adversary's
+// reconstruction error probability:
+//
+//	P(error) ≥ (H(Ẑ) − I(Ẑ;θ) − ln 2) / ln(|support| − 1)
+//
+// clamped to [0, 1]. Supports of size ≤ 2 make the log term degenerate;
+// those return 0 (the bound is vacuous there).
+func (c *Channel) FanoErrorLowerBound() (float64, error) {
+	px := c.linearPX()
+	support := 0
+	for _, p := range px {
+		if p > 0 {
+			support++
+		}
+	}
+	if support < 2 {
+		return 0, ErrDegenerateChannel
+	}
+	hIn, err := infotheory.Entropy(px)
+	if err != nil {
+		return 0, err
+	}
+	mi, err := c.MutualInformation()
+	if err != nil {
+		return 0, err
+	}
+	if support == 2 {
+		return 0, nil // ln(1) = 0 denominator; Fano is vacuous
+	}
+	bound := (hIn - mi - math.Ln2) / math.Log(float64(support-1))
+	return mathx.Clamp(bound, 0, 1), nil
+}
+
+// ReconstructionReport bundles the attack-vs-limits comparison for one
+// channel.
+type ReconstructionReport struct {
+	// PriorAccuracy is the best blind guess (prior Bayes vulnerability).
+	PriorAccuracy float64
+	// BayesAccuracy is the optimal adversary's success probability.
+	BayesAccuracy float64
+	// FanoErrorLB lower-bounds any adversary's error probability.
+	FanoErrorLB float64
+	// MutualInformationNats is I(Ẑ;θ).
+	MutualInformationNats float64
+	// InputEntropyNats is H(Ẑ).
+	InputEntropyNats float64
+}
+
+// Reconstruction computes the full report. Consistency invariants:
+// BayesAccuracy ≥ PriorAccuracy, and BayesAccuracy ≤ 1 − FanoErrorLB.
+func (c *Channel) Reconstruction() (*ReconstructionReport, error) {
+	px := c.linearPX()
+	prior, err := infotheory.BayesVulnerability(px)
+	if err != nil {
+		return nil, err
+	}
+	bayes, err := c.BayesReconstructionAccuracy()
+	if err != nil {
+		return nil, err
+	}
+	fano, err := c.FanoErrorLowerBound()
+	if err != nil {
+		return nil, err
+	}
+	mi, err := c.MutualInformation()
+	if err != nil {
+		return nil, err
+	}
+	hIn, err := infotheory.Entropy(px)
+	if err != nil {
+		return nil, err
+	}
+	return &ReconstructionReport{
+		PriorAccuracy:         prior,
+		BayesAccuracy:         bayes,
+		FanoErrorLB:           fano,
+		MutualInformationNats: mi,
+		InputEntropyNats:      hIn,
+	}, nil
+}

@@ -1,0 +1,58 @@
+package channel
+
+import (
+	"math"
+
+	"repro/internal/infotheory"
+)
+
+// linearRows converts the channel's log rows to the linear domain.
+func (c *Channel) linearRows() [][]float64 {
+	rows := make([][]float64, c.NumInputs())
+	for i, r := range c.Rows {
+		rows[i] = make([]float64, len(r))
+		for j, lv := range r {
+			rows[i][j] = math.Exp(lv)
+		}
+	}
+	return rows
+}
+
+// linearPX converts the channel's input log-distribution to the linear
+// domain.
+func (c *Channel) linearPX() []float64 {
+	px := make([]float64, len(c.LogPX))
+	for i, lp := range c.LogPX {
+		px[i] = math.Exp(lp)
+	}
+	return px
+}
+
+// MinEntropyLeakage returns the Alvim-et-al. min-entropy leakage of the
+// channel under its attached input distribution, in nats: the log of the
+// multiplicative increase in an adversary's one-try success probability
+// at guessing the sample Ẑ after seeing the predictor θ.
+func (c *Channel) MinEntropyLeakage() (float64, error) {
+	return infotheory.MinEntropyLeakage(c.linearPX(), c.linearRows())
+}
+
+// MinEntropyCapacity returns the maximum min-entropy leakage over input
+// distributions, in nats.
+func (c *Channel) MinEntropyCapacity() (float64, error) {
+	return infotheory.MinEntropyCapacity(c.linearRows())
+}
+
+// BayesVulnerabilities returns the adversary's prior and posterior
+// one-try success probabilities at guessing the sample.
+func (c *Channel) BayesVulnerabilities() (prior, posterior float64, err error) {
+	px := c.linearPX()
+	prior, err = infotheory.BayesVulnerability(px)
+	if err != nil {
+		return 0, 0, err
+	}
+	posterior, err = infotheory.PosteriorVulnerability(px, c.linearRows())
+	if err != nil {
+		return 0, 0, err
+	}
+	return prior, posterior, nil
+}

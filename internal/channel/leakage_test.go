@@ -1,0 +1,60 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestChannelMinEntropyLeakage(t *testing.T) {
+	est := meanEstimator(t, 8, 5)
+	inputs, logPX := CountSampleSpace(6, 0.5)
+	ch, err := FromMechanism(inputs, logPX, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ch.MinEntropyLeakage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap_, err := ch.MinEntropyCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 0 || l > cap_+1e-9 {
+		t.Errorf("leakage %v outside [0, capacity %v]", l, cap_)
+	}
+	prior, post, err := ch.BayesVulnerabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post < prior-1e-12 || post > 1 {
+		t.Errorf("vulnerabilities: prior %v, post %v", prior, post)
+	}
+	// Leakage definition consistency: L = ln(post/prior).
+	if !mathx.AlmostEqual(l, math.Log(post/prior), 1e-9) {
+		t.Errorf("leakage %v != ln(post/prior) %v", l, math.Log(post/prior))
+	}
+}
+
+func TestMinEntropyLeakageMonotoneInLambda(t *testing.T) {
+	// Like Shannon MI, min-entropy leakage should grow as privacy weakens.
+	inputs, logPX := CountSampleSpace(8, 0.5)
+	prev := -1.0
+	for _, lambda := range []float64{0.5, 2, 8, 32} {
+		est := meanEstimator(t, lambda, 5)
+		ch, err := FromMechanism(inputs, logPX, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := ch.MinEntropyLeakage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < prev-1e-9 {
+			t.Errorf("min-entropy leakage decreased with lambda: %v after %v", l, prev)
+		}
+		prev = l
+	}
+}

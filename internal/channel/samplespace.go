@@ -1,0 +1,130 @@
+package channel
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+)
+
+// BinarySampleSpace enumerates the full sample space {0,1}^n of binary
+// datasets together with their log-probabilities under i.i.d.
+// Bernoulli(p) records. It panics for n > 20 (2^20 datasets is the
+// practical ceiling for exact channel work).
+func BinarySampleSpace(n int, p float64) ([]*dataset.Dataset, []float64) {
+	if n <= 0 || n > 20 {
+		panic("channel: BinarySampleSpace requires 1 <= n <= 20")
+	}
+	if p < 0 || p > 1 {
+		panic("channel: BinarySampleSpace requires p in [0,1]")
+	}
+	total := 1 << n
+	inputs := make([]*dataset.Dataset, total)
+	logPX := make([]float64, total)
+	bt := dataset.BernoulliTable{P: p}
+	for mask := 0; mask < total; mask++ {
+		bits := make([]int, n)
+		ones := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				bits[i] = 1
+				ones++
+			}
+		}
+		inputs[mask] = bt.FromBits(bits)
+		logPX[mask] = mathx.XLogY(float64(ones), p) + mathx.XLogY(float64(n-ones), 1-p)
+	}
+	return inputs, logPX
+}
+
+// CountSampleSpace enumerates the collapsed sample space of binary
+// datasets grouped by their count of ones (a sufficient statistic for
+// exchangeable learners): n+1 representative datasets with Binomial(n, p)
+// log-probabilities. Exchangeability must hold for the learner being
+// analyzed — i.e. its posterior must depend on the data only through the
+// count — or the collapsed channel under-reports the true MI.
+func CountSampleSpace(n int, p float64) ([]*dataset.Dataset, []float64) {
+	if n <= 0 {
+		panic("channel: CountSampleSpace requires n >= 1")
+	}
+	if p < 0 || p > 1 {
+		panic("channel: CountSampleSpace requires p in [0,1]")
+	}
+	bt := dataset.BernoulliTable{P: p}
+	inputs := make([]*dataset.Dataset, n+1)
+	logPX := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		bits := make([]int, n)
+		for i := 0; i < k; i++ {
+			bits[i] = 1
+		}
+		inputs[k] = bt.FromBits(bits)
+		logPX[k] = bt.LogPMFOfCount(n, k)
+	}
+	return inputs, logPX
+}
+
+// RateDistortionChannel minimizes the Section-4 objective
+//
+//	J(W) = E_{Ẑ,θ} risk[Ẑ][θ] + (1/λ)·I(Ẑ;θ)
+//
+// over all channels W by alternating minimization (the classical
+// Blahut–Arimoto rate–distortion iteration with distortion = risk and
+// slope 1/λ):
+//
+//	marginal m(θ) ← Σᵢ p(Ẑᵢ)·W(θ|Ẑᵢ)
+//	W(θ|Ẑᵢ)      ← m(θ)·exp(−λ·risk[i][θ]) / Z(i)
+//
+// The update step IS a Gibbs posterior with prior m — so the algorithm's
+// fixed point is a Gibbs channel whose prior is its own output marginal,
+// which is exactly the self-consistent optimum of Theorem 4.2
+// (π_OPT = E_Ẑ π̂). It returns the optimized channel and the final
+// objective value.
+func RateDistortionChannel(risks [][]float64, logPX []float64, lambda float64, iters int, tol float64) (*Channel, float64, error) {
+	if len(risks) == 0 || len(risks) != len(logPX) || lambda <= 0 || iters <= 0 {
+		return nil, 0, ErrBadChannel
+	}
+	nOut := len(risks[0])
+	for _, r := range risks {
+		if len(r) != nOut {
+			return nil, 0, ErrBadChannel
+		}
+	}
+	px, logZ := mathx.LogNormalize(logPX)
+	if math.IsInf(logZ, -1) {
+		return nil, 0, ErrBadChannel
+	}
+	// Initialize with the uniform channel.
+	rows := make([][]float64, len(px))
+	for i := range rows {
+		rows[i] = make([]float64, nOut)
+		u := -math.Log(float64(nOut))
+		for j := range rows[i] {
+			rows[i][j] = u
+		}
+	}
+	ch := &Channel{LogPX: px, Rows: rows}
+	prev := math.Inf(1)
+	var obj float64
+	for it := 0; it < iters; it++ {
+		marginal := ch.OutputMarginalLog()
+		for i := range rows {
+			for j := 0; j < nOut; j++ {
+				rows[i][j] = marginal[j] - lambda*risks[i][j]
+			}
+			normalized, _ := mathx.LogNormalize(rows[i])
+			rows[i] = normalized
+		}
+		ch.Rows = rows
+		var err error
+		obj, err = ch.Objective(risks, lambda)
+		if err != nil {
+			return nil, 0, err
+		}
+		if prev-obj < tol {
+			break
+		}
+		prev = obj
+	}
+	return ch, obj, nil
+}

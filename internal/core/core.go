@@ -1,0 +1,237 @@
+// Package core assembles the paper's contribution into a single
+// user-facing API: a differentially-private learner that
+//
+//  1. calibrates a Gibbs posterior (= exponential mechanism with quality
+//     −R̂) to a requested privacy budget ε via Theorem 4.1,
+//  2. certifies the released predictor's true risk with Catoni's
+//     PAC-Bayes bound (Theorem 3.1), and
+//  3. accounts for the information leaked about the sample — the mutual
+//     information I(Ẑ;θ) of the induced channel (Theorem 4.2, Figure 1) —
+//     exactly on enumerable sample spaces.
+//
+// A Learner is configured once (loss, predictor space, prior, budget) and
+// can then fit any number of datasets; each Fit spends ε on the dataset
+// it touches (compose budgets with mechanism.Accountant when fitting the
+// same data repeatedly).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/dataset"
+	"repro/internal/gibbs"
+	"repro/internal/learn"
+	"repro/internal/mechanism"
+	"repro/internal/pacbayes"
+	"repro/internal/rng"
+)
+
+// ErrBadConfig is returned when a Learner is misconfigured.
+var ErrBadConfig = errors.New("core: invalid learner configuration")
+
+// Config describes a private learning problem.
+type Config struct {
+	// Loss must be bounded (Loss.Bound() < ∞); wrap unbounded losses with
+	// learn.ClippedLoss.
+	Loss learn.Loss
+	// Thetas is the finite predictor space Θ.
+	Thetas [][]float64
+	// LogPrior is an optional normalized log-prior over Thetas (nil =
+	// uniform).
+	LogPrior []float64
+	// Epsilon is the differential-privacy budget for one Fit.
+	Epsilon float64
+	// Delta is the PAC-Bayes confidence parameter for the risk
+	// certificate (default 0.05 when zero).
+	Delta float64
+}
+
+// Learner is a configured private learner. It is immutable and safe for
+// concurrent use with per-goroutine RNGs.
+type Learner struct {
+	cfg Config
+}
+
+// NewLearner validates the configuration.
+func NewLearner(cfg Config) (*Learner, error) {
+	if cfg.Loss == nil || len(cfg.Thetas) == 0 {
+		return nil, ErrBadConfig
+	}
+	if math.IsInf(cfg.Loss.Bound(), 1) || cfg.Loss.Bound() <= 0 {
+		return nil, fmt.Errorf("%w: loss must be bounded (wrap with learn.ClippedLoss)", ErrBadConfig)
+	}
+	if cfg.Epsilon <= 0 || math.IsNaN(cfg.Epsilon) {
+		return nil, fmt.Errorf("%w: epsilon must be positive", ErrBadConfig)
+	}
+	if cfg.LogPrior != nil && len(cfg.LogPrior) != len(cfg.Thetas) {
+		return nil, fmt.Errorf("%w: prior/predictor-space length mismatch", ErrBadConfig)
+	}
+	if cfg.Delta < 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("%w: delta must lie in [0, 1)", ErrBadConfig)
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.05
+	}
+	return &Learner{cfg: cfg}, nil
+}
+
+// Epsilon returns the configured per-Fit privacy budget.
+func (l *Learner) Epsilon() float64 { return l.cfg.Epsilon }
+
+// Estimator returns the Gibbs estimator calibrated to the configured ε
+// for samples of size n (λ = ε·n / (2M), Theorem 4.1 inverted).
+func (l *Learner) Estimator(n int) (*gibbs.Estimator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: sample size must be positive", ErrBadConfig)
+	}
+	lambda := gibbs.LambdaForEpsilon(l.cfg.Epsilon, l.cfg.Loss, n)
+	return gibbs.New(l.cfg.Loss, l.cfg.Thetas, l.cfg.LogPrior, lambda)
+}
+
+// Certificate bundles everything the learner can prove about one Fit.
+type Certificate struct {
+	// Privacy is the Theorem 4.1 differential-privacy guarantee.
+	Privacy mechanism.Guarantee
+	// Lambda is the Gibbs inverse temperature used.
+	Lambda float64
+	// RiskBound bounds the posterior's expected TRUE risk (rescaled to
+	// the loss's [0, M] range) with probability ≥ 1−Delta over samples —
+	// Catoni's bound, Theorem 3.1.
+	RiskBound float64
+	// Delta is the confidence parameter of RiskBound.
+	Delta float64
+	// ExpEmpRisk is the posterior-expected empirical risk E_π̂ R̂.
+	ExpEmpRisk float64
+	// KL is KL(π̂ ‖ π) in nats.
+	KL float64
+}
+
+// Fitted is the outcome of one private fit.
+type Fitted struct {
+	// Theta is the privately selected predictor.
+	Theta []float64
+	// Index is its position in the predictor space.
+	Index int
+	// Certificate carries the privacy and risk guarantees.
+	Certificate Certificate
+}
+
+// Fit privately selects a predictor from d by sampling the calibrated
+// Gibbs posterior, and returns it with its certificates.
+func (l *Learner) Fit(d *dataset.Dataset, g *rng.RNG) (*Fitted, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty dataset", ErrBadConfig)
+	}
+	est, err := l.Estimator(d.Len())
+	if err != nil {
+		return nil, err
+	}
+	idx := est.Sample(d, g)
+	cert, err := l.certificate(est, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Fitted{
+		Theta:       append([]float64(nil), l.cfg.Thetas[idx]...),
+		Index:       idx,
+		Certificate: cert,
+	}, nil
+}
+
+// certificate evaluates the privacy and PAC-Bayes certificates of the
+// estimator on d.
+func (l *Learner) certificate(est *gibbs.Estimator, d *dataset.Dataset) (Certificate, error) {
+	st, err := est.Stats(d)
+	if err != nil {
+		return Certificate{}, err
+	}
+	m := l.cfg.Loss.Bound()
+	// Catoni's bound works on [0,1] losses; rescale.
+	bound01, err := pacbayes.CatoniBound(st.ExpEmpRisk/m, st.KL, est.Lambda*m, d.Len(), l.cfg.Delta)
+	if err != nil {
+		return Certificate{}, err
+	}
+	return Certificate{
+		Privacy:    est.Guarantee(d.Len()),
+		Lambda:     est.Lambda,
+		RiskBound:  bound01 * m,
+		Delta:      l.cfg.Delta,
+		ExpEmpRisk: st.ExpEmpRisk,
+		KL:         st.KL,
+	}, nil
+}
+
+// Certify evaluates the certificates without sampling (no privacy is
+// spent by computing the certificate alone, since it is not released).
+func (l *Learner) Certify(d *dataset.Dataset) (Certificate, error) {
+	if d == nil || d.Len() == 0 {
+		return Certificate{}, fmt.Errorf("%w: empty dataset", ErrBadConfig)
+	}
+	est, err := l.Estimator(d.Len())
+	if err != nil {
+		return Certificate{}, err
+	}
+	return l.certificate(est, d)
+}
+
+// InformationAccount computes the exact Figure-1 channel of this learner
+// over an enumerable sample space and reports its leakage.
+type InformationAccount struct {
+	// MutualInformation is I(Ẑ;θ) in nats under the given sample
+	// distribution.
+	MutualInformation float64
+	// Capacity is the channel's Shannon capacity in nats (max leakage
+	// over sample distributions).
+	Capacity float64
+	// DPCap is the trivial ε·diam cap implied by the privacy guarantee.
+	DPCap float64
+	// ExpectedRisk is E_{Ẑ,θ} R̂_Ẑ(θ) over the channel.
+	ExpectedRisk float64
+}
+
+// AccountInformation enumerates the learner's channel over the given
+// sample-space points (all of size n) with log input masses logPX.
+func (l *Learner) AccountInformation(inputs []*dataset.Dataset, logPX []float64) (*InformationAccount, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("%w: empty sample space", ErrBadConfig)
+	}
+	n := inputs[0].Len()
+	for _, d := range inputs {
+		if d.Len() != n {
+			return nil, fmt.Errorf("%w: sample-space points must share a size", ErrBadConfig)
+		}
+	}
+	est, err := l.Estimator(n)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := channel.FromMechanism(inputs, logPX, est)
+	if err != nil {
+		return nil, err
+	}
+	mi, err := ch.MutualInformation()
+	if err != nil {
+		return nil, err
+	}
+	capacity, err := ch.Capacity(1e-9, 50000)
+	if err != nil {
+		return nil, err
+	}
+	risks := make([][]float64, len(inputs))
+	for i, d := range inputs {
+		risks[i] = est.Risks(d)
+	}
+	expRisk, err := ch.ExpectedValue(risks)
+	if err != nil {
+		return nil, err
+	}
+	return &InformationAccount{
+		MutualInformation: mi,
+		Capacity:          capacity,
+		DPCap:             channel.DPLeakageCapNats(est.Guarantee(n).Epsilon, n),
+		ExpectedRisk:      expRisk,
+	}, nil
+}

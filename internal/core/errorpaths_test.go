@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/learn"
+	"repro/internal/rng"
+)
+
+func TestEstimatorErrorPaths(t *testing.T) {
+	l, err := NewLearner(classifierConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Estimator(0); !errors.Is(err, ErrBadConfig) {
+		t.Error("n = 0 must error")
+	}
+	if _, err := l.Estimator(-5); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative n must error")
+	}
+}
+
+func TestFitErrorPaths(t *testing.T) {
+	l, err := NewLearner(classifierConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(1)
+	if _, err := l.Fit(nil, g); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil dataset must error")
+	}
+	if _, err := l.Fit(&dataset.Dataset{}, g); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty dataset must error")
+	}
+	if _, err := l.Certify(nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil certify must error")
+	}
+}
+
+func TestDensityErrorPaths(t *testing.T) {
+	g := rng.New(3)
+	d := dataset.New([]dataset.Example{{X: []float64{0.5}}})
+	// Invalid epsilon propagates from the Laplace mechanism.
+	if _, err := PrivateHistogramDensity(d, 0, 4, 0, 1, -1, g); err == nil {
+		t.Error("negative epsilon must error")
+	}
+	if _, err := PrivateHistogramDensity(nil, 0, 4, 0, 1, 1, g); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil dataset must error")
+	}
+	if _, err := NonPrivateHistogramDensity(nil, 0, 4, 0, 1); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil dataset must error")
+	}
+	if _, err := NonPrivateHistogramDensity(&dataset.Dataset{}, 0, 4, 0, 1); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty dataset must error")
+	}
+	// Gibbs density with bad clip.
+	if _, _, err := GibbsHistogramDensity(d, 0, []int{4}, 0, 1, 0, 1, g); !errors.Is(err, ErrBadConfig) {
+		t.Error("clip = 0 must error")
+	}
+	if _, _, err := GibbsHistogramDensity(nil, 0, []int{4}, 0, 1, 1, 1, g); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil dataset must error")
+	}
+}
+
+func TestPrivateHistogramDensityAllNoisedAway(t *testing.T) {
+	// A tiny dataset with a tiny budget will sometimes noise every count
+	// negative; the uniform fallback must kick in and stay a density.
+	g := rng.New(7)
+	d := dataset.New([]dataset.Example{{X: []float64{0.5}}})
+	sawUniform := false
+	for trial := 0; trial < 200; trial++ {
+		priv, err := PrivateHistogramDensity(d, 0, 4, 0, 1, 0.01, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var integral float64
+		uniform := true
+		for _, v := range priv.Density {
+			integral += v * 0.25
+			if v != priv.Density[0] {
+				uniform = false
+			}
+		}
+		if integral < 0.999 || integral > 1.001 {
+			t.Fatalf("integral = %v", integral)
+		}
+		if uniform {
+			sawUniform = true
+		}
+	}
+	if !sawUniform {
+		t.Log("note: uniform fallback never triggered at this seed (not a failure)")
+	}
+}
+
+func TestAccountInformationEstimatorError(t *testing.T) {
+	// Sample-space points of size zero hit the Estimator(n<=0) error.
+	l, err := NewLearner(classifierConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &dataset.Dataset{}
+	if _, err := l.AccountInformation([]*dataset.Dataset{empty}, []float64{0}); err == nil {
+		t.Error("zero-size sample-space points must error")
+	}
+}
+
+func TestLearnerWithExplicitPrior(t *testing.T) {
+	grid := learn.NewGrid(-1, 1, 1, 5)
+	prior := grid.GaussianLogPrior(1)
+	l, err := NewLearner(Config{
+		Loss:     learn.ZeroOneLoss{},
+		Thetas:   grid.Thetas(),
+		LogPrior: prior,
+		Epsilon:  1,
+		Delta:    0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(11)
+	d := dataset.LogisticModel{Weights: []float64{1}}.Generate(50, g)
+	fit, err := l.Fit(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Certificate.Delta != 0.1 {
+		t.Errorf("delta = %v", fit.Certificate.Delta)
+	}
+}

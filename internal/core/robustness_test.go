@@ -1,0 +1,157 @@
+package core
+
+// Failure-injection tests: degenerate, extreme, and adversarial inputs
+// must produce errors or sane results — never NaN certificates or
+// panics across the public API boundary.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/learn"
+	"repro/internal/rng"
+)
+
+// degenerateDatasets enumerates pathological-but-legal datasets.
+func degenerateDatasets() map[string]*dataset.Dataset {
+	return map[string]*dataset.Dataset{
+		"single example":   dataset.New([]dataset.Example{{X: []float64{0.5}, Y: 1}}),
+		"all identical":    dataset.New([]dataset.Example{{X: []float64{0.3}, Y: 1}, {X: []float64{0.3}, Y: 1}, {X: []float64{0.3}, Y: 1}}),
+		"all same label":   dataset.New([]dataset.Example{{X: []float64{-1}, Y: 1}, {X: []float64{1}, Y: 1}}),
+		"zero features":    dataset.New([]dataset.Example{{X: []float64{0}, Y: 1}, {X: []float64{0}, Y: -1}}),
+		"extreme features": dataset.New([]dataset.Example{{X: []float64{1e15}, Y: 1}, {X: []float64{-1e15}, Y: -1}}),
+	}
+}
+
+func TestLearnerSurvivesDegenerateData(t *testing.T) {
+	grid := learn.NewGrid(-2, 2, 1, 9)
+	l, err := NewLearner(Config{
+		Loss:    learn.ZeroOneLoss{},
+		Thetas:  grid.Thetas(),
+		Epsilon: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rng.New(1)
+	for name, d := range degenerateDatasets() {
+		fit, err := l.Fit(d, g)
+		if err != nil {
+			t.Errorf("%s: Fit failed: %v", name, err)
+			continue
+		}
+		c := fit.Certificate
+		for label, v := range map[string]float64{
+			"privacy": c.Privacy.Epsilon,
+			"lambda":  c.Lambda,
+			"bound":   c.RiskBound,
+			"risk":    c.ExpEmpRisk,
+			"kl":      c.KL,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: certificate field %s is %v", name, label, v)
+			}
+		}
+		if c.Privacy.Epsilon != 1 {
+			t.Errorf("%s: privacy %v != budget", name, c.Privacy.Epsilon)
+		}
+	}
+}
+
+func TestLearnerRejectsNaNFeatureGracefully(t *testing.T) {
+	// NaN features poison risks; the posterior must still normalize or
+	// the learner must error — it must NOT emit NaN certificates
+	// silently. ZeroOneLoss is sign-based, so NaN margins classify as
+	// errors (NaN > 0 is false), keeping everything finite.
+	grid := learn.NewGrid(-2, 2, 1, 5)
+	l, err := NewLearner(Config{Loss: learn.ZeroOneLoss{}, Thetas: grid.Thetas(), Epsilon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.New([]dataset.Example{
+		{X: []float64{math.NaN()}, Y: 1},
+		{X: []float64{0.5}, Y: 1},
+	})
+	fit, err := l.Fit(d, rng.New(1))
+	if err != nil {
+		return // an explicit error is acceptable
+	}
+	if math.IsNaN(fit.Certificate.RiskBound) || math.IsNaN(fit.Certificate.ExpEmpRisk) {
+		t.Error("NaN certificate emitted silently")
+	}
+}
+
+func TestSummaryExtremeEpsilons(t *testing.T) {
+	g := rng.New(3)
+	d := dataset.New([]dataset.Example{
+		{X: []float64{0.2}}, {X: []float64{0.8}}, {X: []float64{0.5}},
+	})
+	// Minuscule budget: result is noise but structurally valid.
+	s, err := ReleaseSummary(d, SummaryConfig{Feature: 0, Lo: 0, Hi: 1, Epsilon: 1e-6}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(s.Mean) || math.IsNaN(s.Count) {
+		t.Error("NaN under tiny epsilon")
+	}
+	var total float64
+	for _, v := range s.Histogram {
+		if v < 0 || math.IsNaN(v) {
+			t.Error("invalid histogram cell")
+		}
+		total += v
+	}
+	if total != 0 && math.Abs(total-1) > 1e-9 {
+		t.Errorf("histogram total %v", total)
+	}
+	// Huge budget: near-exact.
+	s2, err := ReleaseSummary(d, SummaryConfig{Feature: 0, Lo: 0, Hi: 1, Epsilon: 1e6}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s2.Count-3) > 0.01 || math.Abs(s2.Mean-0.5) > 0.01 {
+		t.Errorf("huge-budget summary inaccurate: count %v mean %v", s2.Count, s2.Mean)
+	}
+}
+
+func TestDensityExtremeRanges(t *testing.T) {
+	g := rng.New(5)
+	d := dataset.New([]dataset.Example{{X: []float64{1e9}}, {X: []float64{-1e9}}})
+	// All data clamps to the boundary bins; result stays a density.
+	priv, err := PrivateHistogramDensity(d, 0, 4, 0, 1, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var integral float64
+	for _, v := range priv.Density {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatal("invalid density value")
+		}
+		integral += v * 0.25
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("integral %v", integral)
+	}
+}
+
+func TestAccountInformationSingletonSpace(t *testing.T) {
+	// A one-point sample space: MI must be exactly 0.
+	grid := [][]float64{{0}, {1}}
+	l, err := NewLearner(Config{
+		Loss:    learn.NewClippedLoss(learn.AbsoluteLoss{}, 1),
+		Thetas:  grid,
+		Epsilon: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dataset.BernoulliTable{}.FromBits([]int{1, 0, 1})
+	acct, err := l.AccountInformation([]*dataset.Dataset{d}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.MutualInformation != 0 {
+		t.Errorf("singleton-space MI = %v", acct.MutualInformation)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func summaryData(g *rng.RNG, n int) *dataset.Dataset {
+	d := &dataset.Dataset{}
+	for i := 0; i < n; i++ {
+		d.Append(dataset.Example{X: []float64{mathx.Clamp(g.Normal(0.5, 0.15), 0, 1)}})
+	}
+	return d
+}
+
+func TestReleaseSummary(t *testing.T) {
+	g := rng.New(1)
+	n := 5000
+	d := summaryData(g, n)
+	s, err := ReleaseSummary(d, SummaryConfig{Feature: 0, Lo: 0, Hi: 1, Epsilon: 8}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget is fully accounted: four parts of ε/4 each.
+	if !mathx.AlmostEqual(s.Spent.Epsilon, 8, 1e-9) {
+		t.Errorf("spent = %v, want 8", s.Spent.Epsilon)
+	}
+	if math.Abs(s.Count-float64(n)) > 20 {
+		t.Errorf("count = %v", s.Count)
+	}
+	if math.Abs(s.Mean-0.5) > 0.02 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Default quantiles present and ordered.
+	q25, q50, q75 := s.Quantiles[0.25], s.Quantiles[0.5], s.Quantiles[0.75]
+	if q25 > q50 || q50 > q75 {
+		t.Errorf("quantiles out of order: %v %v %v", q25, q50, q75)
+	}
+	if math.Abs(q50-0.5) > 0.1 {
+		t.Errorf("median = %v", q50)
+	}
+	// Histogram is a distribution with default 16 bins.
+	if len(s.Histogram) != 16 {
+		t.Fatalf("bins = %d", len(s.Histogram))
+	}
+	if !mathx.AlmostEqual(mathx.SumSlice(s.Histogram), 1, 1e-9) {
+		t.Errorf("histogram sums to %v", mathx.SumSlice(s.Histogram))
+	}
+}
+
+func TestReleaseSummaryValidation(t *testing.T) {
+	g := rng.New(3)
+	d := summaryData(g, 10)
+	cases := []SummaryConfig{
+		{Feature: 0, Lo: 0, Hi: 1, Epsilon: 0},
+		{Feature: 0, Lo: 1, Hi: 0, Epsilon: 1},
+		{Feature: 0, Lo: 0, Hi: 1, Epsilon: 1, Bins: -1},
+		{Feature: 0, Lo: 0, Hi: 1, Epsilon: 1, Quantiles: []float64{0}},
+		{Feature: 0, Lo: 0, Hi: 1, Epsilon: 1, Quantiles: []float64{1.5}},
+	}
+	for i, cfg := range cases {
+		if _, err := ReleaseSummary(d, cfg, g); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: expected ErrBadConfig, got %v", i, err)
+		}
+	}
+	if _, err := ReleaseSummary(&dataset.Dataset{}, SummaryConfig{Lo: 0, Hi: 1, Epsilon: 1}, g); !errors.Is(err, ErrBadConfig) {
+		t.Error("empty dataset")
+	}
+}
+
+func TestReleaseSummaryAccuracyImprovesWithEpsilon(t *testing.T) {
+	g := rng.New(5)
+	d := summaryData(g, 800)
+	meanErr := func(eps float64) float64 {
+		var w mathx.Welford
+		for r := 0; r < 30; r++ {
+			s, err := ReleaseSummary(d, SummaryConfig{Feature: 0, Lo: 0, Hi: 1, Epsilon: eps}, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Add(math.Abs(s.Mean - 0.5))
+		}
+		return w.Mean()
+	}
+	low := meanErr(0.1)
+	high := meanErr(10)
+	if high >= low {
+		t.Errorf("mean error at eps=10 (%v) not below eps=0.1 (%v)", high, low)
+	}
+}
+
+func TestReleaseSummaryCustomConfig(t *testing.T) {
+	g := rng.New(7)
+	d := summaryData(g, 1000)
+	s, err := ReleaseSummary(d, SummaryConfig{
+		Feature:      0,
+		Lo:           0,
+		Hi:           1,
+		Bins:         8,
+		Quantiles:    []float64{0.1, 0.9},
+		QuantileGrid: mathx.Linspace(0, 1, 101),
+		Epsilon:      6,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Histogram) != 8 {
+		t.Errorf("bins = %d", len(s.Histogram))
+	}
+	if len(s.Quantiles) != 2 {
+		t.Errorf("quantiles = %v", s.Quantiles)
+	}
+	if s.Quantiles[0.1] >= s.Quantiles[0.9] {
+		t.Errorf("tail quantiles out of order: %v", s.Quantiles)
+	}
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVOptions configures FromCSV.
+type CSVOptions struct {
+	// LabelColumn is the index of the Y column; −1 means no label
+	// (unsupervised data, Y left zero).
+	LabelColumn int
+	// HasHeader skips the first row.
+	HasHeader bool
+	// LabelMap optionally maps string labels (e.g. "spam"/"ham") to
+	// numeric Y values; when nil the label column must parse as a float.
+	LabelMap map[string]float64
+}
+
+// ErrBadCSV is returned for malformed CSV input.
+var ErrBadCSV = errors.New("dataset: malformed CSV")
+
+// FromCSV reads a dataset from CSV: every column except the label column
+// becomes a feature (parsed as float64). Rows must be rectangular.
+func FromCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate rectangularity ourselves for better errors
+	d := &Dataset{}
+	rowNum := 0
+	width := -1
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadCSV, rowNum, err)
+		}
+		rowNum++
+		if opts.HasHeader && rowNum == 1 {
+			continue
+		}
+		if width == -1 {
+			width = len(record)
+			if width == 0 || (opts.LabelColumn >= width) {
+				return nil, fmt.Errorf("%w: label column %d out of range for width %d", ErrBadCSV, opts.LabelColumn, width)
+			}
+		} else if len(record) != width {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrBadCSV, rowNum, len(record), width)
+		}
+		var e Example
+		for col, field := range record {
+			if col == opts.LabelColumn {
+				y, err := parseLabel(field, opts.LabelMap)
+				if err != nil {
+					return nil, fmt.Errorf("%w: row %d label: %v", ErrBadCSV, rowNum, err)
+				}
+				e.Y = y
+				continue
+			}
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d col %d: %v", ErrBadCSV, rowNum, col, err)
+			}
+			e.X = append(e.X, v)
+		}
+		d.Append(e)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("%w: no data rows", ErrBadCSV)
+	}
+	return d, nil
+}
+
+func parseLabel(field string, labelMap map[string]float64) (float64, error) {
+	if labelMap != nil {
+		y, ok := labelMap[field]
+		if !ok {
+			return 0, fmt.Errorf("unmapped label %q", field)
+		}
+		return y, nil
+	}
+	return strconv.ParseFloat(field, 64)
+}
+
+// ToCSV writes the dataset as CSV with the label as the last column
+// (omitted when includeLabel is false).
+func (d *Dataset) ToCSV(w io.Writer, includeLabel bool) error {
+	cw := csv.NewWriter(w)
+	for _, e := range d.Examples {
+		record := make([]string, 0, len(e.X)+1)
+		for _, v := range e.X {
+			record = append(record, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if includeLabel {
+			record = append(record, strconv.FormatFloat(e.Y, 'g', -1, 64))
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFromCSVBasic(t *testing.T) {
+	in := "x1,x2,label\n0.5,1.0,1\n-0.25,2,-1\n"
+	d, err := FromCSV(strings.NewReader(in), CSVOptions{LabelColumn: 2, HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Dim() != 2 {
+		t.Fatalf("shape %d×%d", d.Len(), d.Dim())
+	}
+	if d.Examples[0].X[0] != 0.5 || d.Examples[0].Y != 1 {
+		t.Errorf("row 0 = %+v", d.Examples[0])
+	}
+	if d.Examples[1].X[1] != 2 || d.Examples[1].Y != -1 {
+		t.Errorf("row 1 = %+v", d.Examples[1])
+	}
+}
+
+func TestFromCSVLabelMap(t *testing.T) {
+	in := "1.0,spam\n2.0,ham\n"
+	d, err := FromCSV(strings.NewReader(in), CSVOptions{
+		LabelColumn: 1,
+		LabelMap:    map[string]float64{"spam": 1, "ham": -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Examples[0].Y != 1 || d.Examples[1].Y != -1 {
+		t.Errorf("labels: %v, %v", d.Examples[0].Y, d.Examples[1].Y)
+	}
+}
+
+func TestFromCSVNoLabel(t *testing.T) {
+	in := "1,2\n3,4\n"
+	d, err := FromCSV(strings.NewReader(in), CSVOptions{LabelColumn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 2 || d.Examples[0].Y != 0 {
+		t.Errorf("unsupervised load: %+v", d.Examples[0])
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opts CSVOptions
+	}{
+		{"empty", "", CSVOptions{}},
+		{"header only", "a,b\n", CSVOptions{HasHeader: true}},
+		{"non-numeric feature", "a,1\n", CSVOptions{LabelColumn: 1}},
+		{"non-numeric label", "1,a\n", CSVOptions{LabelColumn: 1}},
+		{"ragged", "1,2\n3\n", CSVOptions{LabelColumn: -1}},
+		{"label out of range", "1,2\n", CSVOptions{LabelColumn: 5}},
+		{"unmapped label", "1,weird\n", CSVOptions{LabelColumn: 1, LabelMap: map[string]float64{"x": 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := FromCSV(strings.NewReader(tc.in), tc.opts); !errors.Is(err, ErrBadCSV) {
+			t.Errorf("%s: expected ErrBadCSV, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := New([]Example{
+		{X: []float64{0.5, -1.25}, Y: 1},
+		{X: []float64{3, 4}, Y: -1},
+	})
+	var buf bytes.Buffer
+	if err := d.ToCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromCSV(&buf, CSVOptions{LabelColumn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsNeighborOf(back) || !back.IsNeighborOf(d) {
+		// IsNeighborOf with zero differences means equal.
+		t.Errorf("round trip changed data: %+v vs %+v", d.Examples, back.Examples)
+	}
+	for i := range d.Examples {
+		if !equalExample(d.Examples[i], back.Examples[i]) {
+			t.Fatalf("row %d changed: %+v vs %+v", i, d.Examples[i], back.Examples[i])
+		}
+	}
+}
+
+func TestToCSVWithoutLabel(t *testing.T) {
+	d := New([]Example{{X: []float64{1, 2}, Y: 9}})
+	var buf bytes.Buffer
+	if err := d.ToCSV(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "9") {
+		t.Errorf("label leaked: %q", buf.String())
+	}
+}

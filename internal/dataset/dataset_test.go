@@ -1,0 +1,313 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestDatasetBasics(t *testing.T) {
+	d := New([]Example{
+		{X: []float64{1, 2}, Y: 1},
+		{X: []float64{3, 4}, Y: -1},
+	})
+	if d.Len() != 2 || d.Dim() != 2 {
+		t.Fatal("Len/Dim")
+	}
+	d.Append(Example{X: []float64{5, 6}, Y: 1})
+	if d.Len() != 3 {
+		t.Fatal("Append")
+	}
+	labels := d.Labels()
+	if labels[0] != 1 || labels[1] != -1 || labels[2] != 1 {
+		t.Errorf("Labels = %v", labels)
+	}
+	col := d.Feature(1)
+	if col[0] != 2 || col[1] != 4 || col[2] != 6 {
+		t.Errorf("Feature = %v", col)
+	}
+	empty := &Dataset{}
+	if empty.Dim() != 0 {
+		t.Error("empty Dim")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New([]Example{{X: []float64{1}, Y: 2}})
+	c := d.Clone()
+	c.Examples[0].X[0] = 99
+	c.Examples[0].Y = 99
+	if d.Examples[0].X[0] != 1 || d.Examples[0].Y != 2 {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestReplaceOneAndNeighbors(t *testing.T) {
+	d := New([]Example{
+		{X: []float64{0}, Y: 0},
+		{X: []float64{1}, Y: 1},
+		{X: []float64{2}, Y: 0},
+	})
+	n := d.ReplaceOne(1, Example{X: []float64{9}, Y: 1})
+	if d.Examples[1].X[0] != 1 {
+		t.Error("ReplaceOne must not mutate the original")
+	}
+	if n.Examples[1].X[0] != 9 {
+		t.Error("ReplaceOne did not replace")
+	}
+	if !d.IsNeighborOf(n) || !n.IsNeighborOf(d) {
+		t.Error("single replacement must be a neighbor")
+	}
+	if !d.IsNeighborOf(d) {
+		t.Error("a dataset is trivially its own neighbor")
+	}
+	two := n.ReplaceOne(0, Example{X: []float64{8}, Y: 0})
+	if d.IsNeighborOf(two) {
+		t.Error("two replacements is not a neighbor")
+	}
+	shorter := New(d.Examples[:2])
+	if d.IsNeighborOf(shorter) {
+		t.Error("length mismatch is not a neighbor")
+	}
+}
+
+func TestReplaceOnePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ReplaceOne out of range should panic")
+		}
+	}()
+	New([]Example{{X: []float64{0}}}).ReplaceOne(5, Example{})
+}
+
+func TestSplit(t *testing.T) {
+	g := rng.New(1)
+	m := LogisticModel{Weights: []float64{1, -1}, Bias: 0}
+	d := m.Generate(100, g)
+	train, test := d.Split(0.8, g)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Errorf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Same seed gives the same split.
+	g2 := rng.New(1)
+	d2 := m.Generate(100, g2)
+	tr2, _ := d2.Split(0.8, g2)
+	for i := range tr2.Examples {
+		if !equalExample(tr2.Examples[i], train.Examples[i]) {
+			t.Fatal("split not deterministic under equal seeds")
+		}
+	}
+}
+
+func TestSplitEdgeFractions(t *testing.T) {
+	g := rng.New(2)
+	d := BernoulliTable{P: 0.5}.Generate(3, g)
+	tr, te := d.Split(0.99, g)
+	if tr.Len() == d.Len() || te.Len() == 0 {
+		t.Error("test set must be non-empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Split(frac>=1) should panic")
+		}
+	}()
+	d.Split(1.0, g)
+}
+
+func TestSubsample(t *testing.T) {
+	g := rng.New(3)
+	d := BernoulliTable{P: 0.5}.Generate(50, g)
+	s := d.Subsample(10, g)
+	if s.Len() != 10 {
+		t.Errorf("Subsample len = %d", s.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Subsample too large should panic")
+		}
+	}()
+	d.Subsample(51, g)
+}
+
+func TestClampFeatures(t *testing.T) {
+	d := New([]Example{{X: []float64{-5, 0.5, 5}}})
+	d.ClampFeatures(-1, 1)
+	want := []float64{-1, 0.5, 1}
+	for i, w := range want {
+		if d.Examples[0].X[i] != w {
+			t.Errorf("clamped[%d] = %v, want %v", i, d.Examples[0].X[i], w)
+		}
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	d := New([]Example{
+		{X: []float64{3, 4}},   // norm 5, must shrink to 1
+		{X: []float64{0.3, 0}}, // norm < 1, unchanged
+	})
+	d.NormalizeRows()
+	if !mathx.AlmostEqual(mathx.L2Norm(d.Examples[0].X), 1, 1e-12) {
+		t.Errorf("row 0 norm = %v", mathx.L2Norm(d.Examples[0].X))
+	}
+	if d.Examples[1].X[0] != 0.3 {
+		t.Error("row with norm <= 1 must be unchanged")
+	}
+}
+
+func TestLinearModelGenerate(t *testing.T) {
+	g := rng.New(5)
+	m := LinearModel{Weights: []float64{2, -1}, Bias: 0.5, Noise: 0}
+	d := m.Generate(200, g)
+	if d.Len() != 200 || d.Dim() != 2 {
+		t.Fatal("shape")
+	}
+	for _, e := range d.Examples {
+		want := 2*e.X[0] - e.X[1] + 0.5
+		if !mathx.AlmostEqual(e.Y, want, 1e-12) {
+			t.Fatalf("noise-free label mismatch: %v vs %v", e.Y, want)
+		}
+		for _, x := range e.X {
+			if x < -1 || x >= 1 {
+				t.Fatalf("feature out of range: %v", x)
+			}
+		}
+	}
+}
+
+func TestLinearModelTrueRisk(t *testing.T) {
+	m := LinearModel{Weights: []float64{1, 2}, Bias: 0, Noise: 0.5}
+	// Perfect parameters: risk = noise².
+	if !mathx.AlmostEqual(m.TrueRisk([]float64{1, 2}, 0), 0.25, 1e-12) {
+		t.Error("risk at truth should be noise^2")
+	}
+	// Unit error in bias adds exactly 1; unit error in one weight adds 1/3.
+	if !mathx.AlmostEqual(m.TrueRisk([]float64{1, 2}, 1), 1.25, 1e-12) {
+		t.Error("bias error term")
+	}
+	if !mathx.AlmostEqual(m.TrueRisk([]float64{2, 2}, 0), 0.25+1.0/3, 1e-12) {
+		t.Error("weight error term")
+	}
+	// Monte-Carlo cross-check.
+	g := rng.New(7)
+	w := []float64{0.5, 2.5}
+	b := -0.3
+	var acc mathx.Welford
+	x := make([]float64, 2)
+	for i := 0; i < 200000; i++ {
+		x[0], x[1] = g.Uniform(-1, 1), g.Uniform(-1, 1)
+		pred := mathx.Dot(w, x) + b
+		truth := mathx.Dot(m.Weights, x) + m.Bias + g.Normal(0, m.Noise)
+		acc.Add((pred - truth) * (pred - truth))
+	}
+	if math.Abs(acc.Mean()-m.TrueRisk(w, b))/m.TrueRisk(w, b) > 0.03 {
+		t.Errorf("TrueRisk = %v, MC = %v", m.TrueRisk(w, b), acc.Mean())
+	}
+}
+
+func TestLogisticModelGenerate(t *testing.T) {
+	g := rng.New(9)
+	m := LogisticModel{Weights: []float64{5, 0}, Bias: 0}
+	d := m.Generate(5000, g)
+	// With a strong weight on x0, the label should usually match sign(x0).
+	agree := 0
+	for _, e := range d.Examples {
+		if e.Y != 1 && e.Y != -1 {
+			t.Fatalf("label must be ±1, got %v", e.Y)
+		}
+		if (e.X[0] > 0) == (e.Y > 0) {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(d.Len()); frac < 0.75 {
+		t.Errorf("sign agreement %v too low for a strong model", frac)
+	}
+}
+
+func TestLogisticBayesError(t *testing.T) {
+	g := rng.New(11)
+	// Zero weights: p = 1/2 everywhere, Bayes error = 1/2.
+	m := LogisticModel{Weights: []float64{0}, Bias: 0}
+	if got := m.BayesError(10000, g); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("BayesError of coin flip = %v", got)
+	}
+	// Strong model: Bayes error well below 1/2.
+	strong := LogisticModel{Weights: []float64{10}, Bias: 0}
+	if got := strong.BayesError(20000, g); got > 0.2 {
+		t.Errorf("BayesError of strong model = %v", got)
+	}
+}
+
+func TestGaussianMixture(t *testing.T) {
+	g := rng.New(13)
+	m := GaussianMixture{Means: []float64{-2, 2}, Sigmas: []float64{0.5, 0.5}, Weights: []float64{1, 1}}
+	d := m.Generate(20000, g)
+	var near int
+	for _, e := range d.Examples {
+		x := e.X[0]
+		if math.Abs(x+2) < 1.5 || math.Abs(x-2) < 1.5 {
+			near++
+		}
+	}
+	if frac := float64(near) / float64(d.Len()); frac < 0.95 {
+		t.Errorf("mixture samples not near modes: %v", frac)
+	}
+	// Density integrates to ~1 on a wide grid.
+	var integral float64
+	for _, x := range mathx.Linspace(-8, 8, 2001) {
+		integral += m.Density(x)
+	}
+	integral *= 16.0 / 2000
+	if math.Abs(integral-1) > 1e-3 {
+		t.Errorf("density integral = %v", integral)
+	}
+}
+
+func TestGaussianMixturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched components should panic")
+		}
+	}()
+	GaussianMixture{Means: []float64{0}, Sigmas: []float64{1, 2}, Weights: []float64{1}}.Generate(1, rng.New(1))
+}
+
+func TestBernoulliTable(t *testing.T) {
+	g := rng.New(17)
+	b := BernoulliTable{P: 0.3}
+	d := b.Generate(100000, g)
+	ones := CountOnes(d)
+	if frac := float64(ones) / 100000; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("ones fraction = %v", frac)
+	}
+	bits := b.FromBits([]int{1, 0, 1, 1})
+	if CountOnes(bits) != 3 || bits.Len() != 4 {
+		t.Error("FromBits")
+	}
+}
+
+func TestLogPMFOfCount(t *testing.T) {
+	b := BernoulliTable{P: 0.4}
+	n := 10
+	// PMF sums to 1.
+	var logs []float64
+	for k := 0; k <= n; k++ {
+		logs = append(logs, b.LogPMFOfCount(n, k))
+	}
+	if total := mathx.LogSumExp(logs); !mathx.AlmostEqual(total, 0, 1e-10) {
+		t.Errorf("PMF log-total = %v, want 0", total)
+	}
+	// Known value: P(k=0) = 0.6^10.
+	if got := b.LogPMFOfCount(n, 0); !mathx.AlmostEqual(got, 10*math.Log(0.6), 1e-10) {
+		t.Errorf("LogPMF(0) = %v", got)
+	}
+	if !math.IsInf(b.LogPMFOfCount(5, 6), -1) || !math.IsInf(b.LogPMFOfCount(5, -1), -1) {
+		t.Error("out-of-range count must have log-prob -Inf")
+	}
+	// Degenerate p: P=1 puts all mass on k=n.
+	sure := BernoulliTable{P: 1}
+	if got := sure.LogPMFOfCount(3, 3); got != 0 {
+		t.Errorf("P=1 LogPMF(3 of 3) = %v", got)
+	}
+}

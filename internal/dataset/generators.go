@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// LinearModel generates regression data Y = w·X + b + N(0, noise²) with
+// features drawn uniformly from [-1, 1]^d. It is the workload for the
+// private-regression experiment (E9).
+type LinearModel struct {
+	Weights []float64 // true coefficient vector w
+	Bias    float64   // intercept b
+	Noise   float64   // observation noise standard deviation (>= 0)
+}
+
+// Generate draws n examples using g.
+func (m LinearModel) Generate(n int, g *rng.RNG) *Dataset {
+	d := &Dataset{Examples: make([]Example, 0, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, len(m.Weights))
+		for j := range x {
+			x[j] = g.Uniform(-1, 1)
+		}
+		y := mathx.Dot(m.Weights, x) + m.Bias
+		if m.Noise > 0 {
+			y += g.Normal(0, m.Noise)
+		}
+		d.Append(Example{X: x, Y: y})
+	}
+	return d
+}
+
+// TrueRisk returns the expected squared-error risk of predicting with
+// coefficients w and intercept b under this model: the irreducible noise
+// variance plus the coefficient-error term E[(Δw·X + Δb)²] with
+// X ~ U[-1,1]^d (so E[XᵢXⱼ] = δᵢⱼ/3).
+func (m LinearModel) TrueRisk(w []float64, b float64) float64 {
+	risk := m.Noise * m.Noise
+	db := b - m.Bias
+	risk += db * db
+	for j := range m.Weights {
+		dw := w[j] - m.Weights[j]
+		risk += dw * dw / 3
+	}
+	return risk
+}
+
+// LogisticModel generates binary classification data with
+// P(Y=+1 | X) = sigmoid(w·X + b) and features uniform on [-1, 1]^d.
+// Labels are ±1. It is the workload for the PAC-Bayes and baseline
+// comparison experiments (E3, E4, E7).
+type LogisticModel struct {
+	Weights []float64
+	Bias    float64
+}
+
+// Generate draws n examples using g.
+func (m LogisticModel) Generate(n int, g *rng.RNG) *Dataset {
+	d := &Dataset{Examples: make([]Example, 0, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, len(m.Weights))
+		for j := range x {
+			x[j] = g.Uniform(-1, 1)
+		}
+		p := mathx.Sigmoid(mathx.Dot(m.Weights, x) + m.Bias)
+		y := -1.0
+		if g.Bernoulli(p) {
+			y = 1.0
+		}
+		d.Append(Example{X: x, Y: y})
+	}
+	return d
+}
+
+// BayesError estimates the Bayes-optimal 0-1 risk of the model by Monte
+// Carlo with nMC feature draws: E[min(p, 1-p)].
+func (m LogisticModel) BayesError(nMC int, g *rng.RNG) float64 {
+	var w mathx.Welford
+	x := make([]float64, len(m.Weights))
+	for i := 0; i < nMC; i++ {
+		for j := range x {
+			x[j] = g.Uniform(-1, 1)
+		}
+		p := mathx.Sigmoid(mathx.Dot(m.Weights, x) + m.Bias)
+		w.Add(math.Min(p, 1-p))
+	}
+	return w.Mean()
+}
+
+// GaussianMixture generates unlabelled 1-D data from a mixture of normal
+// components; it is the workload for the density-estimation experiment
+// (E10). Weights need not be normalized.
+type GaussianMixture struct {
+	Means   []float64
+	Sigmas  []float64
+	Weights []float64
+}
+
+// Generate draws n scalar examples (stored in X[0], Y unused).
+func (m GaussianMixture) Generate(n int, g *rng.RNG) *Dataset {
+	if len(m.Means) != len(m.Sigmas) || len(m.Means) != len(m.Weights) {
+		panic("dataset: GaussianMixture component length mismatch")
+	}
+	d := &Dataset{Examples: make([]Example, 0, n)}
+	for i := 0; i < n; i++ {
+		k := g.Categorical(m.Weights)
+		x := g.Normal(m.Means[k], m.Sigmas[k])
+		d.Append(Example{X: []float64{x}})
+	}
+	return d
+}
+
+// Density returns the true mixture density at x.
+func (m GaussianMixture) Density(x float64) float64 {
+	total := mathx.SumSlice(m.Weights)
+	var p float64
+	for k := range m.Means {
+		z := (x - m.Means[k]) / m.Sigmas[k]
+		p += m.Weights[k] / total * math.Exp(-0.5*z*z) / (m.Sigmas[k] * math.Sqrt(2*math.Pi))
+	}
+	return p
+}
+
+// BernoulliTable generates datasets of n binary records (each example is a
+// single bit in X[0]) with success probability p. Because each record
+// takes one of two values, a dataset is summarized exactly by its count of
+// ones, making the full sample space enumerable — the substrate for the
+// exact information-channel computations of Figure 1 (E6, E8).
+type BernoulliTable struct {
+	P float64
+}
+
+// Generate draws n binary examples.
+func (b BernoulliTable) Generate(n int, g *rng.RNG) *Dataset {
+	d := &Dataset{Examples: make([]Example, 0, n)}
+	for i := 0; i < n; i++ {
+		v := 0.0
+		if g.Bernoulli(b.P) {
+			v = 1.0
+		}
+		d.Append(Example{X: []float64{v}})
+	}
+	return d
+}
+
+// FromBits builds the dataset corresponding to an explicit bit pattern.
+func (b BernoulliTable) FromBits(bits []int) *Dataset {
+	d := &Dataset{Examples: make([]Example, 0, len(bits))}
+	for _, bit := range bits {
+		v := 0.0
+		if bit != 0 {
+			v = 1.0
+		}
+		d.Append(Example{X: []float64{v}})
+	}
+	return d
+}
+
+// CountOnes returns the number of records equal to one in a binary dataset.
+func CountOnes(d *Dataset) int {
+	c := 0
+	for _, e := range d.Examples {
+		if e.X[0] != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// LogPMFOfCount returns the log-probability that a BernoulliTable sample
+// of size n has exactly k ones: log C(n,k) + k log p + (n−k) log(1−p).
+func (b BernoulliTable) LogPMFOfCount(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return logChoose(n, k) + mathx.XLogY(float64(k), b.P) + mathx.XLogY(float64(n-k), 1-b.P)
+}
+
+// logChoose returns log C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/dataset"
+	"repro/internal/gibbs"
+	"repro/internal/infotheory"
+	"repro/internal/learn"
+	"repro/internal/mathx"
+	"repro/internal/pacbayes"
+	"repro/internal/rng"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the
+// prior on Θ (A1), how λ is chosen (A2), exact finite-Θ sampling vs MCMC
+// (A3), which PAC-Bayes bound to certify with (A4), and Shannon vs
+// min-entropy leakage accounting (A5).
+
+// A1PriorAblation varies the prior π on Θ (uniform vs Gaussian at several
+// widths) and reports the Gibbs posterior's expected empirical risk,
+// KL(π̂‖π), and Catoni bound. The paper's bounds hold "for any π"; the
+// ablation shows the bound's sensitivity to prior mismatch while the
+// privacy certificate is untouched (the prior is data-independent).
+func A1PriorAblation(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	n := 200
+	model := dataset.LogisticModel{Weights: []float64{2, -1.5}, Bias: 0.3}
+	d := model.Generate(n, g.Split())
+	grid := learn.NewGrid(-2, 2, 2, 17)
+	loss := learn.ZeroOneLoss{}
+	risks := learn.RiskVector(loss, grid.Thetas(), d)
+	lambda := pacbayes.SqrtNLambda(n, 2)
+	delta := 0.05
+	t := &Table{
+		ID:      "A1",
+		Title:   "Prior ablation: Gibbs posterior under different priors pi (lambda fixed, n=200)",
+		Columns: []string{"prior", "E emp risk", "KL(post||prior)", "catoni bound", "privacy eps (unchanged)"},
+	}
+	priors := []struct {
+		name string
+		logp []float64
+	}{
+		{"uniform", grid.UniformLogPrior()},
+		{"gaussian(2.0)", grid.GaussianLogPrior(2.0)},
+		{"gaussian(1.0)", grid.GaussianLogPrior(1.0)},
+		{"gaussian(0.3)", grid.GaussianLogPrior(0.3)},
+	}
+	eps := 2 * lambda * learn.SwapSensitivity(loss, n)
+	var bounds []float64
+	for _, pr := range priors {
+		post, err := pacbayes.GibbsLogPosterior(pr.logp, risks, lambda)
+		if err != nil {
+			return nil, err
+		}
+		st, err := pacbayes.StatsFor(post, pr.logp, risks)
+		if err != nil {
+			return nil, err
+		}
+		b, err := pacbayes.CatoniBound(st.ExpEmpRisk, st.KL, lambda, n, delta)
+		if err != nil {
+			return nil, err
+		}
+		bounds = append(bounds, b)
+		t.AddRow(pr.name, f(st.ExpEmpRisk), f(st.KL), f(b), f(eps))
+	}
+	// Shape: an over-concentrated prior (gaussian 0.3, far from the risk
+	// minimizer at the box edge for this model) should pay in the bound.
+	worstIsNarrow := mathx.ArgMax(bounds) == len(bounds)-1
+	t.AddNote("expected shape: privacy is identical across priors (prior is data-independent); a badly mismatched narrow prior inflates KL and the bound")
+	t.AddNote("narrowest prior has the worst bound: %v", worstIsNarrow)
+	return t, nil
+}
+
+// A2LambdaSelection compares the √n heuristic against bound-optimal λ
+// selection over a grid with union-bound correction (pacbayes.SelectLambda),
+// reporting the certified bound and the implied privacy of each choice.
+// It quantifies the privacy-utility knob that Section 4 of the paper
+// describes: λ simultaneously sets the bound and ε.
+func A2LambdaSelection(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	model := dataset.LogisticModel{Weights: []float64{2, -1.5}, Bias: 0.3}
+	grid := learn.NewGrid(-2, 2, 2, 17)
+	loss := learn.ZeroOneLoss{}
+	delta := 0.05
+	t := &Table{
+		ID:      "A2",
+		Title:   "Lambda selection ablation: sqrt(n) heuristic vs union-bound grid selection",
+		Columns: []string{"n", "heuristic lambda", "heuristic bound", "selected lambda", "selected bound", "implied eps (selected)"},
+	}
+	allOK := true
+	for _, n := range []int{100, 400, 1600} {
+		d := model.Generate(n, g.Split())
+		risks := learn.RiskVector(loss, grid.Thetas(), d)
+		logPrior := grid.UniformLogPrior()
+		heur := pacbayes.SqrtNLambda(n, 2)
+		post, err := pacbayes.GibbsLogPosterior(logPrior, risks, heur)
+		if err != nil {
+			return nil, err
+		}
+		st, err := pacbayes.StatsFor(post, logPrior, risks)
+		if err != nil {
+			return nil, err
+		}
+		heurBound, err := pacbayes.CatoniBound(st.ExpEmpRisk, st.KL, heur, n, delta)
+		if err != nil {
+			return nil, err
+		}
+		cands := mathx.Logspace(heur/16, heur*16, 9)
+		sel, err := pacbayes.SelectLambda(logPrior, risks, cands, n, delta)
+		if err != nil {
+			return nil, err
+		}
+		// The heuristic at corrected confidence delta/9 would be looser;
+		// fair comparison: selection bound must beat the heuristic's
+		// full-delta bound or come close (within the union-bound tax).
+		ok := sel.Bound <= heurBound*1.1
+		allOK = allOK && ok
+		impliedEps := 2 * sel.Lambda * learn.SwapSensitivity(loss, n)
+		t.AddRow(fmt.Sprint(n), f(heur), f(heurBound), f(sel.Lambda), f(sel.Bound), f(impliedEps))
+	}
+	t.AddNote("expected shape: grid selection matches or beats the heuristic despite paying the union-bound tax; larger selected lambda means weaker implied privacy — the Section-4 tradeoff made explicit")
+	t.AddNote("selection within 10%% of heuristic or better at every n: %v", allOK)
+	return t, nil
+}
+
+// A3MCMCvsExact compares the exact finite-Θ Gibbs posterior against MCMC
+// samplers (random-walk MH and MALA) targeting the same continuous Gibbs
+// density, on a 1-D private mean-estimation problem where the posterior
+// mean is computable both ways. It validates the computational pathway
+// McSherry–Talwar leave open ("not always computationally efficient").
+func A3MCMCvsExact(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	mcmcSamples := 20000
+	if opts.Quick {
+		mcmcSamples = 4000
+	}
+	n := 100
+	data := dataset.BernoulliTable{P: 0.3}.Generate(n, g.Split())
+	for i := range data.Examples {
+		data.Examples[i].Y = data.Examples[i].X[0]
+	}
+	loss := learn.NewClippedLoss(learn.AbsoluteLoss{}, 1)
+	lambda := 40.0
+	t := &Table{
+		ID:      "A3",
+		Title:   "Exact finite-Theta Gibbs vs MCMC on the continuous Gibbs density (mean estimation, n=100, lambda=40)",
+		Columns: []string{"method", "posterior mean", "|error| vs exact-fine", "acceptance", "ESS"},
+	}
+	// Reference: very fine grid (2001 points) exact posterior mean.
+	fine := make([][]float64, 2001)
+	for i, v := range mathx.Linspace(0, 1, 2001) {
+		fine[i] = []float64{v}
+	}
+	estFine, err := gibbs.New(loss, fine, nil, lambda)
+	if err != nil {
+		return nil, err
+	}
+	ref := estFine.PosteriorMeanTheta(data)[0]
+	t.AddRow("exact grid (2001 pts)", f(ref), "0", "-", "-")
+	// Coarse grid.
+	coarse := make([][]float64, 21)
+	for i, v := range mathx.Linspace(0, 1, 21) {
+		coarse[i] = []float64{v}
+	}
+	estCoarse, err := gibbs.New(loss, coarse, nil, lambda)
+	if err != nil {
+		return nil, err
+	}
+	cm := estCoarse.PosteriorMeanTheta(data)[0]
+	t.AddRow("exact grid (21 pts)", f(cm), f(math.Abs(cm-ref)), "-", "-")
+	// MCMC on the continuous density with a box prior.
+	target := gibbs.ContinuousTarget(loss, data, lambda, gibbs.BoxLogPrior(0, 1))
+	chainMean := func(samples [][]float64) (float64, []float64) {
+		var w mathx.Welford
+		chain := make([]float64, len(samples))
+		for i, x := range samples {
+			w.Add(x[0])
+			chain[i] = x[0]
+		}
+		return w.Mean(), chain
+	}
+	mh := &gibbs.MHSampler{LogTarget: target, Step: 0.08}
+	sMH, rateMH, err := mh.Run([]float64{0.5}, 2000, mcmcSamples, 2, g.Split())
+	if err != nil {
+		return nil, err
+	}
+	mMH, chainMH := chainMean(sMH)
+	t.AddRow("RW Metropolis-Hastings", f(mMH), f(math.Abs(mMH-ref)), f(rateMH), f(gibbs.EffectiveSampleSize(chainMH)))
+	mala := &gibbs.MALASampler{LogTarget: target, Tau: 0.06}
+	sMALA, rateMALA, err := mala.Run([]float64{0.5}, 2000, mcmcSamples, 2, g.Split())
+	if err != nil {
+		return nil, err
+	}
+	mMALA, chainMALA := chainMean(sMALA)
+	t.AddRow("MALA", f(mMALA), f(math.Abs(mMALA-ref)), f(rateMALA), f(gibbs.EffectiveSampleSize(chainMALA)))
+	// MCMC should match the exact reference to ~1e-2; the coarse grid is
+	// allowed its discretization error (grid spacing 0.05).
+	agrees := math.Abs(mMH-ref) < 0.02 && math.Abs(mMALA-ref) < 0.02 && math.Abs(cm-ref) < 0.05
+	t.AddNote("expected shape: MH and MALA agree with the fine-grid exact posterior mean to ~1e-2; the 21-point grid to within its 0.05 spacing")
+	t.AddNote("all methods agree with the exact reference: %v", agrees)
+	return t, nil
+}
+
+// A4BoundComparison evaluates the three classical PAC-Bayes bounds
+// (Catoni at the heuristic λ, McAllester, Seeger) on the same Gibbs
+// posterior across n — the "which bound should certify the learner"
+// ablation.
+func A4BoundComparison(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	model := dataset.LogisticModel{Weights: []float64{2, -1.5}, Bias: 0.3}
+	grid := learn.NewGrid(-2, 2, 2, 17)
+	loss := learn.ZeroOneLoss{}
+	delta := 0.05
+	t := &Table{
+		ID:      "A4",
+		Title:   "PAC-Bayes bound comparison on the Gibbs posterior (delta=0.05)",
+		Columns: []string{"n", "E emp risk", "catoni", "mcallester", "seeger", "seeger<=mcallester"},
+	}
+	allOK := true
+	for _, n := range []int{100, 400, 1600} {
+		d := model.Generate(n, g.Split())
+		risks := learn.RiskVector(loss, grid.Thetas(), d)
+		logPrior := grid.UniformLogPrior()
+		lambda := pacbayes.SqrtNLambda(n, 2)
+		post, err := pacbayes.GibbsLogPosterior(logPrior, risks, lambda)
+		if err != nil {
+			return nil, err
+		}
+		st, err := pacbayes.StatsFor(post, logPrior, risks)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := pacbayes.CompareBounds(st.ExpEmpRisk, st.KL, lambda, n, delta)
+		if err != nil {
+			return nil, err
+		}
+		ok := cb.Seeger <= cb.McAllester+1e-9
+		allOK = allOK && ok
+		t.AddRow(fmt.Sprint(n), f(st.ExpEmpRisk), f(cb.Catoni), f(cb.McAllester), f(cb.Seeger), fmt.Sprint(ok))
+	}
+	t.AddNote("expected shape: all bounds shrink with n; Seeger dominates McAllester at every n (kl-inversion is tighter)")
+	t.AddNote("all rows ok: %v", allOK)
+	return t, nil
+}
+
+// A5LeakageMeasures compares Shannon mutual information against Alvim et
+// al.'s min-entropy leakage on the same Gibbs channel — the comparison of
+// information measures the paper's Section 5 proposes.
+func A5LeakageMeasures(opts Options) (*Table, error) {
+	n := 10
+	points := 7
+	if opts.Quick {
+		n = 8
+		points = 5
+	}
+	inputs, logPX := channel.CountSampleSpace(n, 0.5)
+	thetas := meanThetaGrid(points)
+	t := &Table{
+		ID:      "A5",
+		Title:   fmt.Sprintf("Leakage measures on the Gibbs channel (binary mean estimation, n=%d): Shannon vs min-entropy", n),
+		Columns: []string{"eps/record", "shannon MI bits", "min-entropy leakage bits", "min-entropy capacity bits", "post vuln"},
+	}
+	monotone := true
+	prevME := -1.0
+	for _, eps := range []float64{0.05, 0.2, 0.8, 3.2} {
+		lambda := gibbs.LambdaForEpsilon(eps, meanLoss{}, n)
+		est, err := gibbs.New(meanLoss{}, thetas, nil, lambda)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := channel.FromMechanism(inputs, logPX, est)
+		if err != nil {
+			return nil, err
+		}
+		mi, err := ch.MutualInformation()
+		if err != nil {
+			return nil, err
+		}
+		me, err := ch.MinEntropyLeakage()
+		if err != nil {
+			return nil, err
+		}
+		mec, err := ch.MinEntropyCapacity()
+		if err != nil {
+			return nil, err
+		}
+		_, post, err := ch.BayesVulnerabilities()
+		if err != nil {
+			return nil, err
+		}
+		if me < prevME-1e-9 {
+			monotone = false
+		}
+		prevME = me
+		t.AddRow(f(eps), f(infotheory.Nats2Bits(mi)), f(infotheory.Nats2Bits(me)), f(infotheory.Nats2Bits(mec)), f(post))
+	}
+	t.AddNote("expected shape: both measures grow with eps; min-entropy leakage <= its capacity; posterior vulnerability grows toward 1 as privacy weakens")
+	t.AddNote("min-entropy leakage monotone in eps: %v", monotone)
+	return t, nil
+}

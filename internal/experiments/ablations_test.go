@@ -1,0 +1,156 @@
+package experiments
+
+import "testing"
+
+func TestA1(t *testing.T) {
+	tab, err := A1PriorAblation(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	// Privacy column identical across priors.
+	eps := tab.Rows[0][4]
+	for _, row := range tab.Rows {
+		if row[4] != eps {
+			t.Errorf("privacy changed with prior: %v", row)
+		}
+	}
+}
+
+func TestA2(t *testing.T) {
+	tab, err := A2LambdaSelection(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+}
+
+func TestA3(t *testing.T) {
+	tab, err := A3MCMCvsExact(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestA4(t *testing.T) {
+	tab, err := A4BoundComparison(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("A4 row failed: %v", row)
+		}
+	}
+}
+
+func TestA5(t *testing.T) {
+	tab, err := A5LeakageMeasures(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+}
+
+func TestIDsIncludeAblations(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 23 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if ids[12] != "A1" || ids[22] != "A11" {
+		t.Errorf("ablation ordering: %v", ids)
+	}
+}
+
+func TestA6(t *testing.T) {
+	tab, err := A6PermuteAndFlip(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("A6 row failed: %v", row)
+		}
+	}
+}
+
+func TestA7(t *testing.T) {
+	tab, err := A7MWEM(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+}
+
+func TestA8(t *testing.T) {
+	tab, err := A8NoisyGD(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	if len(tab.Rows) != 3 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestE11(t *testing.T) {
+	tab, err := E11ExpectationBound(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E11 row failed: %v", row)
+		}
+	}
+}
+
+func TestE12(t *testing.T) {
+	tab, err := E12Reconstruction(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	for _, row := range tab.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E12 row failed: %v", row)
+		}
+	}
+}
+
+func TestA9(t *testing.T) {
+	tab, err := A9LocalVsCentral(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+}
+
+func TestA10(t *testing.T) {
+	tab, err := A10PrivatePCA(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+}
+
+func TestA11(t *testing.T) {
+	tab, err := A11SparseVector(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVerdict(t, tab)
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/learn"
+	"repro/internal/mathx"
+	"repro/internal/mechanism"
+	"repro/internal/rng"
+)
+
+// newGibbsClassifier builds a zero-one-loss Gibbs learner over the grid.
+func newGibbsClassifier(grid *learn.Grid, epsilon float64) (*core.Learner, error) {
+	return core.NewLearner(core.Config{
+		Loss:    learn.ZeroOneLoss{},
+		Thetas:  grid.Thetas(),
+		Epsilon: epsilon,
+	})
+}
+
+// A6PermuteAndFlip compares the exponential mechanism against
+// permute-and-flip (McKenna–Sheldon) for private selection at equal ε:
+// exact expected quality gap and exact privacy audit for both. PF must
+// never lose on utility while satisfying the same budget — extending the
+// paper's "most general mechanism" with its modern refinement.
+func A6PermuteAndFlip(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	pairCount := 150
+	if opts.Quick {
+		pairCount = 30
+	}
+	grid := mathx.Linspace(0, 1, 15)
+	n := 41
+	quality := func(d *dataset.Dataset, u int) float64 {
+		c := grid[u]
+		var below float64
+		for _, e := range d.Examples {
+			if e.X[0] < c {
+				below++
+			}
+		}
+		return -math.Abs(below - float64(d.Len())/2)
+	}
+	gen := func(h *rng.RNG) *dataset.Dataset {
+		d := &dataset.Dataset{}
+		for i := 0; i < n; i++ {
+			d.Append(dataset.Example{X: []float64{h.Float64()}})
+		}
+		return d
+	}
+	t := &Table{
+		ID:      "A6",
+		Title:   "Selection mechanisms at equal eps: exponential mechanism vs permute-and-flip (private median, |U|=15)",
+		Columns: []string{"eps", "EM quality gap", "PF quality gap", "PF/EM", "EM audit", "PF audit", "both within eps"},
+	}
+	allOK := true
+	pfNeverWorse := true
+	for _, eps := range []float64{0.2, 0.8, 3.2} {
+		em, err := mechanism.NewExponential(quality, len(grid), 1, eps/2)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := mechanism.NewPermuteAndFlip(quality, len(grid), 1, eps)
+		if err != nil {
+			return nil, err
+		}
+		// Average exact quality gaps over sample datasets.
+		var gapEM, gapPF mathx.Welford
+		for r := 0; r < 40; r++ {
+			d := gen(g)
+			q := func(u int) float64 { return quality(d, u) }
+			gapEM.Add(mechanism.ExpectedQualityGap(em.LogProbabilities(d), q))
+			gapPF.Add(mechanism.ExpectedQualityGap(pf.LogProbabilities(d), q))
+		}
+		pairs := audit.RandomNeighborPairs(gen, pairCount, g)
+		auditEM := audit.ExactAudit(em, pairs)
+		auditPF := audit.ExactAudit(pf, pairs)
+		ok := auditEM <= eps+1e-9 && auditPF <= eps+1e-9
+		allOK = allOK && ok
+		if gapPF.Mean() > gapEM.Mean()+1e-9 {
+			pfNeverWorse = false
+		}
+		t.AddRow(f(eps), f(gapEM.Mean()), f(gapPF.Mean()), f(gapPF.Mean()/gapEM.Mean()),
+			f(auditEM), f(auditPF), fmt.Sprint(ok))
+	}
+	t.AddNote("expected shape: PF gap <= EM gap at every eps (McKenna-Sheldon dominance), both audits within the budget")
+	t.AddNote("both mechanisms within eps at every row: %v; PF never worse: %v", allOK, pfNeverWorse)
+	return t, nil
+}
+
+// A7MWEM reproduces the Hardt–Ligett–McSherry MWEM shape on interval
+// workloads: max query error of the private synthetic distribution vs ε
+// and n, against the uniform-distribution baseline.
+func A7MWEM(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	reps := 20
+	ns := []int{500, 5000}
+	epss := []float64{0.2, 1, 5}
+	if opts.Quick {
+		reps = 4
+		epss = []float64{1, 5}
+	}
+	domain := 16
+	queries := mechanism.IntervalQueries(domain)
+	t := &Table{
+		ID:      "A7",
+		Title:   fmt.Sprintf("MWEM private synthetic data: max interval-query error (domain=%d, %d queries, T=8)", domain, len(queries)),
+		Columns: []string{"n", "eps", "mwem max error", "uniform baseline", "improves"},
+	}
+	uniform := make([]float64, domain)
+	for v := range uniform {
+		uniform[v] = 1 / float64(domain)
+	}
+	allImprove := true
+	for _, n := range ns {
+		values := make([]int, n)
+		for i := range values {
+			if g.Bernoulli(0.8) {
+				values[i] = 2 + g.Intn(3)
+			} else {
+				values[i] = g.Intn(domain)
+			}
+		}
+		d := &dataset.Dataset{}
+		for _, v := range values {
+			d.Append(dataset.Example{X: []float64{float64(v)}})
+		}
+		for _, eps := range epss {
+			m, err := mechanism.NewMWEM(domain, queries, 8, eps)
+			if err != nil {
+				return nil, err
+			}
+			truth := m.Histogram(d)
+			baseline := m.MaxQueryError(uniform, truth)
+			var errW mathx.Welford
+			for r := 0; r < reps; r++ {
+				synth, err := m.Run(d, g)
+				if err != nil {
+					return nil, err
+				}
+				errW.Add(m.MaxQueryError(synth, truth))
+			}
+			improves := errW.Mean() < baseline
+			if eps >= 1 && !improves {
+				allImprove = false
+			}
+			t.AddRow(fmt.Sprint(n), f(eps), f(errW.Mean()), f(baseline), fmt.Sprint(improves))
+		}
+	}
+	t.AddNote("expected shape: error decreases with eps and n; at eps >= 1 MWEM beats the uniform baseline decisively (HLM12 shape)")
+	t.AddNote("all eps>=1 rows improve on uniform: %v", allImprove)
+	return t, nil
+}
+
+// A8NoisyGD adds iterative noisy gradient descent to the private-learner
+// comparison: test error vs ε for NoisyGD (with its composed (ε, δ)
+// budget) alongside the Gibbs estimator at matching per-run ε. NoisyGD's
+// δ > 0 makes the comparison approximate but shows the expected ordering.
+func A8NoisyGD(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	reps := 15
+	if opts.Quick {
+		reps = 3
+	}
+	model := dataset.LogisticModel{Weights: []float64{2, -1.5}, Bias: 0}
+	train := model.Generate(2000, g.Split()).NormalizeRows()
+	test := model.Generate(4000, g.Split()).NormalizeRows()
+	grid := learn.NewGrid(-2, 2, 2, 17)
+	t := &Table{
+		ID:      "A8",
+		Title:   "Iterative vs one-shot private learning: NoisyGD (composed (eps,delta)) vs Gibbs (pure eps), n=2000",
+		Columns: []string{"target eps", "noisygd eps (composed)", "noisygd delta", "noisygd err", "gibbs err", "non-private err"},
+	}
+	nonPriv, err := learn.LogisticRegression(train, 1e-4, learn.GDOptions{MaxIter: 400})
+	if err != nil && err != learn.ErrNotConverged {
+		return nil, err
+	}
+	nonPrivErr := learn.ClassificationError(nonPriv, test)
+	converges := true
+	for _, targetEps := range []float64{0.5, 2, 8} {
+		// Calibrate the per-step budget so the advanced composition lands
+		// near the target: eps0 ≈ target / sqrt(2·T·ln(1/δ')).
+		steps := 30
+		eps0 := targetEps / math.Sqrt(2*float64(steps)*math.Log(1e6))
+		if eps0 > 1 {
+			eps0 = 1
+		}
+		var gdErr mathx.Welford
+		var composed float64
+		var delta float64
+		for r := 0; r < reps; r++ {
+			res, err := learn.NoisyGD(train, 2, learn.LogisticGradient, learn.NoisyGDConfig{
+				Steps:        steps,
+				LearningRate: 0.8,
+				ClipNorm:     1,
+				StepEpsilon:  eps0,
+				StepDelta:    1e-8,
+			}, g)
+			if err != nil {
+				return nil, err
+			}
+			gdErr.Add(learn.ClassificationError(res.Theta, test))
+			composed = res.Guarantee.Epsilon
+			delta = res.Guarantee.Delta
+		}
+		learner, err := newGibbsClassifier(grid, targetEps)
+		if err != nil {
+			return nil, err
+		}
+		var gibbsErr mathx.Welford
+		for r := 0; r < reps; r++ {
+			fit, err := learner.Fit(train, g)
+			if err != nil {
+				return nil, err
+			}
+			gibbsErr.Add(learn.ClassificationError(fit.Theta, test))
+		}
+		if targetEps == 8.0 && gdErr.Mean() > nonPrivErr+0.1 {
+			converges = false
+		}
+		t.AddRow(f(targetEps), f(composed), fmt.Sprintf("%.1e", delta), f(gdErr.Mean()), f(gibbsErr.Mean()), f(nonPrivErr))
+	}
+	t.AddNote("expected shape: both methods approach the non-private error as eps grows; NoisyGD spends a delta > 0 that the pure-eps Gibbs estimator does not need")
+	t.AddNote("noisygd near non-private at the largest budget: %v", converges)
+	return t, nil
+}
+
+// A10PrivatePCA measures the symmetric-input-perturbation DP-PCA: the
+// fraction of true variance captured by the private top component, swept
+// over (n, ε), against the exact PCA ceiling.
+func A10PrivatePCA(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	reps := 25
+	ns := []int{500, 2000, 8000}
+	epss := []float64{0.2, 1, 5}
+	if opts.Quick {
+		reps = 5
+		ns = []int{500, 2000}
+		epss = []float64{1, 5}
+	}
+	t := &Table{
+		ID:      "A10",
+		Title:   "Private PCA (symmetric input perturbation): captured variance of the top component",
+		Columns: []string{"n", "eps", "private captured", "exact captured", "ratio"},
+	}
+	improves := true
+	var first, last float64
+	for _, n := range ns {
+		d := pcaData(g.Split(), n)
+		trueC := learn.SecondMomentMatrix(d)
+		exact, err := learn.PCA(d)
+		if err != nil {
+			return nil, err
+		}
+		exactVar := learn.CapturedVariance(trueC, exact.Components, 1)
+		for _, eps := range epss {
+			var w mathx.Welford
+			for r := 0; r < reps; r++ {
+				res, err := learn.PrivatePCA(d, eps, g)
+				if err != nil {
+					return nil, err
+				}
+				w.Add(learn.CapturedVariance(trueC, res.Components, 1))
+			}
+			if n == ns[0] && eps == epss[0] {
+				first = w.Mean()
+			}
+			last = w.Mean()
+			t.AddRow(fmt.Sprint(n), f(eps), f(w.Mean()), f(exactVar), f(w.Mean()/exactVar))
+		}
+	}
+	if last <= first {
+		improves = false
+	}
+	t.AddNote("expected shape: captured variance rises toward the exact ceiling with both n and eps (noise scale is 2d/(n*eps))")
+	t.AddNote("largest (n,eps) beats smallest: %v", improves)
+	return t, nil
+}
+
+// pcaData generates anisotropic rows in the unit ball for the PCA
+// experiments.
+func pcaData(g *rng.RNG, n int) *dataset.Dataset {
+	d := &dataset.Dataset{}
+	dir := []float64{3, 1, 0.2}
+	dirNorm := mathx.L2Norm(dir)
+	for i := 0; i < n; i++ {
+		s := g.Normal(0, 0.5)
+		x := make([]float64, 3)
+		for j := range x {
+			x[j] = s*dir[j]/dirNorm + g.Normal(0, 0.05)
+		}
+		d.Append(dataset.Example{X: x})
+	}
+	return d.NormalizeRows()
+}
+
+// A11SparseVector exercises the sparse vector technique: a stream of
+// counting queries against a threshold, measuring precision and recall of
+// the above-threshold reports as ε varies. SVT's budget pays only for
+// positive reports, so even many negative queries stay cheap — the
+// adaptive-query capability the one-shot mechanisms lack.
+func A11SparseVector(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	reps := 40
+	if opts.Quick {
+		reps = 8
+	}
+	n := 1000
+	d := dataset.BernoulliTable{P: 0.5}.Generate(n, g.Split())
+	// Queries: counts of ones in 40 fixed random subsets of the records;
+	// half the subsets are large (above threshold), half small.
+	numQueries := 40
+	threshold := 150.0
+	subsets := make([][]int, numQueries)
+	truth := make([]bool, numQueries)
+	for qi := range subsets {
+		// Even queries use subsets of 400 records (expected ≈200 ones,
+		// above the threshold); odd queries use 100 (≈50 ones, below).
+		size := 100
+		if qi%2 == 0 {
+			size = 400
+		}
+		subsets[qi] = g.Perm(n)[:size]
+	}
+	queryFns := make([]func(*dataset.Dataset) float64, numQueries)
+	for qi, subset := range subsets {
+		sub := subset
+		queryFns[qi] = func(dd *dataset.Dataset) float64 {
+			var c float64
+			for _, idx := range sub {
+				if dd.Examples[idx].X[0] == 1 {
+					c++
+				}
+			}
+			return c
+		}
+		truth[qi] = queryFns[qi](d) >= threshold
+	}
+	t := &Table{
+		ID:      "A11",
+		Title:   fmt.Sprintf("Sparse vector technique: %d adaptive counting queries, threshold %.0f, n=%d", numQueries, threshold, n),
+		Columns: []string{"eps", "precision", "recall", "queries answered", "positives found"},
+	}
+	improves := true
+	var firstF1, lastF1 float64
+	for _, eps := range []float64{0.1, 0.5, 2, 8} {
+		var prec, rec mathx.Welford
+		var answered, found mathx.Welford
+		for r := 0; r < reps; r++ {
+			sv, err := mechanism.NewSparseVector(d, threshold, eps, numQueries, g.Split())
+			if err != nil {
+				return nil, err
+			}
+			tp, fp, fn := 0, 0, 0
+			asked := 0
+			positives := 0
+			for qi := 0; qi < numQueries; qi++ {
+				got, err := sv.Query(queryFns[qi])
+				if err != nil {
+					break
+				}
+				asked++
+				if got {
+					positives++
+					if truth[qi] {
+						tp++
+					} else {
+						fp++
+					}
+				} else if truth[qi] {
+					fn++
+				}
+			}
+			if tp+fp > 0 {
+				prec.Add(float64(tp) / float64(tp+fp))
+			}
+			if tp+fn > 0 {
+				rec.Add(float64(tp) / float64(tp+fn))
+			}
+			answered.Add(float64(asked))
+			found.Add(float64(positives))
+		}
+		f1 := 2 * prec.Mean() * rec.Mean() / math.Max(prec.Mean()+rec.Mean(), 1e-12)
+		if eps == 0.1 {
+			firstF1 = f1
+		}
+		lastF1 = f1
+		t.AddRow(f(eps), f(prec.Mean()), f(rec.Mean()), f(answered.Mean()), f(found.Mean()))
+	}
+	if lastF1 <= firstF1 {
+		improves = false
+	}
+	t.AddNote("expected shape: precision and recall rise toward 1 as eps grows; at tiny eps the noised threshold scrambles the answers")
+	t.AddNote("F1 improves from smallest to largest eps: %v", improves)
+	return t, nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/learn"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// E7BaselineComparison positions the Gibbs estimator against the
+// Chaudhuri et al. baselines the paper cites (Section 1): non-private
+// ERM, output perturbation, and objective perturbation, on DP logistic
+// classification. Test error is averaged over repetitions, per (n, ε).
+func E7BaselineComparison(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	reps := 30
+	testN := 4000
+	ns := []int{250, 1000, 4000}
+	epss := []float64{0.1, 0.5, 2}
+	if opts.Quick {
+		reps = 5
+		testN = 1500
+		ns = []int{250, 1000}
+		epss = []float64{0.5, 2}
+	}
+	model := dataset.LogisticModel{Weights: []float64{2, -1.5}, Bias: 0}
+	grid := learn.NewGrid(-2, 2, 2, 17)
+	lambdaReg := 0.01
+	gd := learn.GDOptions{MaxIter: 400, Tol: 1e-7}
+	t := &Table{
+		ID:      "E7",
+		Title:   "DP logistic classification: Gibbs vs Chaudhuri-et-al. baselines (test 0-1 error)",
+		Columns: []string{"n", "eps", "non-private ERM", "gibbs", "output pert", "objective pert"},
+	}
+	test := model.Generate(testN, g.Split()).NormalizeRows()
+	bayes := model.BayesError(20_000, g.Split())
+	shapeOK := true
+	for _, n := range ns {
+		train := model.Generate(n, g.Split()).NormalizeRows()
+		// Non-private ERM (deterministic given the data).
+		erm, err := learn.LogisticRegression(train, lambdaReg, gd)
+		if err != nil && err != learn.ErrNotConverged {
+			return nil, err
+		}
+		ermErr := learn.ClassificationError(erm, test)
+		for _, eps := range epss {
+			learner, err := core.NewLearner(core.Config{
+				Loss:    learn.ZeroOneLoss{},
+				Thetas:  grid.Thetas(),
+				Epsilon: eps,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var gibbsErr, outErr, objErr mathx.Welford
+			for r := 0; r < reps; r++ {
+				fit, err := learner.Fit(train, g)
+				if err != nil {
+					return nil, err
+				}
+				gibbsErr.Add(learn.ClassificationError(fit.Theta, test))
+				thOut, err := learn.OutputPerturbationLogistic(train, lambdaReg, eps, gd, g)
+				if err != nil {
+					return nil, err
+				}
+				outErr.Add(learn.ClassificationError(thOut, test))
+				thObj, err := learn.ObjectivePerturbationLogistic(train, lambdaReg, eps, gd, g)
+				if err != nil {
+					return nil, err
+				}
+				objErr.Add(learn.ClassificationError(thObj, test))
+			}
+			// Shape check: every private learner approaches non-private
+			// ERM at the largest (n, ε) cell.
+			if n == ns[len(ns)-1] && eps == epss[len(epss)-1] {
+				for _, e := range []float64{gibbsErr.Mean(), objErr.Mean()} {
+					if e > ermErr+0.1 {
+						shapeOK = false
+					}
+				}
+			}
+			t.AddRow(fmt.Sprint(n), f(eps), f(ermErr), f(gibbsErr.Mean()), f(outErr.Mean()), f(objErr.Mean()))
+		}
+	}
+	t.AddNote("bayes error of the generating model ≈ %s", f(bayes))
+	t.AddNote("expected shape: all private methods improve with n and eps, approaching non-private ERM; gibbs and objective perturbation dominate output perturbation at small eps (Chaudhuri et al. shape)")
+	t.AddNote("large-(n,eps) cells near non-private ERM: %v", shapeOK)
+	return t, nil
+}
+
+// E9PrivateRegression implements the paper's future-work direction of
+// differentially-private regression via the Gibbs posterior (Section 5):
+// clipped squared loss over a coefficient grid, swept over (n, ε), with
+// true risk computed in closed form under the generator.
+func E9PrivateRegression(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	reps := 40
+	ns := []int{100, 400, 1600}
+	epss := []float64{0.2, 1, 5}
+	if opts.Quick {
+		reps = 6
+		ns = []int{100, 400}
+		epss = []float64{1, 5}
+	}
+	model := dataset.LinearModel{Weights: []float64{1.2, -0.6}, Noise: 0.3}
+	grid := learn.NewGrid(-2, 2, 2, 17)
+	clip := grid.SquaredLossBound(mathx.L2Norm([]float64{1, 1}), 3)
+	loss := learn.NewClippedLoss(learn.SquaredLoss{}, clip)
+	t := &Table{
+		ID:      "E9",
+		Title:   "Private regression via Gibbs posterior (Section 5 future work): clipped squared loss, |Theta|=289",
+		Columns: []string{"n", "eps", "mean true risk (gibbs)", "true risk (non-priv ERM)", "noise floor"},
+	}
+	floor := model.Noise * model.Noise
+	improves := true
+	var lastRow, firstRow float64
+	for _, n := range ns {
+		train := model.Generate(n, g.Split())
+		ermIdx, _ := learn.ERMFinite(loss, grid.Thetas(), train)
+		ermTheta := grid.At(ermIdx)
+		ermRisk := model.TrueRisk(ermTheta, 0)
+		for _, eps := range epss {
+			learner, err := core.NewLearner(core.Config{Loss: loss, Thetas: grid.Thetas(), Epsilon: eps})
+			if err != nil {
+				return nil, err
+			}
+			var risk mathx.Welford
+			for r := 0; r < reps; r++ {
+				fit, err := learner.Fit(train, g)
+				if err != nil {
+					return nil, err
+				}
+				risk.Add(model.TrueRisk(fit.Theta, 0))
+			}
+			if n == ns[0] && eps == epss[0] {
+				firstRow = risk.Mean()
+			}
+			lastRow = risk.Mean()
+			t.AddRow(fmt.Sprint(n), f(eps), f(risk.Mean()), f(ermRisk), f(floor))
+		}
+	}
+	if lastRow >= firstRow {
+		improves = false
+	}
+	t.AddNote("expected shape: gibbs true risk decreases in both n and eps, approaching the ERM risk and the irreducible noise floor")
+	t.AddNote("risk at largest (n,eps) below smallest: %v", improves)
+	return t, nil
+}
+
+// E10DensityEstimation implements the paper's future-work direction of
+// differentially-private density estimation (Section 5): the
+// Laplace-histogram release and the Gibbs-selected histogram, measured by
+// L1 distance to the true mixture density, swept over ε and n.
+func E10DensityEstimation(opts Options) (*Table, error) {
+	g := rng.New(opts.Seed)
+	reps := 40
+	ns := []int{200, 1000, 5000}
+	epss := []float64{0.2, 1, 5}
+	if opts.Quick {
+		reps = 6
+		ns = []int{200, 1000}
+		epss = []float64{1, 5}
+	}
+	mix := dataset.GaussianMixture{Means: []float64{-1.2, 1.2}, Sigmas: []float64{0.4, 0.6}, Weights: []float64{1, 1.5}}
+	lo, hi := -4.0, 4.0
+	bins := 32
+	// Reference: the true density discretized onto the same bins.
+	truth := &core.DensityEstimate{Lo: lo, Hi: hi, Density: make([]float64, bins)}
+	w := (hi - lo) / float64(bins)
+	var mass float64
+	for i := 0; i < bins; i++ {
+		x := lo + (float64(i)+0.5)*w
+		truth.Density[i] = mix.Density(x)
+		mass += truth.Density[i] * w
+	}
+	for i := range truth.Density {
+		truth.Density[i] /= mass // renormalize over the window
+	}
+	t := &Table{
+		ID:      "E10",
+		Title:   "Private density estimation (Section 5 future work): L1 error to the true mixture, 32 bins on [-4,4]",
+		Columns: []string{"n", "eps", "laplace hist L1", "gibbs hist L1", "non-private L1"},
+	}
+	improves := true
+	var first, last float64
+	for _, n := range ns {
+		d := mix.Generate(n, g.Split())
+		nonPriv, err := core.NonPrivateHistogramDensity(d, 0, bins, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		l1NonPriv, err := nonPriv.L1Distance(truth)
+		if err != nil {
+			return nil, err
+		}
+		for _, eps := range epss {
+			var lapL1, gibbsL1 mathx.Welford
+			for r := 0; r < reps; r++ {
+				priv, err := core.PrivateHistogramDensity(d, 0, bins, lo, hi, eps, g)
+				if err != nil {
+					return nil, err
+				}
+				l1, err := priv.L1Distance(truth)
+				if err != nil {
+					return nil, err
+				}
+				lapL1.Add(l1)
+				gd, _, err := core.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, eps, g)
+				if err != nil {
+					return nil, err
+				}
+				// Rebin the Gibbs density onto the reference grid for L1.
+				re := make([]float64, bins)
+				for i := 0; i < bins; i++ {
+					x := lo + (float64(i)+0.5)*w
+					re[i] = gd.At(x)
+				}
+				reEst := &core.DensityEstimate{Lo: lo, Hi: hi, Density: re}
+				l1g, err := reEst.L1Distance(truth)
+				if err != nil {
+					return nil, err
+				}
+				gibbsL1.Add(l1g)
+			}
+			if n == ns[0] && eps == epss[0] {
+				first = lapL1.Mean()
+			}
+			last = lapL1.Mean()
+			t.AddRow(fmt.Sprint(n), f(eps), f(lapL1.Mean()), f(gibbsL1.Mean()), f(l1NonPriv))
+		}
+	}
+	if last >= first {
+		improves = false
+	}
+	t.AddNote("expected shape: both private estimators' L1 error decreases in n and eps, approaching the non-private histogram's error")
+	t.AddNote("error at largest (n,eps) below smallest: %v", improves)
+	return t, nil
+}

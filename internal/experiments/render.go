@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RenderCSV writes the table as CSV: a header row of column names
+// followed by the data rows. Notes are emitted as trailing comment-style
+// rows with a single "note" column marker.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"experiment"}, t.Columns...)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, row...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the serialized form of a Table.
+type tableJSON struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// RenderJSON writes the table as a single JSON object.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	})
+}
+
+// Format names a table output format.
+type Format string
+
+// Supported formats.
+const (
+	FormatText Format = "text"
+	FormatCSV  Format = "csv"
+	FormatJSON Format = "json"
+)
+
+// RenderAs dispatches on the format name.
+func (t *Table) RenderAs(w io.Writer, format Format) error {
+	switch format {
+	case FormatText, "":
+		return t.Render(w)
+	case FormatCSV:
+		return t.RenderCSV(w)
+	case FormatJSON:
+		return t.RenderJSON(w)
+	default:
+		return fmt.Errorf("experiments: unknown format %q", format)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{ID: "T1", Title: "demo", Columns: []string{"a", "b"}}
+	t.AddRow("1", "x")
+	t.AddRow("2", "y")
+	t.AddNote("shape holds: %v", true)
+	return t
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "experiment" || records[0][1] != "a" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "T1" || records[2][2] != "y" {
+		t.Errorf("rows = %v", records[1:])
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "T1" || decoded.Title != "demo" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if len(decoded.Rows) != 2 || decoded.Rows[1][1] != "y" {
+		t.Errorf("rows = %v", decoded.Rows)
+	}
+	if len(decoded.Notes) != 1 || !strings.Contains(decoded.Notes[0], "true") {
+		t.Errorf("notes = %v", decoded.Notes)
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	for _, f := range []Format{FormatText, FormatCSV, FormatJSON, ""} {
+		var buf bytes.Buffer
+		if err := sampleTable().RenderAs(&buf, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q produced no output", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sampleTable().RenderAs(&buf, "xml"); err == nil {
+		t.Error("unknown format must error")
+	}
+}

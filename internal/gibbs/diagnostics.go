@@ -1,0 +1,148 @@
+package gibbs
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// This file adds a gradient-informed sampler (MALA) for smooth continuous
+// Gibbs targets and the convergence diagnostics (autocorrelation,
+// effective sample size) needed to trust MCMC output.
+
+// MALASampler is the Metropolis-adjusted Langevin algorithm: proposals
+// x′ = x + (τ²/2)∇log π(x) + τ·ξ with a Metropolis correction. For smooth
+// targets it mixes far faster than random-walk MH at equal step budget.
+type MALASampler struct {
+	// LogTarget is the unnormalized log-density.
+	LogTarget func([]float64) float64
+	// GradLogTarget is its gradient. If nil, a central finite-difference
+	// approximation with step FDStep (default 1e-6) is used.
+	GradLogTarget func([]float64) []float64
+	// Tau is the Langevin step size τ.
+	Tau float64
+	// FDStep overrides the finite-difference step when GradLogTarget is
+	// nil.
+	FDStep float64
+}
+
+// Run draws count samples after burnin steps from x0, recording every
+// thin-th state. It returns the samples and acceptance rate.
+func (s *MALASampler) Run(x0 []float64, burnin, count, thin int, g *rng.RNG) ([][]float64, float64, error) {
+	if s.LogTarget == nil || s.Tau <= 0 || count <= 0 || thin <= 0 || burnin < 0 {
+		return nil, 0, ErrBadSampler
+	}
+	grad := s.GradLogTarget
+	if grad == nil {
+		h := s.FDStep
+		if h <= 0 {
+			h = 1e-6
+		}
+		grad = func(x []float64) []float64 {
+			out := make([]float64, len(x))
+			buf := append([]float64(nil), x...)
+			for j := range x {
+				buf[j] = x[j] + h
+				fp := s.LogTarget(buf)
+				buf[j] = x[j] - h
+				fm := s.LogTarget(buf)
+				buf[j] = x[j]
+				out[j] = (fp - fm) / (2 * h)
+			}
+			return out
+		}
+	}
+	x := append([]float64(nil), x0...)
+	logp := s.LogTarget(x)
+	if math.IsNaN(logp) || math.IsInf(logp, -1) {
+		return nil, 0, errors.New("gibbs: MALA log-target degenerate at the initial point")
+	}
+	gx := grad(x)
+	dim := len(x)
+	tau2 := s.Tau * s.Tau
+	// log q(a→b) = −‖b − a − (τ²/2)∇(a)‖² / (2τ²) (up to constants).
+	logQ := func(from, gradFrom, to []float64) float64 {
+		var ss float64
+		for j := 0; j < dim; j++ {
+			d := to[j] - from[j] - tau2/2*gradFrom[j]
+			ss += d * d
+		}
+		return -ss / (2 * tau2)
+	}
+	samples := make([][]float64, 0, count)
+	accepted, proposed := 0, 0
+	prop := make([]float64, dim)
+	total := burnin + count*thin
+	for step := 0; step < total; step++ {
+		for j := 0; j < dim; j++ {
+			prop[j] = x[j] + tau2/2*gx[j] + s.Tau*g.Normal(0, 1)
+		}
+		lp := s.LogTarget(prop)
+		proposed++
+		if !math.IsNaN(lp) && !math.IsInf(lp, -1) {
+			gProp := grad(prop)
+			logAlpha := lp - logp + logQ(prop, gProp, x) - logQ(x, gx, prop)
+			if logAlpha >= 0 || g.Float64() < math.Exp(logAlpha) {
+				copy(x, prop)
+				logp = lp
+				gx = gProp
+				accepted++
+			}
+		}
+		if step >= burnin && (step-burnin)%thin == thin-1 {
+			samples = append(samples, append([]float64(nil), x...))
+		}
+	}
+	return samples, float64(accepted) / float64(proposed), nil
+}
+
+// Autocorrelation returns the normalized autocorrelation of a scalar
+// chain at the given lag (lag 0 is 1). It panics on an empty chain or a
+// lag outside [0, len).
+func Autocorrelation(chain []float64, lag int) float64 {
+	n := len(chain)
+	if n == 0 || lag < 0 || lag >= n {
+		panic("gibbs: Autocorrelation lag out of range")
+	}
+	var w mathx.Welford
+	for _, v := range chain {
+		w.Add(v)
+	}
+	mean, variance := w.Mean(), w.PopulationVariance()
+	if variance == 0 {
+		return 1
+	}
+	var acc float64
+	for i := 0; i+lag < n; i++ {
+		acc += (chain[i] - mean) * (chain[i+lag] - mean)
+	}
+	return acc / float64(n) / variance
+}
+
+// EffectiveSampleSize estimates the effective sample size of a scalar
+// chain by the initial-positive-sequence estimator: n / (1 + 2Σρ_k),
+// truncating the autocorrelation sum at the first non-positive pair.
+func EffectiveSampleSize(chain []float64) float64 {
+	n := len(chain)
+	if n < 4 {
+		return float64(n)
+	}
+	var sum float64
+	for k := 1; k+1 < n/2; k += 2 {
+		pair := Autocorrelation(chain, k) + Autocorrelation(chain, k+1)
+		if pair <= 0 {
+			break
+		}
+		sum += pair
+	}
+	ess := float64(n) / (1 + 2*sum)
+	if ess > float64(n) {
+		ess = float64(n)
+	}
+	if ess < 1 {
+		ess = 1
+	}
+	return ess
+}

@@ -1,0 +1,160 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestMALAGaussianTarget(t *testing.T) {
+	// Sample N(2, 1.5²) with an analytic gradient.
+	s := &MALASampler{
+		LogTarget: func(x []float64) float64 {
+			d := x[0] - 2
+			return -d * d / (2 * 1.5 * 1.5)
+		},
+		GradLogTarget: func(x []float64) []float64 {
+			return []float64{-(x[0] - 2) / (1.5 * 1.5)}
+		},
+		Tau: 1.2,
+	}
+	g := rng.New(1)
+	samples, rate, err := s.Run([]float64{-5}, 2000, 20000, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.3 || rate > 0.99 {
+		t.Errorf("acceptance rate %v", rate)
+	}
+	var w mathx.Welford
+	for _, x := range samples {
+		w.Add(x[0])
+	}
+	if math.Abs(w.Mean()-2) > 0.1 {
+		t.Errorf("MALA mean = %v", w.Mean())
+	}
+	if math.Abs(w.Variance()-2.25)/2.25 > 0.15 {
+		t.Errorf("MALA variance = %v", w.Variance())
+	}
+}
+
+func TestMALAFiniteDifferenceGradient(t *testing.T) {
+	// No gradient supplied: finite differences must still work.
+	s := &MALASampler{
+		LogTarget: func(x []float64) float64 {
+			return -x[0] * x[0] / 2
+		},
+		Tau: 1.0,
+	}
+	g := rng.New(3)
+	samples, _, err := s.Run([]float64{0}, 1000, 10000, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w mathx.Welford
+	for _, x := range samples {
+		w.Add(x[0])
+	}
+	if math.Abs(w.Mean()) > 0.1 || math.Abs(w.Variance()-1) > 0.15 {
+		t.Errorf("FD-MALA moments: mean %v, var %v", w.Mean(), w.Variance())
+	}
+}
+
+func TestMALAValidation(t *testing.T) {
+	s := &MALASampler{Tau: 1}
+	if _, _, err := s.Run([]float64{0}, 0, 10, 1, rng.New(1)); err != ErrBadSampler {
+		t.Error("nil target")
+	}
+	s2 := &MALASampler{LogTarget: func([]float64) float64 { return 0 }, Tau: 0}
+	if _, _, err := s2.Run([]float64{0}, 0, 10, 1, rng.New(1)); err != ErrBadSampler {
+		t.Error("zero tau")
+	}
+	s3 := &MALASampler{LogTarget: func([]float64) float64 { return math.Inf(-1) }, Tau: 1}
+	if _, _, err := s3.Run([]float64{0}, 0, 10, 1, rng.New(1)); err == nil {
+		t.Error("degenerate start")
+	}
+}
+
+func TestMALAMixesFasterThanRWMH(t *testing.T) {
+	// On a well-conditioned Gaussian, MALA's effective sample size per
+	// recorded draw should beat random-walk MH tuned to a similar
+	// acceptance profile.
+	logT := func(x []float64) float64 { return -x[0] * x[0] / 2 }
+	gradT := func(x []float64) []float64 { return []float64{-x[0]} }
+	g := rng.New(5)
+	mala := &MALASampler{LogTarget: logT, GradLogTarget: gradT, Tau: 1.4}
+	mSamp, _, err := mala.Run([]float64{0}, 1000, 5000, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := &MHSampler{LogTarget: logT, Step: 0.4} // a deliberately sticky RW
+	rSamp, _, err := rw.Run([]float64{0}, 1000, 5000, 1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := func(s [][]float64) []float64 {
+		out := make([]float64, len(s))
+		for i, x := range s {
+			out[i] = x[0]
+		}
+		return out
+	}
+	essMALA := EffectiveSampleSize(chain(mSamp))
+	essRW := EffectiveSampleSize(chain(rSamp))
+	if essMALA <= essRW {
+		t.Errorf("ESS: MALA %v not above sticky RWMH %v", essMALA, essRW)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// White noise: lag-1 autocorrelation near 0; constant chain: 1.
+	g := rng.New(7)
+	chain := make([]float64, 5000)
+	for i := range chain {
+		chain[i] = g.Normal(0, 1)
+	}
+	if r := Autocorrelation(chain, 0); !mathx.AlmostEqual(r, 1, 1e-12) {
+		t.Errorf("lag-0 = %v", r)
+	}
+	if r := Autocorrelation(chain, 1); math.Abs(r) > 0.05 {
+		t.Errorf("white-noise lag-1 = %v", r)
+	}
+	constant := []float64{3, 3, 3, 3}
+	if r := Autocorrelation(constant, 1); r != 1 {
+		t.Errorf("constant chain lag-1 = %v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("lag out of range should panic")
+		}
+	}()
+	Autocorrelation(constant, 10)
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	g := rng.New(9)
+	// White noise: ESS ≈ n.
+	white := make([]float64, 4000)
+	for i := range white {
+		white[i] = g.Normal(0, 1)
+	}
+	essWhite := EffectiveSampleSize(white)
+	if essWhite < 3000 {
+		t.Errorf("white-noise ESS = %v of %d", essWhite, len(white))
+	}
+	// AR(1) with high persistence: ESS ≪ n.
+	ar := make([]float64, 4000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.95*ar[i-1] + g.Normal(0, 1)
+	}
+	essAR := EffectiveSampleSize(ar)
+	if essAR > 1000 {
+		t.Errorf("AR(0.95) ESS = %v, expected far below n", essAR)
+	}
+	// Tiny chains fall back to n.
+	if EffectiveSampleSize([]float64{1, 2}) != 2 {
+		t.Error("tiny chain")
+	}
+}

@@ -1,0 +1,200 @@
+// Package gibbs implements the Gibbs estimator — the object at the center
+// of the paper. Over a finite predictor space Θ it is the posterior
+//
+//	dπ̂_λ(θ) ∝ exp(−λ·R̂_Ẑ(θ)) dπ(θ)          (Lemma 3.2)
+//
+// which is simultaneously (a) the minimizer of the PAC-Bayes linearized
+// bound, and (b) an instance of McSherry–Talwar's exponential mechanism
+// with quality q = −R̂ and parameter λ, hence (2·λ·ΔR̂)-differentially
+// private (Theorem 4.1), where ΔR̂ = sup|l|/n is the global sensitivity of
+// the empirical risk.
+//
+// The package provides the exact finite-Θ estimator (posterior, sampling,
+// privacy certificate, λ↔ε calibration) and a Metropolis–Hastings sampler
+// for continuous predictor spaces.
+package gibbs
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/learn"
+	"repro/internal/mathx"
+	"repro/internal/mechanism"
+	"repro/internal/pacbayes"
+	"repro/internal/rng"
+)
+
+// ErrBadConfig is returned for invalid estimator configuration.
+var ErrBadConfig = errors.New("gibbs: invalid configuration")
+
+// Estimator is the finite-Θ Gibbs estimator.
+type Estimator struct {
+	// Loss must be bounded (Bound() < ∞) for the privacy certificate to
+	// be meaningful.
+	Loss learn.Loss
+	// Thetas is the finite predictor space Θ.
+	Thetas [][]float64
+	// LogPrior is the normalized log-prior π over Thetas; nil means
+	// uniform.
+	LogPrior []float64
+	// Lambda is the inverse temperature λ (the exponential-mechanism
+	// parameter).
+	Lambda float64
+}
+
+// New validates and constructs an Estimator.
+func New(loss learn.Loss, thetas [][]float64, logPrior []float64, lambda float64) (*Estimator, error) {
+	if loss == nil || len(thetas) == 0 || lambda <= 0 || math.IsNaN(lambda) {
+		return nil, ErrBadConfig
+	}
+	if logPrior != nil && len(logPrior) != len(thetas) {
+		return nil, ErrBadConfig
+	}
+	return &Estimator{Loss: loss, Thetas: thetas, LogPrior: logPrior, Lambda: lambda}, nil
+}
+
+// logPriorOrUniform returns the prior in log space.
+func (e *Estimator) logPriorOrUniform() []float64 {
+	if e.LogPrior != nil {
+		return e.LogPrior
+	}
+	out := make([]float64, len(e.Thetas))
+	lp := -math.Log(float64(len(e.Thetas)))
+	for i := range out {
+		out[i] = lp
+	}
+	return out
+}
+
+// Risks returns the per-θ empirical risks on d.
+func (e *Estimator) Risks(d *dataset.Dataset) []float64 {
+	return learn.RiskVector(e.Loss, e.Thetas, d)
+}
+
+// LogPosterior returns the normalized Gibbs log-posterior on dataset d.
+func (e *Estimator) LogPosterior(d *dataset.Dataset) []float64 {
+	post, err := pacbayes.GibbsLogPosterior(e.logPriorOrUniform(), e.Risks(d), e.Lambda)
+	if err != nil {
+		// Only reachable with a degenerate (-Inf everywhere) prior, which
+		// New rejects implicitly through normalization in callers.
+		panic("gibbs: degenerate posterior: " + err.Error())
+	}
+	return post
+}
+
+// LogProbabilities implements the audit.DiscreteMechanism interface: the
+// mechanism's exact output distribution on d.
+func (e *Estimator) LogProbabilities(d *dataset.Dataset) []float64 {
+	return e.LogPosterior(d)
+}
+
+// Sample draws a predictor index from the Gibbs posterior.
+func (e *Estimator) Sample(d *dataset.Dataset, g *rng.RNG) int {
+	logw := make([]float64, len(e.Thetas))
+	prior := e.logPriorOrUniform()
+	risks := e.Risks(d)
+	for i := range logw {
+		logw[i] = prior[i] - e.Lambda*risks[i]
+	}
+	return g.CategoricalLog(logw)
+}
+
+// SampleTheta draws a predictor vector from the Gibbs posterior.
+func (e *Estimator) SampleTheta(d *dataset.Dataset, g *rng.RNG) []float64 {
+	return append([]float64(nil), e.Thetas[e.Sample(d, g)]...)
+}
+
+// RiskSensitivity returns ΔR̂ = Bound/n, the global sensitivity of the
+// empirical risk under replace-one neighbors for samples of size n.
+func (e *Estimator) RiskSensitivity(n int) float64 {
+	return learn.SwapSensitivity(e.Loss, n)
+}
+
+// Guarantee returns the Theorem 4.1 privacy certificate for samples of
+// size n: the Gibbs posterior at inverse temperature λ is 2·λ·ΔR̂-DP.
+// For an unbounded loss the guarantee is vacuous (ε = +Inf).
+func (e *Estimator) Guarantee(n int) mechanism.Guarantee {
+	return mechanism.Guarantee{Epsilon: 2 * e.Lambda * e.RiskSensitivity(n)}
+}
+
+// PosteriorMeanRisk returns E_{θ~π̂} R̂_Ẑ(θ), the posterior-expected
+// empirical risk on d.
+func (e *Estimator) PosteriorMeanRisk(d *dataset.Dataset) float64 {
+	post := e.LogPosterior(d)
+	risks := e.Risks(d)
+	var k mathx.KahanSum
+	for i, lp := range post {
+		if math.IsInf(lp, -1) {
+			continue
+		}
+		k.Add(math.Exp(lp) * risks[i])
+	}
+	return k.Sum()
+}
+
+// PosteriorMeanTheta returns E_{θ~π̂} θ, the posterior-mean parameter
+// vector (a useful deterministic summary, though releasing it is NOT
+// covered by the sampling privacy certificate).
+func (e *Estimator) PosteriorMeanTheta(d *dataset.Dataset) []float64 {
+	post := e.LogPosterior(d)
+	dim := len(e.Thetas[0])
+	mean := make([]float64, dim)
+	for i, lp := range post {
+		if math.IsInf(lp, -1) {
+			continue
+		}
+		w := math.Exp(lp)
+		for j := 0; j < dim; j++ {
+			mean[j] += w * e.Thetas[i][j]
+		}
+	}
+	return mean
+}
+
+// Stats returns the PAC-Bayes statistics (expected empirical risk and
+// KL(π̂‖π)) of the Gibbs posterior on d, ready to plug into the bounds.
+func (e *Estimator) Stats(d *dataset.Dataset) (pacbayes.PosteriorStats, error) {
+	return pacbayes.StatsFor(e.LogPosterior(d), e.logPriorOrUniform(), e.Risks(d))
+}
+
+// UtilityBound returns the McSherry–Talwar utility guarantee transferred
+// to the Gibbs estimator: with probability at least 1−β over the sampled
+// predictor, its empirical risk exceeds the ERM's by at most
+//
+//	(ln|Θ| + ln(1/β)) / λ
+//
+// (for a uniform prior; an informative prior can only tighten the
+// constant for high-prior predictors).
+func (e *Estimator) UtilityBound(beta float64) float64 {
+	if beta <= 0 || beta >= 1 {
+		panic("gibbs: UtilityBound requires beta in (0,1)")
+	}
+	return (math.Log(float64(len(e.Thetas))) + math.Log(1/beta)) / e.Lambda
+}
+
+// LambdaForEpsilon returns the inverse temperature λ that makes the Gibbs
+// estimator exactly ε-DP for a [0, M]-bounded loss on samples of size n
+// (inverting Theorem 4.1): λ = ε·n/(2M). It panics on non-positive
+// arguments or an unbounded loss.
+func LambdaForEpsilon(epsilon float64, loss learn.Loss, n int) float64 {
+	if epsilon <= 0 || n <= 0 {
+		panic("gibbs: LambdaForEpsilon requires epsilon > 0 and n > 0")
+	}
+	m := loss.Bound()
+	if math.IsInf(m, 1) || m <= 0 {
+		panic("gibbs: LambdaForEpsilon requires a bounded loss")
+	}
+	return epsilon * float64(n) / (2 * m)
+}
+
+// EpsilonForLambda returns the Theorem 4.1 privacy level of the Gibbs
+// estimator at inverse temperature λ for a [0, M]-bounded loss on samples
+// of size n: ε = 2·λ·M/n.
+func EpsilonForLambda(lambda float64, loss learn.Loss, n int) float64 {
+	if lambda <= 0 || n <= 0 {
+		panic("gibbs: EpsilonForLambda requires lambda > 0 and n > 0")
+	}
+	return 2 * lambda * loss.Bound() / float64(n)
+}

@@ -1,0 +1,192 @@
+package infotheory
+
+// Error-path and edge-case tests filling the branches the main suites
+// don't reach: length mismatches, invalid distributions, and degenerate
+// inputs across every public function.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestKLErrorPaths(t *testing.T) {
+	if _, err := KL([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := KL([]float64{-1, 2}, []float64{0.5, 0.5}); err != ErrInvalidDistribution {
+		t.Error("invalid p")
+	}
+	if _, err := KL([]float64{0.5, 0.5}, []float64{-1, 2}); err != ErrInvalidDistribution {
+		t.Error("invalid q")
+	}
+	if _, err := KLAllowInf([]float64{1}, []float64{1, 0}); err == nil {
+		t.Error("KLAllowInf length mismatch must still error")
+	}
+}
+
+func TestKLLogSpaceErrorPaths(t *testing.T) {
+	if _, err := KLLogSpace([]float64{0}, []float64{0, 0}); err == nil {
+		t.Error("length mismatch")
+	}
+	allInf := []float64{math.Inf(-1), math.Inf(-1)}
+	if _, err := KLLogSpace(allInf, []float64{0, 0}); err != ErrInvalidDistribution {
+		t.Error("degenerate p")
+	}
+	if _, err := KLLogSpace([]float64{0, 0}, allInf); err != ErrInvalidDistribution {
+		t.Error("degenerate q")
+	}
+}
+
+func TestJSErrorPaths(t *testing.T) {
+	if _, err := JS([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := JS([]float64{-1, 1}, []float64{0.5, 0.5}); err != ErrInvalidDistribution {
+		t.Error("invalid p")
+	}
+	if _, err := JS([]float64{0.5, 0.5}, []float64{0, 0}); err != ErrInvalidDistribution {
+		t.Error("invalid q")
+	}
+	// JS is bounded by ln 2.
+	d, err := JS([]float64{0.9, 0.1}, []float64{0.1, 0.9})
+	if err != nil || d > math.Ln2+1e-12 {
+		t.Errorf("JS = %v, %v", d, err)
+	}
+}
+
+func TestTotalVariationErrorPaths(t *testing.T) {
+	if _, err := TotalVariation([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := TotalVariation(nil, nil); err == nil {
+		t.Error("empty")
+	}
+	if _, err := TotalVariation([]float64{0.5, 0.5}, []float64{math.NaN(), 1}); err != ErrInvalidDistribution {
+		t.Error("NaN entry")
+	}
+}
+
+func TestEntropyNaN(t *testing.T) {
+	if _, err := Entropy([]float64{math.NaN(), 0.5}); err != ErrInvalidDistribution {
+		t.Error("NaN entry must be rejected")
+	}
+}
+
+func TestConditionalEntropyWithEmptyRow(t *testing.T) {
+	// A joint with one all-zero row exercises the px == 0 skip.
+	j, err := NewJoint([][]float64{
+		{0.5, 0.5},
+		{0, 0},
+		{0.0, 0.0},
+	})
+	if err != nil {
+		// A zero row is fine as long as total mass is positive.
+		t.Fatal(err)
+	}
+	h := j.ConditionalEntropyYGivenX()
+	if !mathx.AlmostEqual(h, math.Ln2, 1e-12) {
+		t.Errorf("H(Y|X) = %v", h)
+	}
+}
+
+func TestJointFromChannelErrorPaths(t *testing.T) {
+	if _, err := JointFromChannel([]float64{0, 0}, [][]float64{{1}, {1}}); err != ErrInvalidDistribution {
+		t.Error("invalid input distribution")
+	}
+	if _, err := JointFromChannel([]float64{0.5, 0.5}, [][]float64{{1}, {0, 0}}); err == nil {
+		t.Error("invalid channel row")
+	}
+}
+
+func TestBlahutArimotoErrorPaths(t *testing.T) {
+	if _, _, err := BlahutArimoto(nil, 1e-9, 100); err != ErrInvalidDistribution {
+		t.Error("empty channel")
+	}
+	if _, _, err := BlahutArimoto([][]float64{{1, 0}, {0}}, 1e-9, 100); err == nil {
+		t.Error("ragged channel")
+	}
+	if _, _, err := BlahutArimoto([][]float64{{0, 0}}, 1e-9, 100); err == nil {
+		t.Error("zero row")
+	}
+	// maxIter exhaustion path still returns a valid estimate.
+	w := [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	c, px, err := BlahutArimoto(w, 0, 1) // tol 0 forces the fallback
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0 || c > math.Ln2+1e-9 || len(px) != 2 {
+		t.Errorf("fallback capacity = %v, px = %v", c, px)
+	}
+}
+
+func TestRenyiErrorPaths(t *testing.T) {
+	if _, err := RenyiDivergence([]float64{0, 0}, []float64{1}, 2); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := RenyiDivergence([]float64{0, 0}, []float64{0.5, 0.5}, 2); err != ErrInvalidDistribution {
+		t.Error("invalid p")
+	}
+	if _, err := RenyiDivergence([]float64{0.5, 0.5}, []float64{0, 0}, 2); err != ErrInvalidDistribution {
+		t.Error("invalid q")
+	}
+	if _, err := RenyiDivergence([]float64{1}, []float64{1}, math.Inf(1)); err == nil {
+		t.Error("alpha = Inf must error (use MaxDivergence)")
+	}
+	// α < 1 with partial overlap: the zero-q terms drop.
+	d, err := RenyiDivergence([]float64{0.5, 0.5}, []float64{1, 0}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d, 1) || math.IsNaN(d) {
+		t.Errorf("alpha<1 partial overlap = %v", d)
+	}
+}
+
+func TestMaxDivergenceErrorPaths(t *testing.T) {
+	if _, err := MaxDivergence([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := MaxDivergence([]float64{-1, 1}, []float64{0.5, 0.5}); err != ErrInvalidDistribution {
+		t.Error("invalid p")
+	}
+	if _, err := MaxDivergence([]float64{0.5, 0.5}, []float64{0, 0}); err != ErrInvalidDistribution {
+		t.Error("invalid q")
+	}
+	// Zero-mass p coordinates are skipped.
+	d, err := MaxDivergence([]float64{1, 0}, []float64{0.5, 0.5})
+	if err != nil || !mathx.AlmostEqual(d, math.Ln2, 1e-12) {
+		t.Errorf("MaxDivergence = %v, %v", d, err)
+	}
+}
+
+func TestPosteriorVulnerabilityErrorPaths(t *testing.T) {
+	if _, err := PosteriorVulnerability([]float64{0, 0}, nil); err != ErrInvalidDistribution {
+		t.Error("invalid prior")
+	}
+	if _, err := PosteriorVulnerability([]float64{0.5, 0.5}, [][]float64{{1}}); err == nil {
+		t.Error("row count mismatch")
+	}
+	if _, err := PosteriorVulnerability([]float64{0.5, 0.5}, [][]float64{{1, 0}, {1}}); err == nil {
+		t.Error("ragged channel")
+	}
+	if _, err := PosteriorVulnerability([]float64{0.5, 0.5}, [][]float64{{1}, {0}}); err == nil {
+		t.Error("zero row")
+	}
+}
+
+func TestMinEntropyLeakageErrorPaths(t *testing.T) {
+	if _, err := MinEntropyLeakage([]float64{0, 0}, [][]float64{{1}, {1}}); err != ErrInvalidDistribution {
+		t.Error("invalid prior")
+	}
+	if _, err := MinEntropyLeakage([]float64{0.5, 0.5}, [][]float64{{1}}); err == nil {
+		t.Error("channel mismatch")
+	}
+	if _, err := MinEntropyCapacity([][]float64{{1, 0}, {1}}); err == nil {
+		t.Error("ragged capacity input")
+	}
+	if _, err := MinEntropyCapacity([][]float64{{0, 0}}); err == nil {
+		t.Error("zero row capacity")
+	}
+}

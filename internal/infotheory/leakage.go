@@ -1,0 +1,213 @@
+package infotheory
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// This file implements the quantitative-information-flow measures of
+// Alvim et al. (FOSAD 2011, ICALP 2011) that the paper's Sections 1 and 5
+// connect differential privacy to: Bayes vulnerability, min-entropy
+// leakage, and the Rényi divergences that interpolate between them and
+// the Shannon quantities.
+
+// RenyiDivergence returns D_α(p‖q) in nats for α > 0, α ≠ 1:
+//
+//	D_α(p‖q) = 1/(α−1) · ln Σᵢ pᵢ^α · qᵢ^{1−α}
+//
+// α → 1 recovers KL (use KL for that case); α = ∞ is the max-divergence
+// sup log(pᵢ/qᵢ) (use MaxDivergence). The connection to privacy: a
+// mechanism is ε-DP iff the max-divergence between its output
+// distributions on any two neighbors is at most ε, and Rényi-DP uses
+// exactly D_α.
+func RenyiDivergence(p, q []float64, alpha float64) (float64, error) {
+	if alpha <= 0 || alpha == 1 || math.IsInf(alpha, 1) {
+		return 0, fmt.Errorf("infotheory: RenyiDivergence needs alpha in (0,1)∪(1,∞), got %v", alpha)
+	}
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("infotheory: RenyiDivergence length mismatch %d vs %d", len(p), len(q))
+	}
+	pn, err := normalize(p)
+	if err != nil {
+		return 0, err
+	}
+	qn, err := normalize(q)
+	if err != nil {
+		return 0, err
+	}
+	// Accumulate in log space: log Σ exp(α·ln p + (1−α)·ln q).
+	terms := make([]float64, 0, len(pn))
+	for i := range pn {
+		switch {
+		case pn[i] == 0 && alpha > 1:
+			continue // 0^α · q^{1-α} = 0
+		case pn[i] == 0:
+			continue // α<1: p^α = 0
+		case qn[i] == 0 && alpha > 1:
+			return math.Inf(1), nil // p>0 against q=0 blows up for α>1
+		case qn[i] == 0:
+			continue // α<1: q^{1−α} = 0 kills the term
+		default:
+			terms = append(terms, alpha*math.Log(pn[i])+(1-alpha)*math.Log(qn[i]))
+		}
+	}
+	if len(terms) == 0 {
+		return math.Inf(1), nil // disjoint supports
+	}
+	d := mathx.LogSumExp(terms) / (alpha - 1)
+	if d < 0 && alpha > 1 {
+		d = 0
+	}
+	return d, nil
+}
+
+// MaxDivergence returns D_∞(p‖q) = max over the support of p of
+// ln(pᵢ/qᵢ), the quantity that defines ε-DP. It is +Inf if p has mass
+// where q has none.
+func MaxDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("infotheory: MaxDivergence length mismatch %d vs %d", len(p), len(q))
+	}
+	pn, err := normalize(p)
+	if err != nil {
+		return 0, err
+	}
+	qn, err := normalize(q)
+	if err != nil {
+		return 0, err
+	}
+	d := math.Inf(-1)
+	for i := range pn {
+		if pn[i] == 0 {
+			continue
+		}
+		if qn[i] == 0 {
+			return math.Inf(1), nil
+		}
+		if v := math.Log(pn[i] / qn[i]); v > d {
+			d = v
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d, nil
+}
+
+// BayesVulnerability returns V(p) = maxᵢ pᵢ — the probability that an
+// adversary guessing the secret in one try succeeds, under prior p.
+func BayesVulnerability(p []float64) (float64, error) {
+	pn, err := normalize(p)
+	if err != nil {
+		return 0, err
+	}
+	var v float64
+	for _, x := range pn {
+		if x > v {
+			v = x
+		}
+	}
+	return v, nil
+}
+
+// PosteriorVulnerability returns V(p, W) = Σⱼ maxᵢ pᵢ·W[i][j] — the
+// adversary's one-try success probability after observing the channel
+// output. W[i][j] = P(Y=j | X=i); rows are normalized internally.
+func PosteriorVulnerability(p []float64, w [][]float64) (float64, error) {
+	pn, err := normalize(p)
+	if err != nil {
+		return 0, err
+	}
+	if len(w) != len(pn) {
+		return 0, fmt.Errorf("infotheory: channel has %d rows for %d inputs", len(w), len(pn))
+	}
+	rows := make([][]float64, len(w))
+	var nOut int
+	for i, r := range w {
+		rn, err := normalize(r)
+		if err != nil {
+			return 0, fmt.Errorf("infotheory: channel row %d: %w", i, err)
+		}
+		if i == 0 {
+			nOut = len(rn)
+		} else if len(rn) != nOut {
+			return 0, fmt.Errorf("infotheory: ragged channel at row %d", i)
+		}
+		rows[i] = rn
+	}
+	var v float64
+	for j := 0; j < nOut; j++ {
+		var best float64
+		for i := range rows {
+			if cand := pn[i] * rows[i][j]; cand > best {
+				best = cand
+			}
+		}
+		v += best
+	}
+	return v, nil
+}
+
+// MinEntropyLeakage returns the min-entropy leakage of channel W under
+// prior p, in nats:
+//
+//	L(p, W) = ln( V(p, W) / V(p) )
+//
+// the log of the multiplicative increase in the adversary's one-try
+// guessing success — Alvim et al.'s leakage measure.
+func MinEntropyLeakage(p []float64, w [][]float64) (float64, error) {
+	prior, err := BayesVulnerability(p)
+	if err != nil {
+		return 0, err
+	}
+	post, err := PosteriorVulnerability(p, w)
+	if err != nil {
+		return 0, err
+	}
+	l := math.Log(post / prior)
+	if l < 0 {
+		l = 0 // vulnerability cannot decrease; clamp rounding
+	}
+	return l, nil
+}
+
+// MinEntropyCapacity returns the min-entropy capacity of W: the maximum
+// min-entropy leakage over priors, which for deterministic-free channels
+// is achieved by the uniform prior and equals ln Σⱼ maxᵢ W[i][j]
+// (Braun–Chatzikokolakis–Palamidessi).
+func MinEntropyCapacity(w [][]float64) (float64, error) {
+	if len(w) == 0 {
+		return 0, ErrInvalidDistribution
+	}
+	rows := make([][]float64, len(w))
+	var nOut int
+	for i, r := range w {
+		rn, err := normalize(r)
+		if err != nil {
+			return 0, fmt.Errorf("infotheory: channel row %d: %w", i, err)
+		}
+		if i == 0 {
+			nOut = len(rn)
+		} else if len(rn) != nOut {
+			return 0, fmt.Errorf("infotheory: ragged channel at row %d", i)
+		}
+		rows[i] = rn
+	}
+	var sum float64
+	for j := 0; j < nOut; j++ {
+		var best float64
+		for i := range rows {
+			if rows[i][j] > best {
+				best = rows[i][j]
+			}
+		}
+		sum += best
+	}
+	l := math.Log(sum)
+	if l < 0 {
+		l = 0
+	}
+	return l, nil
+}

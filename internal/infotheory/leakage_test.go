@@ -1,0 +1,225 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestRenyiDivergenceKnown(t *testing.T) {
+	p := []float64{0.75, 0.25}
+	q := []float64{0.5, 0.5}
+	// α = 2: D_2 = ln Σ p²/q = ln(0.5625/0.5 + 0.0625/0.5) = ln 1.25
+	got, err := RenyiDivergence(p, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(got, math.Log(1.25), 1e-12) {
+		t.Errorf("D_2 = %v, want %v", got, math.Log(1.25))
+	}
+	// Self-divergence is zero for any α.
+	for _, a := range []float64{0.5, 2, 10} {
+		if d, err := RenyiDivergence(p, p, a); err != nil || !mathx.AlmostEqual(d, 0, 1e-12) {
+			t.Errorf("D_%v(p,p) = %v, %v", a, d, err)
+		}
+	}
+}
+
+func TestRenyiMonotoneInAlpha(t *testing.T) {
+	// D_α is nondecreasing in α, sandwiched between 0 and max-divergence.
+	g := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		p := []float64{g.Float64() + 0.05, g.Float64() + 0.05, g.Float64() + 0.05}
+		q := []float64{g.Float64() + 0.05, g.Float64() + 0.05, g.Float64() + 0.05}
+		prev := 0.0
+		for _, a := range []float64{0.5, 0.9, 1.5, 2, 4, 16} {
+			d, err := RenyiDivergence(p, q, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d < prev-1e-9 {
+				t.Fatalf("D_%v = %v < previous %v", a, d, prev)
+			}
+			prev = d
+		}
+		dMax, err := MaxDivergence(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > dMax+1e-9 {
+			t.Fatalf("D_16 = %v exceeds D_inf = %v", prev, dMax)
+		}
+	}
+}
+
+func TestRenyiApproachesKL(t *testing.T) {
+	p := []float64{0.7, 0.2, 0.1}
+	q := []float64{0.3, 0.4, 0.3}
+	kl, err := KL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near1, err := RenyiDivergence(p, q, 1.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(near1-kl) > 1e-3 {
+		t.Errorf("D_1.0001 = %v, KL = %v", near1, kl)
+	}
+}
+
+func TestRenyiDisjointAndValidation(t *testing.T) {
+	if d, err := RenyiDivergence([]float64{1, 0}, []float64{0, 1}, 2); err != nil || !math.IsInf(d, 1) {
+		t.Errorf("disjoint D_2 = %v, %v", d, err)
+	}
+	if _, err := RenyiDivergence([]float64{1}, []float64{1}, 1); err == nil {
+		t.Error("alpha=1 must error")
+	}
+	if _, err := RenyiDivergence([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("alpha=0 must error")
+	}
+	if _, err := RenyiDivergence([]float64{1}, []float64{1, 0}, 2); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestMaxDivergenceIsDPQuantity(t *testing.T) {
+	// For two distributions with all ratios ≤ e^ε, MaxDivergence ≤ ε.
+	eps := 0.5
+	p := []float64{0.6, 0.4}
+	q := []float64{0.6 * math.Exp(-eps), 1 - 0.6*math.Exp(-eps)}
+	d, err := MaxDivergence(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(d, eps, 1e-12) {
+		t.Errorf("MaxDivergence = %v, want %v", d, eps)
+	}
+	if d2, _ := MaxDivergence([]float64{0.5, 0.5}, []float64{1, 0}); !math.IsInf(d2, 1) {
+		t.Error("unsupported mass must give +Inf")
+	}
+	if d3, _ := MaxDivergence(p, p); d3 != 0 {
+		t.Error("self max-divergence must be 0")
+	}
+}
+
+func TestBayesVulnerability(t *testing.T) {
+	v, err := BayesVulnerability([]float64{0.2, 0.5, 0.3})
+	if err != nil || v != 0.5 {
+		t.Errorf("V = %v, %v", v, err)
+	}
+	if _, err := BayesVulnerability(nil); err == nil {
+		t.Error("empty prior must error")
+	}
+}
+
+func TestPosteriorVulnerabilityIdentityChannel(t *testing.T) {
+	// Identity channel reveals everything: posterior vulnerability 1.
+	w := [][]float64{{1, 0}, {0, 1}}
+	v, err := PosteriorVulnerability([]float64{0.3, 0.7}, w)
+	if err != nil || !mathx.AlmostEqual(v, 1, 1e-12) {
+		t.Errorf("V_post = %v, %v", v, err)
+	}
+	// Constant channel reveals nothing: posterior = prior vulnerability.
+	c := [][]float64{{1, 0}, {1, 0}}
+	v2, err := PosteriorVulnerability([]float64{0.3, 0.7}, c)
+	if err != nil || !mathx.AlmostEqual(v2, 0.7, 1e-12) {
+		t.Errorf("V_post const = %v, %v", v2, err)
+	}
+}
+
+func TestMinEntropyLeakage(t *testing.T) {
+	// Identity channel over uniform binary secret leaks ln 2.
+	w := [][]float64{{1, 0}, {0, 1}}
+	l, err := MinEntropyLeakage([]float64{0.5, 0.5}, w)
+	if err != nil || !mathx.AlmostEqual(l, math.Ln2, 1e-12) {
+		t.Errorf("leakage = %v, %v", l, err)
+	}
+	// Constant channel leaks nothing.
+	c := [][]float64{{1}, {1}}
+	l2, err := MinEntropyLeakage([]float64{0.5, 0.5}, c)
+	if err != nil || l2 != 0 {
+		t.Errorf("constant leakage = %v, %v", l2, err)
+	}
+}
+
+func TestMinEntropyLeakageNonNegativeProperty(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		p := []float64{float64(a) + 1, float64(b) + 1}
+		w := [][]float64{
+			{float64(c) + 1, float64(d) + 1},
+			{float64(d) + 1, float64(a) + 1},
+		}
+		l, err := MinEntropyLeakage(p, w)
+		return err == nil && l >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinEntropyCapacity(t *testing.T) {
+	// Identity over k symbols: capacity ln k.
+	w := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	c, err := MinEntropyCapacity(w)
+	if err != nil || !mathx.AlmostEqual(c, math.Log(3), 1e-12) {
+		t.Errorf("capacity = %v, %v", c, err)
+	}
+	// Constant channel: capacity 0.
+	cc, err := MinEntropyCapacity([][]float64{{1}, {1}})
+	if err != nil || cc != 0 {
+		t.Errorf("constant capacity = %v, %v", cc, err)
+	}
+	// Capacity dominates leakage under any prior.
+	g := rng.New(3)
+	w2 := [][]float64{
+		{0.7, 0.2, 0.1},
+		{0.1, 0.6, 0.3},
+	}
+	cap2, err := MinEntropyCapacity(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		p := []float64{g.Float64() + 0.01, g.Float64() + 0.01}
+		l, err := MinEntropyLeakage(p, w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l > cap2+1e-9 {
+			t.Fatalf("leakage %v exceeds capacity %v", l, cap2)
+		}
+	}
+	if _, err := MinEntropyCapacity(nil); err == nil {
+		t.Error("empty channel must error")
+	}
+}
+
+func TestDPBoundsMinEntropyLeakage(t *testing.T) {
+	// For a channel whose rows are pairwise within e^ε ratios (an ε-DP
+	// channel over a two-point secret space), the min-entropy capacity is
+	// at most ε (Alvim et al.): ln Σⱼ maxᵢ Wᵢⱼ ≤ ln Σⱼ e^ε·W₀ⱼ = ε.
+	eps := 0.3
+	w0 := []float64{0.5, 0.3, 0.2}
+	// Construct a row within e^eps ratios of w0 by moving mass δ from
+	// entry 1 to entry 0, with δ small enough to respect both ratios.
+	delta := math.Min((math.Exp(eps)-1)*w0[0], (1-math.Exp(-eps))*w0[1])
+	w1 := []float64{w0[0] + delta, w0[1] - delta, w0[2]}
+	// Verify the construction is within ratios.
+	for j := range w0 {
+		r := math.Abs(math.Log(w1[j] / w0[j]))
+		if r > eps+1e-9 {
+			t.Fatalf("construction broken at %d: ratio %v", j, r)
+		}
+	}
+	c, err := MinEntropyCapacity([][]float64{w0, w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > eps+1e-9 {
+		t.Errorf("min-entropy capacity %v exceeds eps %v", c, eps)
+	}
+}

@@ -1,0 +1,208 @@
+package learn
+
+import (
+	"errors"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/mathx"
+)
+
+// ErrNotConverged is returned by iterative optimizers that fail to reach
+// their gradient tolerance within the iteration budget.
+var ErrNotConverged = errors.New("learn: optimizer did not converge")
+
+// ERMFinite returns the index of the empirical-risk minimizer over a
+// finite predictor space (first minimizer on ties) and its risk. This is
+// the non-private baseline against which the Gibbs estimator is compared.
+func ERMFinite(l Loss, thetas [][]float64, d *dataset.Dataset) (int, float64) {
+	if len(thetas) == 0 {
+		panic("learn: ERMFinite over empty predictor space")
+	}
+	risks := RiskVector(l, thetas, d)
+	idx := mathx.ArgMin(risks)
+	return idx, risks[idx]
+}
+
+// GDOptions configures gradient descent.
+type GDOptions struct {
+	// MaxIter bounds the number of iterations (default 500).
+	MaxIter int
+	// Tol is the gradient-norm stopping criterion (default 1e-8).
+	Tol float64
+	// Step is the initial step size (default 1.0); backtracking halves it
+	// as needed per iteration.
+	Step float64
+}
+
+func (o GDOptions) withDefaults() GDOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 500
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.Step <= 0 {
+		o.Step = 1.0
+	}
+	return o
+}
+
+// MinimizeGD minimizes a smooth objective by gradient descent with
+// backtracking line search, starting from x0. obj must return the value
+// and gradient. It returns the final iterate; err is ErrNotConverged if
+// the tolerance was not met (the iterate is still usable).
+func MinimizeGD(obj func(x []float64) (float64, []float64), x0 []float64, opts GDOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	x := append([]float64(nil), x0...)
+	fx, gx := obj(x)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		gnorm := mathx.L2Norm(gx)
+		if gnorm < opts.Tol {
+			return x, nil
+		}
+		step := opts.Step
+		var xNew []float64
+		var fNew float64
+		var gNew []float64
+		for {
+			xNew = make([]float64, len(x))
+			for i := range x {
+				xNew[i] = x[i] - step*gx[i]
+			}
+			fNew, gNew = obj(xNew)
+			// Armijo condition with c = 1e-4.
+			if fNew <= fx-1e-4*step*gnorm*gnorm {
+				break
+			}
+			step /= 2
+			if step < 1e-16 {
+				// No descent possible at machine precision.
+				return x, nil
+			}
+		}
+		x, fx, gx = xNew, fNew, gNew
+	}
+	if mathx.L2Norm(gx) < opts.Tol {
+		return x, nil
+	}
+	return x, ErrNotConverged
+}
+
+// LogisticObjective returns the L2-regularized logistic objective and its
+// gradient on dataset d:
+//
+//	J(θ) = (1/n) Σ log(1 + exp(−yᵢ θ·xᵢ)) + (λ/2)‖θ‖².
+func LogisticObjective(d *dataset.Dataset, lambda float64) func([]float64) (float64, []float64) {
+	n := float64(d.Len())
+	return func(theta []float64) (float64, []float64) {
+		grad := make([]float64, len(theta))
+		var val mathx.KahanSum
+		for _, e := range d.Examples {
+			m := e.Y * mathx.Dot(theta, e.X)
+			val.Add(-mathx.LogSigmoid(m))
+			// dJ/dθ contribution: −y·x·σ(−m)
+			c := -e.Y * mathx.Sigmoid(-m)
+			for j := range grad {
+				grad[j] += c * e.X[j]
+			}
+		}
+		v := val.Sum() / n
+		for j := range grad {
+			grad[j] = grad[j]/n + lambda*theta[j]
+		}
+		norm := mathx.L2Norm(theta)
+		v += lambda / 2 * norm * norm
+		return v, grad
+	}
+}
+
+// LogisticRegression fits an L2-regularized logistic regression by
+// gradient descent and returns the coefficient vector. lambda must be
+// non-negative. Labels must be ±1.
+func LogisticRegression(d *dataset.Dataset, lambda float64, opts GDOptions) ([]float64, error) {
+	if d.Len() == 0 {
+		panic("learn: LogisticRegression on empty dataset")
+	}
+	if lambda < 0 {
+		panic("learn: LogisticRegression requires lambda >= 0")
+	}
+	x0 := make([]float64, d.Dim())
+	return MinimizeGD(LogisticObjective(d, lambda), x0, opts)
+}
+
+// RidgeRegression fits an L2-regularized least-squares regression
+// (exactly, via the normal equations) and returns the coefficients.
+// The regularization matches the objective
+// (1/n)Σ(θ·x−y)² + λ‖θ‖², i.e. linalg.RidgeSolve with n·λ.
+func RidgeRegression(d *dataset.Dataset, lambda float64) ([]float64, error) {
+	if d.Len() == 0 {
+		panic("learn: RidgeRegression on empty dataset")
+	}
+	if lambda < 0 {
+		panic("learn: RidgeRegression requires lambda >= 0")
+	}
+	n, dim := d.Len(), d.Dim()
+	a := linalg.NewMatrix(n, dim)
+	b := make([]float64, n)
+	for i, e := range d.Examples {
+		for j := 0; j < dim; j++ {
+			a.Set(i, j, e.X[j])
+		}
+		b[i] = e.Y
+	}
+	return linalg.RidgeSolve(a, b, lambda*float64(n))
+}
+
+// ClassifyLinear returns sign(θ·x) as a ±1 label (ties → −1).
+func ClassifyLinear(theta, x []float64) float64 {
+	if mathx.Dot(theta, x) > 0 {
+		return 1
+	}
+	return -1
+}
+
+// ClassificationError returns the fraction of examples in d misclassified
+// by the linear classifier θ.
+func ClassificationError(theta []float64, d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		panic("learn: ClassificationError on empty dataset")
+	}
+	var errs float64
+	for _, e := range d.Examples {
+		if ClassifyLinear(theta, e.X) != e.Y {
+			errs++
+		}
+	}
+	return errs / float64(d.Len())
+}
+
+// MeanSquaredError returns the mean squared prediction error of linear
+// coefficients θ on d.
+func MeanSquaredError(theta []float64, d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		panic("learn: MeanSquaredError on empty dataset")
+	}
+	var k mathx.KahanSum
+	for _, e := range d.Examples {
+		r := mathx.Dot(theta, e.X) - e.Y
+		k.Add(r * r)
+	}
+	return k.Sum() / float64(d.Len())
+}
+
+// ProjectL2 scales x (in place) so its L2 norm is at most radius, and
+// returns x. Non-positive radius panics.
+func ProjectL2(x []float64, radius float64) []float64 {
+	if radius <= 0 {
+		panic("learn: ProjectL2 requires radius > 0")
+	}
+	n := mathx.L2Norm(x)
+	if n > radius {
+		s := radius / n
+		for i := range x {
+			x[i] *= s
+		}
+	}
+	return x
+}

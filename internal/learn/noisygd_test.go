@@ -1,0 +1,148 @@
+package learn
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestNoisyGDValidation(t *testing.T) {
+	g := rng.New(1)
+	d := dataset.LogisticModel{Weights: []float64{1}}.Generate(10, g)
+	base := NoisyGDConfig{Steps: 5, LearningRate: 0.1, ClipNorm: 1, StepEpsilon: 0.5, StepDelta: 1e-6}
+	cases := []NoisyGDConfig{
+		{},
+		{Steps: 5, LearningRate: 0.1, ClipNorm: 0, StepEpsilon: 0.5, StepDelta: 1e-6},
+		{Steps: 5, LearningRate: 0.1, ClipNorm: 1, StepEpsilon: 2, StepDelta: 1e-6}, // eps > 1
+		{Steps: 5, LearningRate: 0.1, ClipNorm: 1, StepEpsilon: 0.5, StepDelta: 0},  // delta
+		{Steps: 0, LearningRate: 0.1, ClipNorm: 1, StepEpsilon: 0.5, StepDelta: 1e-6},
+	}
+	for i, cfg := range cases {
+		if _, err := NoisyGD(d, 1, LogisticGradient, cfg, g); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	if _, err := NoisyGD(&dataset.Dataset{}, 1, LogisticGradient, base, g); err == nil {
+		t.Error("empty dataset")
+	}
+}
+
+func TestNoisyGDLearnsWithGenerousBudget(t *testing.T) {
+	g := rng.New(3)
+	model := dataset.LogisticModel{Weights: []float64{2, -1}, Bias: 0}
+	train := model.Generate(3000, g).NormalizeRows()
+	test := model.Generate(3000, g).NormalizeRows()
+	res, err := NoisyGD(train, 2, LogisticGradient, NoisyGDConfig{
+		Steps:        60,
+		LearningRate: 0.8,
+		ClipNorm:     1,
+		StepEpsilon:  0.9,
+		StepDelta:    1e-6,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate := ClassificationError(res.Theta, test)
+	nonPriv, _ := LogisticRegression(train, 1e-4, GDOptions{MaxIter: 500})
+	nonPrivErr := ClassificationError(nonPriv, test)
+	if errRate > nonPrivErr+0.07 {
+		t.Errorf("NoisyGD error %v far above non-private %v", errRate, nonPrivErr)
+	}
+	if res.Guarantee.Epsilon <= 0 || res.Guarantee.Delta <= 0 {
+		t.Errorf("guarantee = %+v", res.Guarantee)
+	}
+}
+
+func TestNoisyGDCompositionTighterThanBasic(t *testing.T) {
+	g := rng.New(5)
+	d := dataset.LogisticModel{Weights: []float64{1}}.Generate(200, g)
+	steps := 100
+	stepEps := 0.1
+	res, err := NoisyGD(d, 1, LogisticGradient, NoisyGDConfig{
+		Steps:        steps,
+		LearningRate: 0.1,
+		ClipNorm:     1,
+		StepEpsilon:  stepEps,
+		StepDelta:    1e-7,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basicEps := float64(steps) * stepEps
+	if res.Guarantee.Epsilon >= basicEps {
+		t.Errorf("composed eps %v not tighter than basic %v", res.Guarantee.Epsilon, basicEps)
+	}
+	// δ accumulates: k·δ₀ + slack.
+	wantDelta := float64(steps)*1e-7 + 1e-6
+	if !mathx.AlmostEqual(res.Guarantee.Delta, wantDelta, 1e-9) {
+		t.Errorf("delta = %v, want %v", res.Guarantee.Delta, wantDelta)
+	}
+}
+
+func TestNoisyGDProjection(t *testing.T) {
+	g := rng.New(7)
+	d := dataset.LinearModel{Weights: []float64{5}, Noise: 0.1}.Generate(200, g)
+	res, err := NoisyGD(d, 1, SquaredGradient, NoisyGDConfig{
+		Steps:         40,
+		LearningRate:  0.3,
+		ClipNorm:      2,
+		StepEpsilon:   1,
+		StepDelta:     1e-6,
+		ProjectRadius: 0.5,
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mathx.L2Norm(res.Theta) > 0.5+1e-9 {
+		t.Errorf("iterate escaped the projection ball: %v", res.Theta)
+	}
+}
+
+func TestNoisyGDMoreNoiseAtSmallerEpsilon(t *testing.T) {
+	// Across repetitions, the variance of the final iterate must grow as
+	// the per-step budget shrinks.
+	g := rng.New(9)
+	model := dataset.LinearModel{Weights: []float64{1}, Noise: 0.05}
+	d := model.Generate(500, g)
+	spread := func(stepEps float64) float64 {
+		var w mathx.Welford
+		for r := 0; r < 25; r++ {
+			res, err := NoisyGD(d, 1, SquaredGradient, NoisyGDConfig{
+				Steps:        20,
+				LearningRate: 0.2,
+				ClipNorm:     2,
+				StepEpsilon:  stepEps,
+				StepDelta:    1e-6,
+			}, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Add(res.Theta[0])
+		}
+		return w.Variance()
+	}
+	tight := spread(0.02)
+	loose := spread(1.0)
+	if loose >= tight {
+		t.Errorf("variance at eps=1 (%v) not below eps=0.02 (%v)", loose, tight)
+	}
+}
+
+func TestGradientHelpers(t *testing.T) {
+	theta := []float64{0.5, -1}
+	e := dataset.Example{X: []float64{1, 2}, Y: 1}
+	// Logistic gradient: −y·σ(−m)·x with m = y·θ·x = −1.5.
+	m := -1.5
+	c := -mathx.Sigmoid(-m)
+	lg := LogisticGradient(theta, e)
+	if !mathx.AlmostEqual(lg[0], c*1, 1e-12) || !mathx.AlmostEqual(lg[1], c*2, 1e-12) {
+		t.Errorf("LogisticGradient = %v", lg)
+	}
+	// Squared gradient: 2(θ·x − y)·x = 2(−1.5−1)x = −5x.
+	sg := SquaredGradient(theta, e)
+	if !mathx.AlmostEqual(sg[0], -5, 1e-12) || !mathx.AlmostEqual(sg[1], -10, 1e-12) {
+		t.Errorf("SquaredGradient = %v", sg)
+	}
+}

@@ -1,0 +1,157 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// anisotropicData generates rows concentrated along a known direction,
+// normalized into the unit ball.
+func anisotropicData(g *rng.RNG, n int) *dataset.Dataset {
+	d := &dataset.Dataset{}
+	dir := []float64{3, 1, 0.2} // dominant direction before normalization
+	dirNorm := mathx.L2Norm(dir)
+	unit := []float64{dir[0] / dirNorm, dir[1] / dirNorm, dir[2] / dirNorm}
+	for i := 0; i < n; i++ {
+		t := g.Normal(0, 0.5)
+		x := make([]float64, 3)
+		for j := range x {
+			x[j] = t*unit[j] + g.Normal(0, 0.05)
+		}
+		d.Append(dataset.Example{X: x})
+	}
+	return d.NormalizeRows()
+}
+
+func TestSecondMomentMatrix(t *testing.T) {
+	d := dataset.New([]dataset.Example{
+		{X: []float64{1, 0}},
+		{X: []float64{0, 1}},
+	})
+	c := SecondMomentMatrix(d)
+	// C = (e1e1ᵀ + e2e2ᵀ)/2 = I/2.
+	if !mathx.AlmostEqual(c.At(0, 0), 0.5, 1e-12) || !mathx.AlmostEqual(c.At(1, 1), 0.5, 1e-12) ||
+		!mathx.AlmostEqual(c.At(0, 1), 0, 1e-12) {
+		t.Errorf("C = %v", c)
+	}
+	if !c.IsSymmetric(1e-12) {
+		t.Error("C must be symmetric")
+	}
+}
+
+func TestPCARecoveriesDominantDirection(t *testing.T) {
+	g := rng.New(1)
+	d := anisotropicData(g, 2000)
+	res, err := PCA(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Components.Col(0)
+	dir := []float64{3, 1, 0.2}
+	dirNorm := mathx.L2Norm(dir)
+	var dot float64
+	for j := range top {
+		dot += top[j] * dir[j] / dirNorm
+	}
+	if math.Abs(dot) < 0.99 {
+		t.Errorf("top component misaligned: |cos| = %v", math.Abs(dot))
+	}
+	// Eigenvalues descending and non-negative for a Gram matrix.
+	for i := 1; i < len(res.Values); i++ {
+		if res.Values[i] > res.Values[i-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+	if res.Values[len(res.Values)-1] < -1e-10 {
+		t.Error("second-moment matrix should be PSD")
+	}
+}
+
+func TestPrivatePCAValidation(t *testing.T) {
+	g := rng.New(3)
+	if _, err := PrivatePCA(&dataset.Dataset{}, 1, g); err == nil {
+		t.Error("empty dataset")
+	}
+	d := anisotropicData(g, 50)
+	if _, err := PrivatePCA(d, 0, g); err == nil {
+		t.Error("epsilon")
+	}
+	// Unnormalized rows rejected.
+	big := dataset.New([]dataset.Example{{X: []float64{3, 0, 0}}})
+	if _, err := PrivatePCA(big, 1, g); err == nil {
+		t.Error("row norm > 1 must be rejected")
+	}
+}
+
+func TestPrivatePCAApproachesExact(t *testing.T) {
+	g := rng.New(5)
+	d := anisotropicData(g, 4000)
+	trueC := SecondMomentMatrix(d)
+	exact, err := PCA(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactVar := CapturedVariance(trueC, exact.Components, 1)
+	// Generous ε: captured variance of the private top component must be
+	// close to the exact one.
+	res, err := PrivatePCA(d, 50, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Guarantee.Epsilon != 50 {
+		t.Error("guarantee")
+	}
+	privVar := CapturedVariance(trueC, res.Components, 1)
+	if privVar < exactVar-0.05 {
+		t.Errorf("private captured variance %v far below exact %v", privVar, exactVar)
+	}
+}
+
+func TestPrivatePCAUtilityImprovesWithEpsilon(t *testing.T) {
+	g := rng.New(7)
+	d := anisotropicData(g, 1000)
+	trueC := SecondMomentMatrix(d)
+	avgVar := func(eps float64) float64 {
+		var w mathx.Welford
+		for r := 0; r < 20; r++ {
+			res, err := PrivatePCA(d, eps, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Add(CapturedVariance(trueC, res.Components, 1))
+		}
+		return w.Mean()
+	}
+	weak := avgVar(0.05)
+	strong := avgVar(20)
+	if strong <= weak {
+		t.Errorf("captured variance at eps=20 (%v) not above eps=0.05 (%v)", strong, weak)
+	}
+}
+
+func TestCapturedVarianceBounds(t *testing.T) {
+	g := rng.New(9)
+	d := anisotropicData(g, 500)
+	trueC := SecondMomentMatrix(d)
+	res, err := PCA(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full basis captures everything.
+	full := CapturedVariance(trueC, res.Components, 3)
+	if !mathx.AlmostEqual(full, 1, 1e-9) {
+		t.Errorf("full captured variance = %v", full)
+	}
+	one := CapturedVariance(trueC, res.Components, 1)
+	if one <= 0 || one > 1+1e-12 {
+		t.Errorf("k=1 captured variance = %v", one)
+	}
+	// k beyond the dimension clamps.
+	if CapturedVariance(trueC, res.Components, 10) != full {
+		t.Error("k clamp")
+	}
+}

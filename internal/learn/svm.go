@@ -1,0 +1,155 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// HuberHingeLoss is the Huberized (smoothed) hinge loss of Chaudhuri,
+// Monteleoni & Sarwate: a differentiable surrogate for the SVM hinge, as
+// required by their objective-perturbation analysis. With half-width h
+// and margin m = y·θ·x:
+//
+//	l(m) = 0                         if m > 1 + h
+//	l(m) = (1 + h − m)²/(4h)         if |1 − m| ≤ h
+//	l(m) = 1 − m                     if m < 1 − h
+type HuberHingeLoss struct {
+	// H is the smoothing half-width (Chaudhuri et al. use 0.5).
+	H float64
+}
+
+// Loss implements Loss.
+func (l HuberHingeLoss) Loss(theta []float64, e dataset.Example) float64 {
+	if l.H <= 0 {
+		panic("learn: HuberHingeLoss requires H > 0")
+	}
+	m := e.Y * mathx.Dot(theta, e.X)
+	switch {
+	case m > 1+l.H:
+		return 0
+	case m < 1-l.H:
+		return 1 - m
+	default:
+		d := 1 + l.H - m
+		return d * d / (4 * l.H)
+	}
+}
+
+// Margin derivative dl/dm, used by the gradient.
+func (l HuberHingeLoss) dLoss(m float64) float64 {
+	switch {
+	case m > 1+l.H:
+		return 0
+	case m < 1-l.H:
+		return -1
+	default:
+		return -(1 + l.H - m) / (2 * l.H)
+	}
+}
+
+// Bound implements Loss (unbounded without clipping; bounded once ‖θ‖
+// and ‖x‖ are).
+func (HuberHingeLoss) Bound() float64 { return math.Inf(1) }
+
+// Name implements Loss.
+func (l HuberHingeLoss) Name() string { return fmt.Sprintf("huber-hinge(%.3g)", l.H) }
+
+// HuberSVMObjective returns the L2-regularized Huber-SVM objective and
+// gradient on d: (1/n)Σ l(yᵢθ·xᵢ) + (λ/2)‖θ‖².
+func HuberSVMObjective(d *dataset.Dataset, h, lambda float64) func([]float64) (float64, []float64) {
+	loss := HuberHingeLoss{H: h}
+	n := float64(d.Len())
+	return func(theta []float64) (float64, []float64) {
+		grad := make([]float64, len(theta))
+		var val mathx.KahanSum
+		for _, e := range d.Examples {
+			m := e.Y * mathx.Dot(theta, e.X)
+			val.Add(loss.Loss(theta, e))
+			c := loss.dLoss(m) * e.Y
+			for j := range grad {
+				grad[j] += c * e.X[j]
+			}
+		}
+		v := val.Sum() / n
+		for j := range grad {
+			grad[j] = grad[j]/n + lambda*theta[j]
+		}
+		norm := mathx.L2Norm(theta)
+		v += lambda / 2 * norm * norm
+		return v, grad
+	}
+}
+
+// HuberSVM fits an L2-regularized Huberized SVM by gradient descent.
+func HuberSVM(d *dataset.Dataset, h, lambda float64, opts GDOptions) ([]float64, error) {
+	if d.Len() == 0 {
+		panic("learn: HuberSVM on empty dataset")
+	}
+	if h <= 0 || lambda < 0 {
+		panic("learn: HuberSVM requires h > 0 and lambda >= 0")
+	}
+	x0 := make([]float64, d.Dim())
+	return MinimizeGD(HuberSVMObjective(d, h, lambda), x0, opts)
+}
+
+// OutputPerturbationHuberSVM privately fits the Huber-SVM by the CMS
+// sensitivity method (sensitivity 2/(nλ), same as logistic since both
+// losses are 1-Lipschitz in the margin). The release is ε-DP.
+func OutputPerturbationHuberSVM(d *dataset.Dataset, h, lambda, epsilon float64, opts GDOptions, g *rng.RNG) ([]float64, error) {
+	if lambda <= 0 || epsilon <= 0 {
+		return nil, fmt.Errorf("learn: output perturbation requires lambda > 0 and epsilon > 0")
+	}
+	theta, err := HuberSVM(d, h, lambda, opts)
+	if err != nil && err != ErrNotConverged {
+		return nil, err
+	}
+	scale := 2 / (float64(d.Len()) * lambda * epsilon)
+	noise := sphereNoise(d.Dim(), scale, g)
+	for i := range theta {
+		theta[i] += noise[i]
+	}
+	return theta, nil
+}
+
+// ObjectivePerturbationHuberSVM privately fits the Huber-SVM by CMS
+// objective perturbation. The smoothness constant of the Huber hinge is
+// c = 1/(2h) (the maximum of |l”|). The release is ε-DP.
+func ObjectivePerturbationHuberSVM(d *dataset.Dataset, h, lambda, epsilon float64, opts GDOptions, g *rng.RNG) ([]float64, error) {
+	if lambda <= 0 || epsilon <= 0 || h <= 0 {
+		return nil, fmt.Errorf("learn: objective perturbation requires positive h, lambda, epsilon")
+	}
+	n := float64(d.Len())
+	c := 1 / (2 * h)
+	epsPrime := epsilon - math.Log(1+2*c/(n*lambda)+c*c/(n*n*lambda*lambda))
+	delta := 0.0
+	if epsPrime <= 0 {
+		delta = c/(n*(math.Exp(epsilon/4)-1)) - lambda
+		epsPrime = epsilon / 2
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	if epsPrime <= 0 {
+		return nil, ErrPrivacyBudgetTooSmall
+	}
+	b := sphereNoise(d.Dim(), 2/epsPrime, g)
+	base := HuberSVMObjective(d, h, lambda)
+	obj := func(theta []float64) (float64, []float64) {
+		v, grad := base(theta)
+		for j := range theta {
+			v += b[j]*theta[j]/n + delta/2*theta[j]*theta[j]
+			grad[j] += b[j]/n + delta*theta[j]
+		}
+		return v, grad
+	}
+	x0 := make([]float64, d.Dim())
+	theta, err := MinimizeGD(obj, x0, opts)
+	if err != nil && err != ErrNotConverged {
+		return nil, err
+	}
+	return theta, nil
+}

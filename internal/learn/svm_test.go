@@ -1,0 +1,290 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/mechanism"
+	"repro/internal/rng"
+)
+
+func TestHuberHingeLossPieces(t *testing.T) {
+	l := HuberHingeLoss{H: 0.5}
+	th := []float64{1}
+	// m = y·θ·x; choose x to set the margin.
+	// m = 2 > 1.5: zero.
+	if got := l.Loss(th, ex(1, 2)); got != 0 {
+		t.Errorf("flat piece = %v", got)
+	}
+	// m = 0 < 0.5: linear 1 − m = 1.
+	if got := l.Loss(th, ex(1, 0)); !mathx.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("linear piece = %v", got)
+	}
+	// m = 1: quadratic (1+0.5−1)²/(4·0.5) = 0.125.
+	if got := l.Loss(th, ex(1, 1)); !mathx.AlmostEqual(got, 0.125, 1e-12) {
+		t.Errorf("quadratic piece = %v", got)
+	}
+	// Continuity at the knots m = 1±h.
+	knotHi := l.Loss(th, ex(1, 1.5))
+	if !mathx.AlmostEqual(knotHi, 0, 1e-12) {
+		t.Errorf("continuity at 1+h: %v", knotHi)
+	}
+	knotLo := l.Loss(th, ex(1, 0.5))
+	if !mathx.AlmostEqual(knotLo, 0.5, 1e-12) {
+		t.Errorf("continuity at 1-h: %v", knotLo)
+	}
+	if l.Name() == "" || !math.IsInf(l.Bound(), 1) {
+		t.Error("metadata")
+	}
+}
+
+func TestHuberHingeApproximatesHinge(t *testing.T) {
+	// The Huberized hinge stays within h/4 of the hinge everywhere (the
+	// gap is maximal at margin 1, where hinge = 0 and huber = h/4) and
+	// coincides with it outside the smoothing zone (1−h, 1+h).
+	hw := 0.5
+	l := HuberHingeLoss{H: hw}
+	h := HingeLoss{}
+	th := []float64{1}
+	for _, x := range []float64{-2, -1, 0, 0.4, 0.6, 0.9, 1, 1.1, 1.4, 1.6, 3} {
+		e := ex(1, x)
+		if math.Abs(l.Loss(th, e)-h.Loss(th, e)) > hw/4+1e-12 {
+			t.Errorf("huber-hinge gap at margin %v: %v vs %v", x, l.Loss(th, e), h.Loss(th, e))
+		}
+		if x <= 1-hw || x >= 1+hw {
+			if !mathx.AlmostEqual(l.Loss(th, e), h.Loss(th, e), 1e-12) {
+				t.Errorf("outside smoothing zone losses must coincide at margin %v", x)
+			}
+		}
+	}
+}
+
+func TestHuberSVMObjectiveGradient(t *testing.T) {
+	g := rng.New(1)
+	d := dataset.LogisticModel{Weights: []float64{1, -1}}.Generate(60, g)
+	obj := HuberSVMObjective(d, 0.5, 0.05)
+	theta := []float64{0.4, -0.2}
+	_, grad := obj(theta)
+	const h = 1e-6
+	for j := range theta {
+		tp := append([]float64(nil), theta...)
+		tm := append([]float64(nil), theta...)
+		tp[j] += h
+		tm[j] -= h
+		fp, _ := obj(tp)
+		fm, _ := obj(tm)
+		fd := (fp - fm) / (2 * h)
+		if !mathx.AlmostEqual(grad[j], fd, 1e-4) {
+			t.Errorf("grad[%d] = %v, fd = %v", j, grad[j], fd)
+		}
+	}
+}
+
+func TestHuberSVMRecovers(t *testing.T) {
+	g := rng.New(3)
+	model := dataset.LogisticModel{Weights: []float64{3, -2}, Bias: 0}
+	d := model.Generate(2000, g)
+	theta, err := HuberSVM(d, 0.5, 1e-4, GDOptions{MaxIter: 1500, Tol: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta[0] <= 0 || theta[1] >= 0 {
+		t.Fatalf("signs wrong: %v", theta)
+	}
+	if errRate := ClassificationError(theta, d); errRate > 0.35 {
+		t.Errorf("training error = %v", errRate)
+	}
+}
+
+func TestOutputPerturbationHuberSVM(t *testing.T) {
+	g := rng.New(5)
+	model := dataset.LogisticModel{Weights: []float64{2, -1}}
+	d := model.Generate(1500, g).NormalizeRows()
+	// Huge ε ≈ non-private.
+	thPriv, err := OutputPerturbationHuberSVM(d, 0.5, 0.01, 1e6, GDOptions{MaxIter: 800}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thPlain, err := HuberSVM(d, 0.5, 0.01, GDOptions{MaxIter: 800})
+	if err != nil && err != ErrNotConverged {
+		t.Fatal(err)
+	}
+	var diff float64
+	for i := range thPriv {
+		diff += math.Abs(thPriv[i] - thPlain[i])
+	}
+	if diff > 0.01 {
+		t.Errorf("huge-ε output perturbation diff = %v", diff)
+	}
+	if _, err := OutputPerturbationHuberSVM(d, 0.5, 0, 1, GDOptions{}, g); err == nil {
+		t.Error("lambda=0 must error")
+	}
+}
+
+func TestObjectivePerturbationHuberSVM(t *testing.T) {
+	g := rng.New(7)
+	model := dataset.LogisticModel{Weights: []float64{2, -1}}
+	d := model.Generate(1500, g).NormalizeRows()
+	test := model.Generate(1500, g).NormalizeRows()
+	th, err := ObjectivePerturbationHuberSVM(d, 0.5, 0.01, 50, GDOptions{MaxIter: 800}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := HuberSVM(d, 0.5, 0.01, GDOptions{MaxIter: 800})
+	if err != nil && err != ErrNotConverged {
+		t.Fatal(err)
+	}
+	if ClassificationError(th, test) > ClassificationError(plain, test)+0.05 {
+		t.Errorf("large-ε objective perturbation much worse: %v vs %v",
+			ClassificationError(th, test), ClassificationError(plain, test))
+	}
+	// Tiny lambda exercises the Δ-adjustment path without error.
+	if _, err := ObjectivePerturbationHuberSVM(d, 0.5, 1e-7, 0.1, GDOptions{MaxIter: 200}, g); err != nil {
+		t.Errorf("adjusted path failed: %v", err)
+	}
+	if _, err := ObjectivePerturbationHuberSVM(d, 0, 0.01, 1, GDOptions{}, g); err == nil {
+		t.Error("h=0 must error")
+	}
+}
+
+func TestPrivateSelect(t *testing.T) {
+	g := rng.New(9)
+	model := dataset.LogisticModel{Weights: []float64{3}, Bias: 0}
+	val := model.Generate(400, g)
+	cands := []Candidate{
+		{Name: "good", Theta: []float64{1}},
+		{Name: "bad", Theta: []float64{-1}},
+		{Name: "zero", Theta: []float64{0}},
+	}
+	picks := map[string]int{}
+	for i := 0; i < 200; i++ {
+		c, err := PrivateSelect(cands, ZeroOneLoss{}, val, 5, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks[c.Name]++
+	}
+	if picks["good"] < 190 {
+		t.Errorf("good candidate picked only %d/200: %v", picks["good"], picks)
+	}
+}
+
+func TestPrivateSelectValidation(t *testing.T) {
+	g := rng.New(11)
+	val := dataset.LogisticModel{Weights: []float64{1}}.Generate(10, g)
+	cands := []Candidate{{Name: "a", Theta: []float64{1}}}
+	if _, err := PrivateSelect(nil, ZeroOneLoss{}, val, 1, g); err == nil {
+		t.Error("no candidates")
+	}
+	if _, err := PrivateSelect(cands, ZeroOneLoss{}, &dataset.Dataset{}, 1, g); err == nil {
+		t.Error("empty validation")
+	}
+	if _, err := PrivateSelect(cands, SquaredLoss{}, val, 1, g); err == nil {
+		t.Error("unbounded loss")
+	}
+}
+
+func TestPrivateSelectPrivacyExact(t *testing.T) {
+	// The selection's output distribution between neighboring validation
+	// sets must satisfy ε exactly. Reconstruct the mechanism to audit.
+	g := rng.New(13)
+	model := dataset.LogisticModel{Weights: []float64{3}}
+	val := model.Generate(50, g)
+	nb := val.ReplaceOne(0, dataset.Example{X: []float64{0.9}, Y: -1})
+	cands := []Candidate{
+		{Theta: []float64{1}}, {Theta: []float64{-1}}, {Theta: []float64{0.2}},
+	}
+	eps := 0.7
+	sens := 1.0 / 50
+	quality := func(d *dataset.Dataset, u int) float64 {
+		return -EmpiricalRisk(ZeroOneLoss{}, cands[u].Theta, d)
+	}
+	em, err := mechanism.NewExponential(quality, len(cands), sens, eps/(2*sens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := em.LogProbabilities(val)
+	p2 := em.LogProbabilities(nb)
+	var worst float64
+	for i := range p1 {
+		if d := math.Abs(p1[i] - p2[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > eps+1e-9 {
+		t.Errorf("selection privacy loss %v exceeds %v", worst, eps)
+	}
+}
+
+func TestKFoldSplit(t *testing.T) {
+	g := rng.New(15)
+	train, test := KFoldSplit(10, 3, g)
+	if len(train) != 3 || len(test) != 3 {
+		t.Fatal("fold count")
+	}
+	seen := map[int]int{}
+	for f := 0; f < 3; f++ {
+		if len(train[f])+len(test[f]) != 10 {
+			t.Fatalf("fold %d sizes %d+%d", f, len(train[f]), len(test[f]))
+		}
+		for _, i := range test[f] {
+			seen[i]++
+		}
+		// train and test are disjoint.
+		inTest := map[int]bool{}
+		for _, i := range test[f] {
+			inTest[i] = true
+		}
+		for _, i := range train[f] {
+			if inTest[i] {
+				t.Fatalf("index %d in both folds", i)
+			}
+		}
+	}
+	// Every index appears in exactly one test fold.
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d appears %d times in test folds", i, seen[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k out of range should panic")
+		}
+	}()
+	KFoldSplit(3, 5, g)
+}
+
+func TestCrossValidate(t *testing.T) {
+	g := rng.New(17)
+	model := dataset.LogisticModel{Weights: []float64{3}, Bias: 0}
+	d := model.Generate(300, g)
+	cv, err := CrossValidate(d, 5, ZeroOneLoss{}, func(train *dataset.Dataset) ([]float64, error) {
+		return LogisticRegression(train, 0.01, GDOptions{MaxIter: 200})
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bayes := model.BayesError(20000, g)
+	if cv < bayes-0.05 || cv > bayes+0.15 {
+		t.Errorf("CV risk %v far from Bayes %v", cv, bayes)
+	}
+	if _, err := CrossValidate(d, 500, ZeroOneLoss{}, nil, g); err == nil {
+		t.Error("k > n must error")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := dataset.New([]dataset.Example{ex(1, 1), ex(-1, 2), ex(1, 3)})
+	s := Subset(d, []int{2, 0})
+	if s.Len() != 2 || s.Examples[0].X[0] != 3 || s.Examples[1].X[0] != 1 {
+		t.Errorf("Subset = %+v", s.Examples)
+	}
+	// Deep copy.
+	s.Examples[0].X[0] = 99
+	if d.Examples[2].X[0] == 99 {
+		t.Error("Subset must deep-copy")
+	}
+}

@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{
+		2, 0, 0,
+		0, 5, 0,
+		0, 0, 1,
+	})
+	vals, vecs, err := JacobiEigen(a, 1e-12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 2, 1}
+	for i := range want {
+		if !mathx.AlmostEqual(vals[i], want[i], 1e-10) {
+			t.Errorf("vals[%d] = %v, want %v (descending)", i, vals[i], want[i])
+		}
+	}
+	// Eigenvector of 5 is e2 up to sign.
+	if math.Abs(math.Abs(vecs.At(1, 0))-1) > 1e-10 {
+		t.Errorf("top eigenvector = %v", vecs.Col(0))
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatrixFrom(2, 2, []float64{2, 1, 1, 2})
+	vals, vecs, err := JacobiEigen(a, 1e-13, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(vals[0], 3, 1e-10) || !mathx.AlmostEqual(vals[1], 1, 1e-10) {
+		t.Errorf("vals = %v", vals)
+	}
+	// Top eigenvector ∝ (1,1)/√2.
+	v := vecs.Col(0)
+	if !mathx.AlmostEqual(math.Abs(v[0]), 1/math.Sqrt2, 1e-9) || !mathx.AlmostEqual(math.Abs(v[1]), 1/math.Sqrt2, 1e-9) {
+		t.Errorf("top vector = %v", v)
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	// Random SPD matrix: V·diag(λ)·Vᵀ must reconstruct A, V orthonormal,
+	// A·v = λ·v per pair.
+	g := rng.New(1)
+	a := randomSPD(g, 6)
+	vals, vecs, err := JacobiEigen(a, 1e-13, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending order.
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+	}
+	// Orthonormality: VᵀV = I.
+	vtv := vecs.T().Mul(vecs)
+	if vtv.Sub(Identity(6)).MaxAbs() > 1e-9 {
+		t.Errorf("VᵀV != I, max err %v", vtv.Sub(Identity(6)).MaxAbs())
+	}
+	// Per-pair A·v = λ·v.
+	for c := 0; c < 6; c++ {
+		v := vecs.Col(c)
+		av := a.MulVec(v)
+		for i := range v {
+			if !mathx.AlmostEqual(av[i], vals[c]*v[i], 1e-8) {
+				t.Fatalf("A·v != λ·v at pair %d, row %d: %v vs %v", c, i, av[i], vals[c]*v[i])
+			}
+		}
+	}
+	// Reconstruction.
+	d := NewMatrix(6, 6)
+	for i := 0; i < 6; i++ {
+		d.Set(i, i, vals[i])
+	}
+	recon := vecs.Mul(d).Mul(vecs.T())
+	if recon.Sub(a).MaxAbs() > 1e-8 {
+		t.Errorf("VΛVᵀ != A, max err %v", recon.Sub(a).MaxAbs())
+	}
+}
+
+func TestJacobiEigenTraceInvariant(t *testing.T) {
+	g := rng.New(3)
+	a := randomSPD(g, 5)
+	vals, _, err := JacobiEigen(a, 1e-13, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, sum float64
+	for i := 0; i < 5; i++ {
+		trace += a.At(i, i)
+		sum += vals[i]
+	}
+	if !mathx.AlmostEqual(trace, sum, 1e-9) {
+		t.Errorf("trace %v != eigenvalue sum %v", trace, sum)
+	}
+}
+
+func TestJacobiEigenRejectsNonSymmetric(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	if _, _, err := JacobiEigen(a, 1e-12, 100); err != ErrNotSymmetric {
+		t.Errorf("expected ErrNotSymmetric, got %v", err)
+	}
+	b := NewMatrix(2, 3)
+	if _, _, err := JacobiEigen(b, 1e-12, 100); err != ErrNotSymmetric {
+		t.Errorf("non-square: expected ErrNotSymmetric, got %v", err)
+	}
+}
+
+func TestJacobiEigenNegativeEigenvalues(t *testing.T) {
+	// Indefinite symmetric matrix [[0,1],[1,0]]: eigenvalues ±1.
+	a := NewMatrixFrom(2, 2, []float64{0, 1, 1, 0})
+	vals, _, err := JacobiEigen(a, 1e-13, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(vals[0], 1, 1e-10) || !mathx.AlmostEqual(vals[1], -1, 1e-10) {
+		t.Errorf("vals = %v", vals)
+	}
+}

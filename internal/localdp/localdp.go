@@ -1,0 +1,229 @@
+// Package localdp implements local differential privacy — the per-record
+// regime where each individual randomizes their own record before it ever
+// reaches the aggregator. In the paper's Figure-1 language, every record
+// passes through its OWN small information channel, and the aggregate
+// leakage is bounded by composition over records; the package exposes the
+// per-record channel matrices so the information-theoretic analyses of
+// internal/channel and internal/infotheory apply directly.
+//
+// Implemented protocols: k-ary randomized response (generalized Warner),
+// optimized unary encoding (OUE, Wang et al. 2017), and a frequency
+// oracle with unbiased debiasing on top of either.
+package localdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrBadConfig is returned for invalid protocol parameters.
+var ErrBadConfig = errors.New("localdp: invalid configuration")
+
+// KRR is k-ary randomized response: a record v ∈ {0..K−1} is reported
+// truthfully with probability e^ε/(e^ε + K − 1) and otherwise replaced by
+// a uniformly random other value. Each report is ε-LDP.
+type KRR struct {
+	// K is the domain size.
+	K int
+	// Epsilon is the per-record privacy level.
+	Epsilon float64
+}
+
+// NewKRR validates the configuration.
+func NewKRR(k int, epsilon float64) (*KRR, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: K must be at least 2", ErrBadConfig)
+	}
+	if epsilon <= 0 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("%w: epsilon must be positive", ErrBadConfig)
+	}
+	return &KRR{K: k, Epsilon: epsilon}, nil
+}
+
+// TruthProbability returns p = e^ε / (e^ε + K − 1).
+func (m *KRR) TruthProbability() float64 {
+	e := math.Exp(m.Epsilon)
+	return e / (e + float64(m.K) - 1)
+}
+
+// Perturb randomizes one record.
+func (m *KRR) Perturb(v int, g *rng.RNG) int {
+	if v < 0 || v >= m.K {
+		panic("localdp: KRR value out of domain")
+	}
+	if g.Bernoulli(m.TruthProbability()) {
+		return v
+	}
+	// Uniform over the other K−1 values.
+	o := g.Intn(m.K - 1)
+	if o >= v {
+		o++
+	}
+	return o
+}
+
+// Channel returns the per-record channel matrix W[i][j] = P(report j |
+// value i) — the Figure-1 channel of a single individual.
+func (m *KRR) Channel() [][]float64 {
+	p := m.TruthProbability()
+	q := (1 - p) / float64(m.K-1)
+	w := make([][]float64, m.K)
+	for i := range w {
+		w[i] = make([]float64, m.K)
+		for j := range w[i] {
+			if i == j {
+				w[i][j] = p
+			} else {
+				w[i][j] = q
+			}
+		}
+	}
+	return w
+}
+
+// EstimateFrequencies debiases a histogram of perturbed reports into an
+// unbiased estimate of the true value frequencies:
+// f̂(v) = (c(v)/n − q) / (p − q), clamped to [0, 1] and renormalized.
+func (m *KRR) EstimateFrequencies(reports []int) ([]float64, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("%w: no reports", ErrBadConfig)
+	}
+	counts := make([]float64, m.K)
+	for _, r := range reports {
+		if r < 0 || r >= m.K {
+			return nil, fmt.Errorf("%w: report %d out of domain", ErrBadConfig, r)
+		}
+		counts[r]++
+	}
+	n := float64(len(reports))
+	p := m.TruthProbability()
+	q := (1 - p) / float64(m.K-1)
+	est := make([]float64, m.K)
+	var total float64
+	for v := range est {
+		e := (counts[v]/n - q) / (p - q)
+		if e < 0 {
+			e = 0
+		}
+		est[v] = e
+		total += e
+	}
+	if total > 0 {
+		for v := range est {
+			est[v] /= total
+		}
+	}
+	return est, nil
+}
+
+// Guarantee returns the per-record ε.
+func (m *KRR) Guarantee() float64 { return m.Epsilon }
+
+// OUE is optimized unary encoding (Wang et al. 2017): each record is
+// one-hot encoded over the domain and every bit is perturbed
+// independently — the set bit kept with probability 1/2, unset bits
+// flipped on with probability 1/(e^ε + 1). Each report is ε-LDP, and OUE
+// has lower estimation variance than KRR for large domains.
+type OUE struct {
+	// K is the domain size.
+	K int
+	// Epsilon is the per-record privacy level.
+	Epsilon float64
+}
+
+// NewOUE validates the configuration.
+func NewOUE(k int, epsilon float64) (*OUE, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: K must be at least 2", ErrBadConfig)
+	}
+	if epsilon <= 0 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("%w: epsilon must be positive", ErrBadConfig)
+	}
+	return &OUE{K: k, Epsilon: epsilon}, nil
+}
+
+// FlipOnProbability returns q = 1/(e^ε + 1).
+func (m *OUE) FlipOnProbability() float64 {
+	return 1 / (math.Exp(m.Epsilon) + 1)
+}
+
+// Perturb encodes and randomizes one record into a bit vector.
+func (m *OUE) Perturb(v int, g *rng.RNG) []bool {
+	if v < 0 || v >= m.K {
+		panic("localdp: OUE value out of domain")
+	}
+	q := m.FlipOnProbability()
+	out := make([]bool, m.K)
+	for b := range out {
+		if b == v {
+			out[b] = g.Bernoulli(0.5)
+		} else {
+			out[b] = g.Bernoulli(q)
+		}
+	}
+	return out
+}
+
+// EstimateFrequencies debiases per-bit counts into frequency estimates:
+// f̂(v) = (c(v)/n − q) / (1/2 − q), clamped and renormalized.
+func (m *OUE) EstimateFrequencies(reports [][]bool) ([]float64, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("%w: no reports", ErrBadConfig)
+	}
+	counts := make([]float64, m.K)
+	for _, r := range reports {
+		if len(r) != m.K {
+			return nil, fmt.Errorf("%w: report width %d != %d", ErrBadConfig, len(r), m.K)
+		}
+		for b, set := range r {
+			if set {
+				counts[b]++
+			}
+		}
+	}
+	n := float64(len(reports))
+	q := m.FlipOnProbability()
+	est := make([]float64, m.K)
+	var total float64
+	for v := range est {
+		e := (counts[v]/n - q) / (0.5 - q)
+		if e < 0 {
+			e = 0
+		}
+		est[v] = e
+		total += e
+	}
+	if total > 0 {
+		for v := range est {
+			est[v] /= total
+		}
+	}
+	return est, nil
+}
+
+// Guarantee returns the per-record ε.
+func (m *OUE) Guarantee() float64 { return m.Epsilon }
+
+// KRRVariance returns the per-value estimation variance of the KRR
+// frequency oracle at true frequency f and n reports (Wang et al., eq. 5):
+//
+//	Var = [ q(1−q) + f·(p−q)(1−p−q) ] / (n·(p−q)²)
+func KRRVariance(k int, epsilon, f float64, n int) float64 {
+	e := math.Exp(epsilon)
+	p := e / (e + float64(k) - 1)
+	q := (1 - p) / float64(k-1)
+	return (q*(1-q) + f*(p-q)*(1-p-q)) / (float64(n) * (p - q) * (p - q))
+}
+
+// OUEVariance returns the per-value estimation variance of the OUE
+// frequency oracle (Wang et al., eq. 8 with p = 1/2):
+//
+//	Var = [ q(1−q) + f·(1/2−q)(1/2+q−...) ] ≈ 4e^ε/(n(e^ε−1)²) for small f.
+func OUEVariance(epsilon, f float64, n int) float64 {
+	q := 1 / (math.Exp(epsilon) + 1)
+	p := 0.5
+	return (q*(1-q) + f*(p-q)*(1-p-q)) / (float64(n) * (p - q) * (p - q))
+}

@@ -1,0 +1,232 @@
+package localdp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/infotheory"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestKRRValidation(t *testing.T) {
+	if _, err := NewKRR(1, 1); err == nil {
+		t.Error("K < 2")
+	}
+	if _, err := NewKRR(4, 0); err == nil {
+		t.Error("epsilon")
+	}
+}
+
+func TestKRRTruthProbability(t *testing.T) {
+	m, err := NewKRR(2, math.Log(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=2: p = e^ε/(e^ε+1) = 3/4 — matches binary randomized response.
+	if !mathx.AlmostEqual(m.TruthProbability(), 0.75, 1e-12) {
+		t.Errorf("p = %v", m.TruthProbability())
+	}
+}
+
+func TestKRRChannelIsEpsLDP(t *testing.T) {
+	// Every pair of channel rows must have ratios within e^ε.
+	for _, eps := range []float64{0.3, 1, 3} {
+		m, err := NewKRR(5, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := m.Channel()
+		// Rows are distributions.
+		for i, row := range w {
+			if !mathx.AlmostEqual(mathx.SumSlice(row), 1, 1e-12) {
+				t.Fatalf("row %d sums to %v", i, mathx.SumSlice(row))
+			}
+		}
+		for a := range w {
+			for b := range w {
+				for j := range w[a] {
+					ratio := math.Abs(math.Log(w[a][j] / w[b][j]))
+					if ratio > eps+1e-9 {
+						t.Fatalf("eps=%v: rows %d,%d output %d ratio %v", eps, a, b, j, ratio)
+					}
+				}
+			}
+		}
+		// The worst-case ratio is exactly ε (truth vs lie on the same cell).
+		worst := math.Log(w[0][0] / w[1][0])
+		if !mathx.AlmostEqual(worst, eps, 1e-9) {
+			t.Errorf("eps=%v: worst ratio %v", eps, worst)
+		}
+	}
+}
+
+func TestKRRPerturbDistribution(t *testing.T) {
+	g := rng.New(1)
+	m, err := NewKRR(4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSamp := 200_000
+	counts := make([]int, 4)
+	for i := 0; i < nSamp; i++ {
+		counts[m.Perturb(2, g)]++
+	}
+	w := m.Channel()[2]
+	for j, c := range counts {
+		got := float64(c) / float64(nSamp)
+		if math.Abs(got-w[j]) > 0.01 {
+			t.Errorf("output %d: freq %v, channel %v", j, got, w[j])
+		}
+	}
+}
+
+func TestKRRFrequencyEstimation(t *testing.T) {
+	g := rng.New(3)
+	m, err := NewKRR(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{0.4, 0.3, 0.15, 0.1, 0.05}
+	n := 100_000
+	reports := make([]int, n)
+	for i := range reports {
+		v := g.Categorical(truth)
+		reports[i] = m.Perturb(v, g)
+	}
+	est, err := m.EstimateFrequencies(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > 0.02 {
+			t.Errorf("freq[%d] = %v, want %v", v, est[v], truth[v])
+		}
+	}
+	if _, err := m.EstimateFrequencies(nil); err == nil {
+		t.Error("empty reports")
+	}
+	if _, err := m.EstimateFrequencies([]int{9}); err == nil {
+		t.Error("out-of-domain report")
+	}
+}
+
+func TestOUEValidationAndFlipProb(t *testing.T) {
+	if _, err := NewOUE(1, 1); err == nil {
+		t.Error("K < 2")
+	}
+	if _, err := NewOUE(4, -1); err == nil {
+		t.Error("epsilon")
+	}
+	m, _ := NewOUE(4, math.Log(3))
+	if !mathx.AlmostEqual(m.FlipOnProbability(), 0.25, 1e-12) {
+		t.Errorf("q = %v", m.FlipOnProbability())
+	}
+}
+
+func TestOUEFrequencyEstimation(t *testing.T) {
+	g := rng.New(5)
+	m, err := NewOUE(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{0.35, 0.25, 0.2, 0.1, 0.07, 0.03}
+	n := 100_000
+	reports := make([][]bool, n)
+	for i := range reports {
+		v := g.Categorical(truth)
+		reports[i] = m.Perturb(v, g)
+	}
+	est, err := m.EstimateFrequencies(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range truth {
+		if math.Abs(est[v]-truth[v]) > 0.02 {
+			t.Errorf("freq[%d] = %v, want %v", v, est[v], truth[v])
+		}
+	}
+}
+
+func TestOUEBeatsKRRVarianceAtLargeK(t *testing.T) {
+	// Wang et al.: OUE's variance is lower than KRR's for large domains.
+	n := 10_000
+	eps := 1.0
+	f := 0.1
+	for _, k := range []int{16, 64, 256} {
+		if OUEVariance(eps, f, n) >= KRRVariance(k, eps, f, n) {
+			t.Errorf("OUE variance not below KRR at K=%d", k)
+		}
+	}
+	// And KRR wins for small K (binary).
+	if KRRVariance(2, eps, f, n) >= OUEVariance(eps, f, n) {
+		t.Error("KRR should win at K=2")
+	}
+}
+
+func TestKRRChannelLeakageBounded(t *testing.T) {
+	// Per-record min-entropy leakage and MI of the KRR channel are capped
+	// by ε (Alvim et al. for min-entropy; capacity cap for Shannon).
+	for _, eps := range []float64{0.5, 2} {
+		m, err := NewKRR(4, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := m.Channel()
+		mec, err := infotheory.MinEntropyCapacity(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mec > eps+1e-9 {
+			t.Errorf("min-entropy capacity %v exceeds eps %v", mec, eps)
+		}
+		cap_, _, err := infotheory.BlahutArimoto(w, 1e-10, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cap_ > eps+1e-9 {
+			t.Errorf("Shannon capacity %v exceeds eps %v", cap_, eps)
+		}
+	}
+}
+
+func TestEstimatesAreDistributionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := rng.New(seed)
+		m, err := NewKRR(3, 1)
+		if err != nil {
+			return false
+		}
+		reports := make([]int, 100)
+		for i := range reports {
+			reports[i] = m.Perturb(g.Intn(3), g)
+		}
+		est, err := m.EstimateFrequencies(reports)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range est {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return mathx.AlmostEqual(sum, 1, 1e-9) || sum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturbPanicsOutOfDomain(t *testing.T) {
+	g := rng.New(7)
+	m, _ := NewKRR(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-domain Perturb should panic")
+		}
+	}()
+	m.Perturb(3, g)
+}

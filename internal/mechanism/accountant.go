@@ -1,0 +1,92 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+)
+
+// Accountant tracks the privacy cost of a sequence of mechanism
+// invocations on the same dataset and reports composed guarantees.
+// The zero value is an empty accountant ready to use.
+type Accountant struct {
+	spent []Guarantee
+}
+
+// Spend records one mechanism invocation.
+func (a *Accountant) Spend(g Guarantee) {
+	a.spent = append(a.spent, g)
+}
+
+// Count returns the number of recorded invocations.
+func (a *Accountant) Count() int { return len(a.spent) }
+
+// BasicComposition returns the sequential-composition guarantee:
+// ε_total = Σ εᵢ, δ_total = Σ δᵢ.
+func (a *Accountant) BasicComposition() Guarantee {
+	var out Guarantee
+	for _, g := range a.spent {
+		out.Epsilon += g.Epsilon
+		out.Delta += g.Delta
+	}
+	return out
+}
+
+// AdvancedComposition returns the Dwork–Rothblum–Vadhan advanced
+// composition bound for k mechanisms each ε-DP (requires homogeneous pure
+// guarantees): for any slack δ′ > 0 the composition is
+// (ε·sqrt(2k·ln(1/δ′)) + k·ε·(e^ε − 1), δ′)-DP.
+// It returns an error if the recorded guarantees are heterogeneous or
+// impure, since the closed form only covers that case.
+func (a *Accountant) AdvancedComposition(deltaSlack float64) (Guarantee, error) {
+	if deltaSlack <= 0 || deltaSlack >= 1 {
+		return Guarantee{}, errors.New("mechanism: advanced composition needs slack in (0,1)")
+	}
+	if len(a.spent) == 0 {
+		return Guarantee{Delta: deltaSlack}, nil
+	}
+	eps := a.spent[0].Epsilon
+	for _, g := range a.spent {
+		if g.Delta != 0 {
+			return Guarantee{}, errors.New("mechanism: advanced composition implemented for pure ε-DP only")
+		}
+		if g.Epsilon != eps {
+			return Guarantee{}, errors.New("mechanism: advanced composition implemented for homogeneous ε only")
+		}
+	}
+	k := float64(len(a.spent))
+	epsTotal := eps*math.Sqrt(2*k*math.Log(1/deltaSlack)) + k*eps*(math.Exp(eps)-1)
+	return Guarantee{Epsilon: epsTotal, Delta: deltaSlack}, nil
+}
+
+// BestComposition returns the tighter of basic and advanced composition
+// (advanced with the given slack, falling back to basic when advanced is
+// inapplicable or looser).
+func (a *Accountant) BestComposition(deltaSlack float64) Guarantee {
+	basic := a.BasicComposition()
+	adv, err := a.AdvancedComposition(deltaSlack)
+	if err != nil {
+		return basic
+	}
+	if adv.Epsilon < basic.Epsilon {
+		return adv
+	}
+	return basic
+}
+
+// ParallelComposition returns the guarantee for mechanisms applied to
+// disjoint partitions of the data: the max of the individual guarantees.
+func ParallelComposition(gs []Guarantee) Guarantee {
+	var out Guarantee
+	for _, g := range gs {
+		if g.Epsilon > out.Epsilon {
+			out.Epsilon = g.Epsilon
+		}
+		if g.Delta > out.Delta {
+			out.Delta = g.Delta
+		}
+	}
+	return out
+}
+
+// Reset clears the accountant.
+func (a *Accountant) Reset() { a.spent = a.spent[:0] }

@@ -1,0 +1,62 @@
+package mechanism_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/mechanism"
+	"repro/internal/rng"
+)
+
+// ExampleLaplace releases a private count with the Laplace mechanism of
+// Theorem 2.1.
+func ExampleLaplace() {
+	g := rng.New(42)
+	d := dataset.BernoulliTable{}.FromBits([]int{1, 1, 0, 1, 0, 1, 1, 0, 0, 1})
+	q := mechanism.CountQuery(func(e dataset.Example) bool { return e.X[0] == 1 })
+	m, err := mechanism.NewLaplace(q, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	noisy := m.Release(d, g)
+	fmt.Printf("guarantee: %s\n", m.Guarantee())
+	fmt.Printf("true count 6, private count within 10: %v\n", mathx.AlmostEqual(noisy[0], 6, 10))
+	// Output:
+	// guarantee: 1-DP
+	// true count 6, private count within 10: true
+}
+
+// ExampleExponential selects a private median (Theorem 2.2).
+func ExampleExponential() {
+	g := rng.New(7)
+	d := &dataset.Dataset{}
+	for i := 0; i < 101; i++ {
+		d.Append(dataset.Example{X: []float64{mathx.Clamp(g.Normal(0.5, 0.05), 0, 1)}})
+	}
+	m, grid, err := mechanism.PrivateMedian(0, mathx.Linspace(0, 1, 21), 5)
+	if err != nil {
+		panic(err)
+	}
+	med := grid[m.Release(d, g)]
+	fmt.Printf("guarantee: %s\n", m.Guarantee())
+	fmt.Printf("median near 0.5: %v\n", med > 0.35 && med < 0.65)
+	// Output:
+	// guarantee: 10-DP
+	// median near 0.5: true
+}
+
+// ExampleAccountant composes the cost of several releases.
+func ExampleAccountant() {
+	var a mechanism.Accountant
+	for i := 0; i < 50; i++ {
+		a.Spend(mechanism.Guarantee{Epsilon: 0.1})
+	}
+	basic := a.BasicComposition()
+	best := a.BestComposition(1e-6)
+	fmt.Printf("basic: %s\n", basic)
+	fmt.Printf("advanced is tighter: %v\n", best.Epsilon < basic.Epsilon)
+	// Output:
+	// basic: 5-DP
+	// advanced is tighter: true
+}

@@ -1,0 +1,163 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/dataset"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func pfQuality(scores []float64) func(*dataset.Dataset, int) float64 {
+	return func(_ *dataset.Dataset, u int) float64 { return scores[u] }
+}
+
+func TestPermuteAndFlipValidation(t *testing.T) {
+	q := func(*dataset.Dataset, int) float64 { return 0 }
+	if _, err := NewPermuteAndFlip(q, 0, 1, 1); err == nil {
+		t.Error("zero candidates")
+	}
+	if _, err := NewPermuteAndFlip(q, 2, 0, 1); err != ErrInvalidSensitivity {
+		t.Error("sensitivity")
+	}
+	if _, err := NewPermuteAndFlip(q, 2, 1, 0); err != ErrInvalidEpsilon {
+		t.Error("epsilon")
+	}
+}
+
+func TestPermuteAndFlipLogProbabilitiesMatchSampling(t *testing.T) {
+	scores := []float64{3, 1, 0, 2.5}
+	m, err := NewPermuteAndFlip(pfQuality(scores), len(scores), 1, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &dataset.Dataset{Examples: []dataset.Example{{X: []float64{0}}}}
+	logp := m.LogProbabilities(d)
+	if !mathx.AlmostEqual(mathx.LogSumExp(logp), 0, 1e-10) {
+		t.Fatalf("log-probabilities must normalize, got %v", mathx.LogSumExp(logp))
+	}
+	g := rng.New(1)
+	nSamp := 300_000
+	counts := make([]int, len(scores))
+	for i := 0; i < nSamp; i++ {
+		counts[m.Release(d, g)]++
+	}
+	for u := range scores {
+		want := math.Exp(logp[u])
+		got := float64(counts[u]) / float64(nSamp)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("candidate %d: sampled %v, exact %v", u, got, want)
+		}
+	}
+}
+
+func TestPermuteAndFlipArgmaxAlwaysAcceptable(t *testing.T) {
+	// With one dominant candidate and tiny ε, PF still returns a valid
+	// index and the argmax keeps the largest probability.
+	scores := []float64{0, 10, 0}
+	m, err := NewPermuteAndFlip(pfQuality(scores), 3, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &dataset.Dataset{Examples: []dataset.Example{{X: []float64{0}}}}
+	logp := m.LogProbabilities(d)
+	if mathx.ArgMax(logp) != 1 {
+		t.Errorf("argmax candidate not most likely: %v", logp)
+	}
+}
+
+func TestPermuteAndFlipPrivacyExact(t *testing.T) {
+	// Exact audit of PF on median-style quality over neighbor pairs: the
+	// realized loss must respect ε.
+	g := rng.New(3)
+	grid := mathx.Linspace(0, 1, 11)
+	eps := 0.8
+	quality := func(d *dataset.Dataset, u int) float64 {
+		c := grid[u]
+		var below float64
+		for _, e := range d.Examples {
+			if e.X[0] < c {
+				below++
+			}
+		}
+		return -math.Abs(below - float64(d.Len())/2)
+	}
+	m, err := NewPermuteAndFlip(quality, len(grid), 1, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(h *rng.RNG) *dataset.Dataset {
+		d := &dataset.Dataset{}
+		for i := 0; i < 15; i++ {
+			d.Append(dataset.Example{X: []float64{h.Float64()}})
+		}
+		return d
+	}
+	pairs := audit.RandomNeighborPairs(gen, 100, g)
+	got := audit.ExactAudit(m, pairs)
+	if got > eps+1e-9 {
+		t.Errorf("permute-and-flip exact audit %v exceeds eps %v", got, eps)
+	}
+	if got <= 0 {
+		t.Error("audit should observe nonzero loss")
+	}
+}
+
+func TestPermuteAndFlipBeatsExponentialUtility(t *testing.T) {
+	// McKenna–Sheldon: PF's expected quality gap never exceeds EM's at
+	// equal ε (for the same quality and sensitivity).
+	g := rng.New(5)
+	d := &dataset.Dataset{Examples: []dataset.Example{{X: []float64{0}}}}
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + g.Intn(10)
+		scores := make([]float64, k)
+		for i := range scores {
+			scores[i] = g.Uniform(-3, 3)
+		}
+		eps := g.Uniform(0.2, 4)
+		pf, err := NewPermuteAndFlip(pfQuality(scores), k, 1, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// EM with guarantee 2·mechEps·Δq = eps → mechEps = eps/2.
+		em, err := NewExponential(pfQuality(scores), k, 1, eps/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := func(u int) float64 { return scores[u] }
+		gapPF := ExpectedQualityGap(pf.LogProbabilities(d), q)
+		gapEM := ExpectedQualityGap(em.LogProbabilities(d), q)
+		if gapPF > gapEM+1e-9 {
+			t.Fatalf("PF gap %v exceeds EM gap %v (k=%d, eps=%v, scores=%v)", gapPF, gapEM, k, eps, scores)
+		}
+	}
+}
+
+func TestPermuteAndFlipLogProbsPanicAbove20(t *testing.T) {
+	m, err := NewPermuteAndFlip(func(*dataset.Dataset, int) float64 { return 0 }, 21, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("should panic above 20 candidates")
+		}
+	}()
+	m.LogProbabilities(&dataset.Dataset{})
+}
+
+func TestExpectedQualityGap(t *testing.T) {
+	// Point mass on the argmax: zero gap.
+	logp := []float64{0, math.Inf(-1)}
+	q := func(u int) float64 { return []float64{5, 1}[u] }
+	if gap := ExpectedQualityGap(logp, q); gap != 0 {
+		t.Errorf("gap = %v", gap)
+	}
+	// Uniform over {5, 1}: gap = 2.
+	u := []float64{math.Log(0.5), math.Log(0.5)}
+	if gap := ExpectedQualityGap(u, q); !mathx.AlmostEqual(gap, 2, 1e-12) {
+		t.Errorf("gap = %v", gap)
+	}
+}

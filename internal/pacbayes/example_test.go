@@ -1,0 +1,41 @@
+package pacbayes_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/pacbayes"
+)
+
+// Example shows Lemma 3.2 numerically: the Gibbs posterior attains the
+// closed-form minimum of the linearized PAC-Bayes objective.
+func Example() {
+	risks := []float64{0.1, 0.4, 0.7}
+	logPrior := []float64{math.Log(1.0 / 3), math.Log(1.0 / 3), math.Log(1.0 / 3)}
+	lambda := 5.0
+
+	post, err := pacbayes.GibbsLogPosterior(logPrior, risks, lambda)
+	if err != nil {
+		panic(err)
+	}
+	st, err := pacbayes.StatsFor(post, logPrior, risks)
+	if err != nil {
+		panic(err)
+	}
+	opt, err := pacbayes.GibbsOptimalValue(logPrior, risks, lambda)
+	if err != nil {
+		panic(err)
+	}
+	objective := st.ExpEmpRisk + st.KL/lambda
+	fmt.Printf("gibbs attains the optimum: %v\n", mathx.AlmostEqual(objective, opt, 1e-12))
+
+	bound, err := pacbayes.CatoniBound(st.ExpEmpRisk, st.KL, lambda, 200, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("catoni bound exceeds empirical risk: %v\n", bound > st.ExpEmpRisk)
+	// Output:
+	// gibbs attains the optimum: true
+	// catoni bound exceeds empirical risk: true
+}

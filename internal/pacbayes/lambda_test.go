@@ -1,0 +1,161 @@
+package pacbayes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func TestSelectLambda(t *testing.T) {
+	g := rng.New(1)
+	k := 50
+	logPrior := uniformLogPrior(k)
+	risks := make([]float64, k)
+	for i := range risks {
+		risks[i] = g.Float64()
+	}
+	n := 300
+	candidates := []float64{1, 5, 25, 125, 625}
+	sel, err := SelectLambda(logPrior, risks, candidates, n, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sel.Lambda) {
+		t.Fatal("no lambda selected")
+	}
+	if len(sel.PerLambda) != len(candidates) {
+		t.Fatal("PerLambda length")
+	}
+	// The selected bound is the minimum of the per-candidate bounds.
+	minB := sel.PerLambda[mathx.ArgMin(sel.PerLambda)]
+	if !mathx.AlmostEqual(sel.Bound, minB, 1e-12) {
+		t.Errorf("Bound %v != min PerLambda %v", sel.Bound, minB)
+	}
+	// Union bound makes each candidate slightly looser than evaluating it
+	// alone at full delta.
+	post, _ := GibbsLogPosterior(logPrior, risks, sel.Lambda)
+	st, _ := StatsFor(post, logPrior, risks)
+	alone, err := CatoniBound(st.ExpEmpRisk, st.KL, sel.Lambda, n, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Bound < alone-1e-12 {
+		t.Errorf("union-bound corrected bound %v must be >= uncorrected %v", sel.Bound, alone)
+	}
+}
+
+func TestSelectLambdaBeatsHeuristicOnItsGrid(t *testing.T) {
+	// If the heuristic λ is in the candidate grid, the selection can only
+	// do better or equal (both at union-bound-corrected confidence).
+	g := rng.New(3)
+	k := 30
+	logPrior := uniformLogPrior(k)
+	risks := make([]float64, k)
+	for i := range risks {
+		risks[i] = g.Float64() * 0.6
+	}
+	n := 200
+	heur := SqrtNLambda(n, 2)
+	candidates := []float64{heur / 4, heur, heur * 4}
+	sel, err := SelectLambda(logPrior, risks, candidates, n, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Bound > sel.PerLambda[1]+1e-12 {
+		t.Errorf("selection %v worse than heuristic-in-grid %v", sel.Bound, sel.PerLambda[1])
+	}
+}
+
+func TestSelectLambdaValidation(t *testing.T) {
+	lp := uniformLogPrior(2)
+	risks := []float64{0.1, 0.9}
+	if _, err := SelectLambda(lp, risks, nil, 10, 0.05); err != ErrBadParams {
+		t.Error("empty grid")
+	}
+	if _, err := SelectLambda(lp, risks, []float64{1}, 0, 0.05); err != ErrBadParams {
+		t.Error("n")
+	}
+	if _, err := SelectLambda(lp, risks, []float64{1}, 10, 0); err != ErrBadParams {
+		t.Error("delta")
+	}
+	if _, err := SelectLambda(lp, risks, []float64{-1}, 10, 0.05); err != ErrBadParams {
+		t.Error("negative candidate")
+	}
+	if _, err := SelectLambda(lp, risks[:1], []float64{1}, 10, 0.05); err != ErrBadParams {
+		t.Error("length mismatch")
+	}
+}
+
+func TestSqrtNLambda(t *testing.T) {
+	if got := SqrtNLambda(100, 2); !mathx.AlmostEqual(got, 20, 1e-12) {
+		t.Errorf("SqrtNLambda = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid args should panic")
+		}
+	}()
+	SqrtNLambda(0, 1)
+}
+
+func TestCompareBounds(t *testing.T) {
+	cb, err := CompareBounds(0.15, 1.2, 30, 400, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeger dominates McAllester; all exceed the empirical risk.
+	if cb.Seeger > cb.McAllester+1e-9 {
+		t.Errorf("Seeger %v above McAllester %v", cb.Seeger, cb.McAllester)
+	}
+	for _, b := range []float64{cb.Catoni, cb.McAllester, cb.Seeger} {
+		if b < 0.15 {
+			t.Errorf("bound %v below empirical risk", b)
+		}
+	}
+	if _, err := CompareBounds(0.15, -1, 30, 400, 0.05); err == nil {
+		t.Error("invalid KL must error")
+	}
+}
+
+func TestBoundErrorPropagation(t *testing.T) {
+	// CompareBounds propagates failures from each constituent bound.
+	if _, err := CompareBounds(0.1, 1, 30, 400, 1.5); err == nil {
+		t.Error("bad delta must error")
+	}
+	if _, err := CompareBounds(math.NaN(), 1, 30, 400, 0.05); err == nil {
+		t.Error("NaN risk must error")
+	}
+	// CatoniExpectationBound validation.
+	if _, err := CatoniExpectationBound(0.1, -1, 10, 100); err != ErrBadParams {
+		t.Error("negative KL")
+	}
+	if _, err := CatoniExpectationBound(0.1, 1, 10, 0); err != ErrBadParams {
+		t.Error("zero n")
+	}
+	// Clamping at zero for extremely favorable stats.
+	b, err := CatoniExpectationBound(0, 0, 1e-6, 10)
+	if err != nil || b < 0 {
+		t.Errorf("clamp: %v, %v", b, err)
+	}
+	// LinearizedBound delta=1 drops the confidence term.
+	l1, err := LinearizedBound(0.2, 1, 5, 1)
+	if err != nil || !mathx.AlmostEqual(l1, 0.2+1.0/5, 1e-12) {
+		t.Errorf("linearized at delta=1: %v, %v", l1, err)
+	}
+	if _, err := LinearizedBound(0.2, 1, 5, 1.5); err != ErrBadParams {
+		t.Error("delta > 1")
+	}
+	if _, err := McAllesterBound(0.2, -1, 100, 0.05); err != ErrBadParams {
+		t.Error("mcallester negative KL")
+	}
+	if _, err := SeegerBound(0.2, -1, 100, 0.05); err != ErrBadParams {
+		t.Error("seeger negative KL")
+	}
+	// SeegerBound clamps empirical risk above 1.
+	p, err := SeegerBound(1.3, 0.1, 100, 0.05)
+	if err != nil || p != 1 {
+		t.Errorf("seeger clamp: %v, %v", p, err)
+	}
+}

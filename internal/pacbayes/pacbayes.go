@@ -1,0 +1,275 @@
+// Package pacbayes implements the PAC-Bayesian generalization bounds of
+// Section 3 of the paper: Catoni's bound (Theorem 3.1) in both its exact
+// Φ-inverse form and its linearized form, plus the McAllester and
+// Seeger/Langford (kl-inversion) bounds for comparison, and the
+// Donsker–Varadhan machinery behind Lemma 3.2 (the Gibbs posterior as the
+// bound minimizer).
+//
+// All bounds are for losses in [0, 1]; callers with [0, M] losses rescale
+// (divide risks by M, multiply the returned bound by M).
+//
+// Notation: n is the sample size, λ > 0 the inverse temperature (the
+// paper's exponential-mechanism parameter), π the prior on Θ, ρ (or π̂)
+// a posterior, R̂ the empirical risk, R the true risk, δ the confidence
+// parameter, KL(ρ‖π) the Kullback–Leibler divergence.
+package pacbayes
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/infotheory"
+	"repro/internal/mathx"
+)
+
+// ErrBadParams is returned for invalid bound parameters.
+var ErrBadParams = errors.New("pacbayes: invalid parameters")
+
+// CatoniBound returns the right-hand side of Theorem 3.1 (Catoni's
+// PAC-Bayes bound): with probability ≥ 1−δ over samples of size n,
+//
+//	E_ρ R  ≤  [1 − exp(−(λ/n)·E_ρ R̂ − (KL(ρ‖π) + ln(1/δ))/n)] / [1 − exp(−λ/n)]
+//
+// given the posterior's expected empirical risk, its KL divergence to the
+// prior, λ, n, and δ. The bound may exceed 1 (vacuous) for small n or
+// large KL; it is clamped below at 0.
+func CatoniBound(expEmpRisk, kl, lambda float64, n int, delta float64) (float64, error) {
+	if err := checkParams(expEmpRisk, kl, lambda, n); err != nil {
+		return 0, err
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, ErrBadParams
+	}
+	nf := float64(n)
+	exponent := -(lambda/nf)*expEmpRisk - (kl+math.Log(1/delta))/nf
+	numer := -math.Expm1(exponent) // 1 − e^{exponent}
+	denom := -math.Expm1(-lambda / nf)
+	b := numer / denom
+	if b < 0 {
+		b = 0
+	}
+	return b, nil
+}
+
+// CatoniExpectationBound returns the in-expectation version (Equation 1
+// of the paper, without the confidence term):
+//
+//	E_Ẑ E_ρ R  ≤  [1 − exp(−(λ/n)·E_Ẑ E_ρ R̂ − E_Ẑ KL(ρ‖π)/n)] / [1 − exp(−λ/n)]
+func CatoniExpectationBound(expEmpRisk, expKL, lambda float64, n int) (float64, error) {
+	if err := checkParams(expEmpRisk, expKL, lambda, n); err != nil {
+		return 0, err
+	}
+	nf := float64(n)
+	exponent := -(lambda/nf)*expEmpRisk - expKL/nf
+	b := -math.Expm1(exponent) / -math.Expm1(-lambda/nf)
+	if b < 0 {
+		b = 0
+	}
+	return b, nil
+}
+
+// LinearizedBound returns the linearized Catoni objective
+//
+//	E_ρ R̂ + (KL(ρ‖π) + ln(1/δ))/λ
+//
+// — the quantity the Gibbs posterior minimizes exactly (Lemma 3.2).
+// Pass delta = 1 to drop the confidence term (ln(1/1) = 0), recovering
+// the regularized objective of Section 4.
+func LinearizedBound(expEmpRisk, kl, lambda, delta float64) (float64, error) {
+	if lambda <= 0 || kl < 0 || math.IsNaN(expEmpRisk) {
+		return 0, ErrBadParams
+	}
+	if delta <= 0 || delta > 1 {
+		return 0, ErrBadParams
+	}
+	return expEmpRisk + (kl+math.Log(1/delta))/lambda, nil
+}
+
+// McAllesterBound returns McAllester's PAC-Bayes bound:
+//
+//	E_ρ R  ≤  E_ρ R̂ + sqrt( (KL(ρ‖π) + ln(2√n/δ)) / (2n) )
+func McAllesterBound(expEmpRisk, kl float64, n int, delta float64) (float64, error) {
+	if err := checkParams(expEmpRisk, kl, 1, n); err != nil {
+		return 0, err
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, ErrBadParams
+	}
+	nf := float64(n)
+	return expEmpRisk + math.Sqrt((kl+math.Log(2*math.Sqrt(nf)/delta))/(2*nf)), nil
+}
+
+// BinaryKL returns the binary relative entropy
+// kl(q‖p) = q·ln(q/p) + (1−q)·ln((1−q)/(1−p)) for q, p ∈ [0, 1].
+// It is +Inf when p ∈ {0,1} disagrees with q.
+func BinaryKL(q, p float64) float64 {
+	if q < 0 || q > 1 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	var d float64
+	switch {
+	case q == 0:
+		d = -math.Log(1 - p)
+	case q == 1:
+		d = -math.Log(p)
+	default:
+		d = q*math.Log(q/p) + (1-q)*math.Log((1-q)/(1-p))
+	}
+	if d < 0 { // rounding
+		d = 0
+	}
+	return d
+}
+
+// SeegerBound returns the Seeger/Langford kl-inversion bound: the largest
+// p ∈ [q, 1] with kl(q‖p) ≤ (KL(ρ‖π) + ln(2√n/δ))/n, computed by
+// bisection. It is the tightest of the classical PAC-Bayes bounds.
+func SeegerBound(expEmpRisk, kl float64, n int, delta float64) (float64, error) {
+	if err := checkParams(expEmpRisk, kl, 1, n); err != nil {
+		return 0, err
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, ErrBadParams
+	}
+	if expEmpRisk > 1 {
+		expEmpRisk = 1
+	}
+	budget := (kl + math.Log(2*math.Sqrt(float64(n))/delta)) / float64(n)
+	if BinaryKL(expEmpRisk, 1) <= budget {
+		return 1, nil
+	}
+	// kl(q‖p) is increasing in p on [q, 1]; find the crossing.
+	f := func(p float64) float64 { return BinaryKL(expEmpRisk, p) - budget }
+	root, err := mathx.Bisect(f, expEmpRisk, 1, 1e-12, 200)
+	if err != nil {
+		return 0, err
+	}
+	return root, nil
+}
+
+func checkParams(risk, kl, lambda float64, n int) error {
+	if n <= 0 || lambda <= 0 || kl < 0 || math.IsNaN(risk) || math.IsNaN(kl) {
+		return ErrBadParams
+	}
+	return nil
+}
+
+// PosteriorStats bundles the quantities a PAC-Bayes bound needs for a
+// discrete posterior over a finite Θ.
+type PosteriorStats struct {
+	// ExpEmpRisk is E_{θ~ρ} R̂(θ).
+	ExpEmpRisk float64
+	// KL is KL(ρ‖π) in nats.
+	KL float64
+}
+
+// StatsFor computes PosteriorStats for a posterior and prior given as
+// normalized log-probability vectors over the same finite Θ, and the
+// per-θ empirical risks.
+func StatsFor(logPosterior, logPrior, risks []float64) (PosteriorStats, error) {
+	if len(logPosterior) != len(logPrior) || len(logPosterior) != len(risks) {
+		return PosteriorStats{}, ErrBadParams
+	}
+	kl, err := infotheory.KLLogSpace(logPosterior, logPrior)
+	if err != nil {
+		return PosteriorStats{}, err
+	}
+	var exp mathx.KahanSum
+	for i, lp := range logPosterior {
+		if math.IsInf(lp, -1) {
+			continue
+		}
+		exp.Add(math.Exp(lp) * risks[i])
+	}
+	return PosteriorStats{ExpEmpRisk: exp.Sum(), KL: kl}, nil
+}
+
+// GibbsLogPosterior returns the Gibbs posterior of Lemma 3.2 over a
+// finite Θ in log space:
+//
+//	log π̂_λ(θ) = log π(θ) − λ·R̂(θ) − log Z
+//
+// where Z = E_π exp(−λR̂). logPrior need not be normalized.
+func GibbsLogPosterior(logPrior, risks []float64, lambda float64) ([]float64, error) {
+	if len(logPrior) != len(risks) || lambda <= 0 {
+		return nil, ErrBadParams
+	}
+	logw := make([]float64, len(logPrior))
+	for i := range logw {
+		logw[i] = logPrior[i] - lambda*risks[i]
+	}
+	normalized, logZ := mathx.LogNormalize(logw)
+	if math.IsInf(logZ, -1) {
+		return nil, ErrBadParams
+	}
+	return normalized, nil
+}
+
+// GibbsOptimalValue returns the minimum of the Donsker–Varadhan objective
+// E_ρ R̂ + KL(ρ‖π)/λ over all posteriors ρ, which Lemma 3.2 says is
+// attained by the Gibbs posterior:
+//
+//	min = −(1/λ)·ln E_π exp(−λ·R̂)
+//
+// logPrior must be normalized.
+func GibbsOptimalValue(logPrior, risks []float64, lambda float64) (float64, error) {
+	if len(logPrior) != len(risks) || lambda <= 0 {
+		return 0, ErrBadParams
+	}
+	logw := make([]float64, len(logPrior))
+	for i := range logw {
+		logw[i] = logPrior[i] - lambda*risks[i]
+	}
+	logZ := mathx.LogSumExp(logw)
+	if math.IsInf(logZ, -1) {
+		return 0, ErrBadParams
+	}
+	return -logZ / lambda, nil
+}
+
+// MinimizePosterior numerically minimizes the linearized objective
+// E_ρ R̂ + KL(ρ‖π)/λ over the probability simplex by exponentiated
+// gradient (mirror) descent, returning the final posterior in log space
+// and the objective value. It exists to cross-check Lemma 3.2: the result
+// must coincide with GibbsLogPosterior up to optimizer tolerance.
+func MinimizePosterior(logPrior, risks []float64, lambda float64, iters int) ([]float64, float64, error) {
+	if len(logPrior) != len(risks) || lambda <= 0 || iters <= 0 {
+		return nil, 0, ErrBadParams
+	}
+	k := len(risks)
+	// Start from the prior.
+	logRho, _ := mathx.LogNormalize(append([]float64(nil), logPrior...))
+	objective := func(lr []float64) float64 {
+		st, err := StatsFor(lr, logPrior, risks)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return st.ExpEmpRisk + st.KL/lambda
+	}
+	step := 1.0
+	cur := objective(logRho)
+	grad := make([]float64, k)
+	for it := 0; it < iters; it++ {
+		// ∂/∂ρᵢ [Σρr + (Σρ(lnρ−lnπ))/λ] = rᵢ + (ln ρᵢ − ln πᵢ + 1)/λ.
+		for i := range grad {
+			grad[i] = risks[i] + (logRho[i]-logPrior[i]+1)/lambda
+		}
+		// Exponentiated gradient step with backtracking.
+		for {
+			next := make([]float64, k)
+			for i := range next {
+				next[i] = logRho[i] - step*grad[i]
+			}
+			nextNorm, _ := mathx.LogNormalize(next)
+			if v := objective(nextNorm); v <= cur {
+				logRho, cur = nextNorm, v
+				break
+			}
+			step /= 2
+			if step < 1e-12 {
+				return logRho, cur, nil
+			}
+		}
+	}
+	return logRho, cur, nil
+}

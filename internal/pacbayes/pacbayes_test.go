@@ -1,0 +1,394 @@
+package pacbayes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func uniformLogPrior(k int) []float64 {
+	out := make([]float64, k)
+	lp := -math.Log(float64(k))
+	for i := range out {
+		out[i] = lp
+	}
+	return out
+}
+
+func TestCatoniBoundBasics(t *testing.T) {
+	// Zero risk, zero KL: bound = (1 − e^{−ln(1/δ)/n}) / (1 − e^{−λ/n}).
+	b, err := CatoniBound(0, 0, 10, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -math.Expm1(-math.Log(20)/100) / -math.Expm1(-0.1)
+	if !mathx.AlmostEqual(b, want, 1e-12) {
+		t.Errorf("CatoniBound = %v, want %v", b, want)
+	}
+	// Bound decreases with n and increases with KL.
+	b1, _ := CatoniBound(0.2, 1, 50, 100, 0.05)
+	b2, _ := CatoniBound(0.2, 1, 50, 1000, 0.05)
+	if b2 >= b1 {
+		t.Errorf("bound must shrink with n: %v vs %v", b1, b2)
+	}
+	b3, _ := CatoniBound(0.2, 5, 50, 100, 0.05)
+	if b3 <= b1 {
+		t.Errorf("bound must grow with KL: %v vs %v", b1, b3)
+	}
+}
+
+func TestCatoniBoundApproachesLinearized(t *testing.T) {
+	// For λ ≪ n, Catoni ≈ linearized bound.
+	risk, kl, lambda, delta := 0.3, 2.0, 5.0, 0.05
+	n := 100000
+	catoni, err := CatoniBound(risk, kl, lambda, n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := LinearizedBound(risk, kl, lambda, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(catoni-lin)/lin > 0.01 {
+		t.Errorf("catoni %v vs linearized %v", catoni, lin)
+	}
+	// Catoni never exceeds the linearized bound (Φ⁻¹ is concave below identity).
+	for _, nn := range []int{50, 200, 1000} {
+		c, _ := CatoniBound(risk, kl, lambda, nn, delta)
+		if c > lin+1e-12 {
+			t.Errorf("catoni %v exceeds linearized %v at n=%d", c, lin, nn)
+		}
+	}
+}
+
+func TestCatoniExpectationBound(t *testing.T) {
+	b, err := CatoniExpectationBound(0.25, 1.5, 20, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be below the high-confidence bound with the same stats.
+	bc, _ := CatoniBound(0.25, 1.5, 20, 200, 0.05)
+	if b >= bc {
+		t.Errorf("expectation bound %v should be below confidence bound %v", b, bc)
+	}
+}
+
+func TestBoundValidation(t *testing.T) {
+	if _, err := CatoniBound(0.1, -1, 10, 100, 0.05); err != ErrBadParams {
+		t.Error("negative KL")
+	}
+	if _, err := CatoniBound(0.1, 1, 0, 100, 0.05); err != ErrBadParams {
+		t.Error("zero lambda")
+	}
+	if _, err := CatoniBound(0.1, 1, 10, 0, 0.05); err != ErrBadParams {
+		t.Error("zero n")
+	}
+	if _, err := CatoniBound(0.1, 1, 10, 100, 0); err != ErrBadParams {
+		t.Error("zero delta")
+	}
+	if _, err := LinearizedBound(0.1, 1, 0, 0.05); err != ErrBadParams {
+		t.Error("linearized zero lambda")
+	}
+	if _, err := McAllesterBound(0.1, 1, 100, 1.5); err != ErrBadParams {
+		t.Error("mcallester delta")
+	}
+	if _, err := SeegerBound(0.1, 1, 100, 0); err != ErrBadParams {
+		t.Error("seeger delta")
+	}
+}
+
+func TestMcAllesterBound(t *testing.T) {
+	b, err := McAllesterBound(0.1, 2, 400, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 + math.Sqrt((2+math.Log(2*20/0.05))/800)
+	if !mathx.AlmostEqual(b, want, 1e-12) {
+		t.Errorf("McAllester = %v, want %v", b, want)
+	}
+}
+
+func TestBinaryKL(t *testing.T) {
+	if BinaryKL(0.5, 0.5) != 0 {
+		t.Error("kl(q,q) = 0")
+	}
+	want := 0.3*math.Log(3) + 0.7*math.Log(0.7/0.9)
+	if got := BinaryKL(0.3, 0.1); !mathx.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("BinaryKL = %v, want %v", got, want)
+	}
+	if !math.IsInf(BinaryKL(0.5, 0), 1) || !math.IsInf(BinaryKL(0.5, 1), 1) {
+		t.Error("degenerate p must be +Inf")
+	}
+	if BinaryKL(0, 0.5) != math.Ln2 {
+		t.Errorf("BinaryKL(0, .5) = %v", BinaryKL(0, 0.5))
+	}
+	if !math.IsNaN(BinaryKL(-0.1, 0.5)) {
+		t.Error("out of range must be NaN")
+	}
+}
+
+func TestSeegerBoundInvertsKL(t *testing.T) {
+	q, kl, n, delta := 0.15, 1.2, 500, 0.05
+	p, err := SeegerBound(q, kl, n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := (kl + math.Log(2*math.Sqrt(float64(n))/delta)) / float64(n)
+	if !mathx.AlmostEqual(BinaryKL(q, p), budget, 1e-6) {
+		t.Errorf("kl(q, p) = %v, want %v", BinaryKL(q, p), budget)
+	}
+	if p <= q {
+		t.Errorf("Seeger bound %v must exceed empirical risk %v", p, q)
+	}
+}
+
+func TestSeegerTighterThanMcAllester(t *testing.T) {
+	// The kl-inversion bound dominates McAllester via Pinsker.
+	for _, q := range []float64{0.05, 0.2, 0.4} {
+		s, err1 := SeegerBound(q, 1.5, 300, 0.05)
+		m, err2 := McAllesterBound(q, 1.5, 300, 0.05)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if s > m+1e-9 {
+			t.Errorf("Seeger %v looser than McAllester %v at q=%v", s, m, q)
+		}
+	}
+}
+
+func TestSeegerSaturates(t *testing.T) {
+	// Huge KL budget: bound saturates at 1.
+	p, err := SeegerBound(0.5, 1e6, 10, 0.05)
+	if err != nil || p < 1-1e-9 {
+		t.Errorf("saturated Seeger = %v, %v", p, err)
+	}
+	// With empirical risk exactly 1 the bound is 1 by the early return.
+	p1, err := SeegerBound(1, 0.1, 10, 0.05)
+	if err != nil || p1 != 1 {
+		t.Errorf("Seeger at q=1 = %v, %v", p1, err)
+	}
+}
+
+func TestStatsFor(t *testing.T) {
+	logPrior := uniformLogPrior(4)
+	risks := []float64{0, 0.5, 1, 0.25}
+	// Posterior = prior: KL = 0, exp risk = mean risk.
+	st, err := StatsFor(logPrior, logPrior, risks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(st.KL, 0, 1e-12) {
+		t.Errorf("KL = %v", st.KL)
+	}
+	if !mathx.AlmostEqual(st.ExpEmpRisk, 0.4375, 1e-12) {
+		t.Errorf("ExpEmpRisk = %v", st.ExpEmpRisk)
+	}
+	// Point mass on index 0: KL = ln 4, risk = 0.
+	point := []float64{0, math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	st2, err := StatsFor(point, logPrior, risks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(st2.KL, math.Log(4), 1e-12) || st2.ExpEmpRisk != 0 {
+		t.Errorf("point stats = %+v", st2)
+	}
+	if _, err := StatsFor(point, logPrior, risks[:2]); err != ErrBadParams {
+		t.Error("length mismatch")
+	}
+}
+
+func TestGibbsLogPosteriorClosedForm(t *testing.T) {
+	logPrior := uniformLogPrior(3)
+	risks := []float64{0.1, 0.5, 0.9}
+	lambda := 2.0
+	post, err := GibbsLogPosterior(logPrior, risks, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(mathx.LogSumExp(post), 0, 1e-12) {
+		t.Error("posterior must normalize")
+	}
+	// Ratios: p(i)/p(j) = exp(−λ(rᵢ−rⱼ)).
+	if !mathx.AlmostEqual(post[0]-post[1], lambda*0.4, 1e-12) {
+		t.Errorf("ratio = %v, want %v", post[0]-post[1], lambda*0.4)
+	}
+	// Brute-force normalization check.
+	var z float64
+	for i := range risks {
+		z += math.Exp(logPrior[i]) * math.Exp(-lambda*risks[i])
+	}
+	for i := range risks {
+		want := math.Exp(logPrior[i]) * math.Exp(-lambda*risks[i]) / z
+		if !mathx.AlmostEqual(math.Exp(post[i]), want, 1e-12) {
+			t.Errorf("posterior[%d] = %v, want %v", i, math.Exp(post[i]), want)
+		}
+	}
+}
+
+func TestLemma32GibbsMinimizesLinearizedBound(t *testing.T) {
+	// The Gibbs posterior must achieve GibbsOptimalValue and beat every
+	// competitor posterior on E_ρ R̂ + KL/λ. This is Lemma 3.2 verified
+	// numerically.
+	g := rng.New(42)
+	k := 25
+	logPrior := uniformLogPrior(k)
+	risks := make([]float64, k)
+	for i := range risks {
+		risks[i] = g.Float64()
+	}
+	lambda := 7.0
+	gibbs, err := GibbsLogPosterior(logPrior, risks, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stG, err := StatsFor(gibbs, logPrior, risks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valG := stG.ExpEmpRisk + stG.KL/lambda
+	opt, err := GibbsOptimalValue(logPrior, risks, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(valG, opt, 1e-10) {
+		t.Errorf("Gibbs objective %v != closed-form optimum %v", valG, opt)
+	}
+	// 500 random competitor posteriors must all be no better.
+	for trial := 0; trial < 500; trial++ {
+		logw := make([]float64, k)
+		for i := range logw {
+			logw[i] = g.Normal(0, 2)
+		}
+		comp, _ := mathx.LogNormalize(logw)
+		st, err := StatsFor(comp, logPrior, risks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := st.ExpEmpRisk + st.KL/lambda; v < valG-1e-10 {
+			t.Fatalf("competitor beat Gibbs: %v < %v", v, valG)
+		}
+	}
+}
+
+func TestMinimizePosteriorConvergesToGibbs(t *testing.T) {
+	g := rng.New(7)
+	k := 12
+	logPrior := uniformLogPrior(k)
+	risks := make([]float64, k)
+	for i := range risks {
+		risks[i] = g.Float64()
+	}
+	lambda := 4.0
+	gibbs, _ := GibbsLogPosterior(logPrior, risks, lambda)
+	opt, _ := GibbsOptimalValue(logPrior, risks, lambda)
+	numPost, val, err := MinimizePosterior(logPrior, risks, lambda, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-opt) > 1e-6 {
+		t.Errorf("numeric optimum %v vs closed form %v", val, opt)
+	}
+	for i := range gibbs {
+		if math.Abs(math.Exp(numPost[i])-math.Exp(gibbs[i])) > 1e-3 {
+			t.Errorf("posterior[%d]: numeric %v vs gibbs %v", i, math.Exp(numPost[i]), math.Exp(gibbs[i]))
+		}
+	}
+}
+
+func TestGibbsMinimizesFullCatoniBound(t *testing.T) {
+	// Since Φ⁻¹ is monotone, the Gibbs posterior also minimizes the full
+	// Catoni bound at the same λ.
+	g := rng.New(11)
+	k := 15
+	n := 200
+	delta := 0.05
+	logPrior := uniformLogPrior(k)
+	risks := make([]float64, k)
+	for i := range risks {
+		risks[i] = g.Float64()
+	}
+	lambda := 10.0
+	gibbs, _ := GibbsLogPosterior(logPrior, risks, lambda)
+	stG, _ := StatsFor(gibbs, logPrior, risks)
+	bG, err := CatoniBound(stG.ExpEmpRisk, stG.KL, lambda, n, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		logw := make([]float64, k)
+		for i := range logw {
+			logw[i] = g.Normal(0, 1.5)
+		}
+		comp, _ := mathx.LogNormalize(logw)
+		st, _ := StatsFor(comp, logPrior, risks)
+		b, err := CatoniBound(st.ExpEmpRisk, st.KL, lambda, n, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < bG-1e-10 {
+			t.Fatalf("competitor Catoni bound %v below Gibbs %v", b, bG)
+		}
+	}
+}
+
+func TestGibbsPosteriorShiftInvariance(t *testing.T) {
+	// Adding a constant to all risks must not change the Gibbs posterior.
+	f := func(a, b, c float64, shiftRaw float64) bool {
+		risks := []float64{math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1)), math.Abs(math.Mod(c, 1))}
+		shift := math.Mod(shiftRaw, 10)
+		logPrior := uniformLogPrior(3)
+		p1, err1 := GibbsLogPosterior(logPrior, risks, 3)
+		shifted := []float64{risks[0] + shift, risks[1] + shift, risks[2] + shift}
+		p2, err2 := GibbsLogPosterior(logPrior, shifted, 3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range p1 {
+			if !mathx.AlmostEqual(p1[i], p2[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGibbsLimits(t *testing.T) {
+	logPrior := uniformLogPrior(3)
+	risks := []float64{0.2, 0.1, 0.9}
+	// λ → large: concentrates on the ERM.
+	post, err := GibbsLogPosterior(logPrior, risks, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Exp(post[1]) < 0.999 {
+		t.Errorf("large λ should concentrate on argmin, got %v", math.Exp(post[1]))
+	}
+	// λ → small: approaches the prior.
+	post2, _ := GibbsLogPosterior(logPrior, risks, 1e-8)
+	for i := range post2 {
+		if !mathx.AlmostEqual(math.Exp(post2[i]), 1.0/3, 1e-6) {
+			t.Errorf("small λ posterior[%d] = %v", i, math.Exp(post2[i]))
+		}
+	}
+}
+
+func TestGibbsValidation(t *testing.T) {
+	if _, err := GibbsLogPosterior([]float64{0}, []float64{0, 1}, 1); err != ErrBadParams {
+		t.Error("length mismatch")
+	}
+	if _, err := GibbsLogPosterior([]float64{0}, []float64{0}, 0); err != ErrBadParams {
+		t.Error("lambda")
+	}
+	if _, err := GibbsOptimalValue([]float64{0}, []float64{0}, -1); err != ErrBadParams {
+		t.Error("optimal value lambda")
+	}
+	if _, _, err := MinimizePosterior([]float64{0}, []float64{0}, 1, 0); err != ErrBadParams {
+		t.Error("iters")
+	}
+}
