@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench experiments quick-experiments fmt
+.PHONY: all build test vet lint race cover bench experiments quick-experiments fmt fmt-check
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Run the privacy-correctness linter (cmd/dplearn-lint) over the module.
+# Exits non-zero when any error-severity finding survives suppression.
+lint:
+	$(GO) run ./cmd/dplearn-lint ./...
 
 test:
 	$(GO) test ./...
@@ -33,3 +38,7 @@ quick-experiments:
 
 fmt:
 	gofmt -w .
+
+# Fail (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -32,6 +32,7 @@ func main() {
 	g := rng.New(*seed)
 	switch *mech {
 	case "laplace":
+		//dplint:ignore floateq binary dataset records are exact 0/1 codes
 		q := mechanism.CountQuery(func(e dataset.Example) bool { return e.X[0] == 1 })
 		m, err := mechanism.NewLaplace(q, *eps)
 		if err != nil {

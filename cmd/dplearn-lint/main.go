@@ -1,0 +1,178 @@
+// Command dplearn-lint runs the privacy-correctness checks in
+// internal/analysis over the module and reports findings with file:line
+// positions. It exits 1 when any error-severity finding survives
+// suppression, so `make lint` and CI can gate merges on a lint-clean tree.
+//
+// Usage:
+//
+//	dplearn-lint [flags] [patterns]
+//
+// Patterns follow the go tool convention: a directory, or dir/... for a
+// recursive walk ("./..." by default). Flags:
+//
+//	-json           emit findings as a JSON array instead of text
+//	-checks a,b,c   run only the named checks (default: all)
+//	-warn a,b,c     downgrade the named checks to warning severity
+//	-no-tests       skip _test.go files entirely
+//	-list           list registered checks and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+type jsonDiag struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// run writes directly to os.Stdout/os.Stderr: the errdrop check exempts
+// fmt.Fprint* on the process streams (a write error there has nowhere
+// better to go), and the driver holds itself to its own rules.
+func run(args []string) int {
+	fs := flag.NewFlagSet("dplearn-lint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	checksFlag := fs.String("checks", "", "comma-separated check ids to run (default: all)")
+	warnFlag := fs.String("warn", "", "comma-separated check ids downgraded to warnings")
+	noTests := fs.Bool("no-tests", false, "skip _test.go files")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stdout, "%-10s %-6s %s\n", a.Name, a.Severity, a.Doc)
+		}
+		return 0
+	}
+
+	checks, err := selectChecks(*checksFlag, *warnFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(patterns, !*noTests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, checks)
+	failed := false
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Check:    d.Check,
+				Severity: d.Severity.String(),
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stdout, d.String())
+		}
+	}
+	for _, d := range diags {
+		if d.Severity == analysis.Error {
+			failed = true
+		}
+	}
+	if failed {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stdout, "dplearn-lint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectChecks resolves -checks and -warn into the analyzer set to run,
+// cloning analyzers whose severity is downgraded so the registry stays
+// pristine.
+func selectChecks(checksCSV, warnCSV string) ([]*analysis.Analyzer, error) {
+	warn := make(map[string]bool)
+	for _, name := range splitCSV(warnCSV) {
+		if analysis.ByName(name) == nil {
+			return nil, fmt.Errorf("unknown check in -warn: %q", name)
+		}
+		warn[name] = true
+	}
+	var selected []*analysis.Analyzer
+	if checksCSV == "" {
+		selected = analysis.Analyzers()
+	} else {
+		for _, name := range splitCSV(checksCSV) {
+			a := analysis.ByName(name)
+			if a == nil {
+				return nil, fmt.Errorf("unknown check in -checks: %q", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	out := make([]*analysis.Analyzer, 0, len(selected))
+	for _, a := range selected {
+		if warn[a.Name] && a.Severity != analysis.Warn {
+			clone := *a
+			clone.Severity = analysis.Warn
+			out = append(out, &clone)
+		} else {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer f.Close() //dplint:ignore errdrop read-only file: a close error after successful reads cannot lose data
 	d, err := dataset.FromCSV(f, dataset.CSVOptions{
 		LabelColumn: *labelCol,
 		HasHeader:   *hasHeader,

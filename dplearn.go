@@ -85,13 +85,13 @@ func NewRNG(seed int64) *rng.RNG { return rng.New(seed) }
 
 // PrivateHistogramDensity releases an ε-DP histogram density (Laplace
 // mechanism + post-processing). See core.PrivateHistogramDensity.
-func PrivateHistogramDensity(d *Dataset, j, bins int, lo, hi, epsilon float64, g *rng.RNG) (*DensityEstimate, error) {
+func PrivateHistogramDensity(d *Dataset, j, bins int, lo, hi, epsilon float64, g *rng.RNG) (*DensityEstimate, error) { //dplint:ignore epscheck thin wrapper: core.PrivateHistogramDensity validates epsilon before use
 	return core.PrivateHistogramDensity(d, j, bins, lo, hi, epsilon, g)
 }
 
 // GibbsHistogramDensity selects a histogram density by the exponential
 // mechanism. See core.GibbsHistogramDensity.
-func GibbsHistogramDensity(d *Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, g *rng.RNG) (*DensityEstimate, int, error) {
+func GibbsHistogramDensity(d *Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, g *rng.RNG) (*DensityEstimate, int, error) { //dplint:ignore epscheck thin wrapper: core.GibbsHistogramDensity validates epsilon before use
 	return core.GibbsHistogramDensity(d, j, binChoices, lo, hi, clip, epsilon, g)
 }
 

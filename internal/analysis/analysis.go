@@ -1,0 +1,178 @@
+// Package analysis is a self-contained static-analysis framework for the
+// privacy-correctness invariants this repository depends on. The paper's
+// guarantees (Theorems 2.1/2.2: ε-DP of the Laplace and exponential
+// mechanisms) hold only if the implementation respects properties the Go
+// type system cannot see: validated ε and sensitivity parameters, seeded
+// randomness routed through internal/rng, log-domain arithmetic on
+// exponential-mechanism weights, and no floating-point equality on
+// probability mass. Each registered Analyzer enforces one such invariant;
+// cmd/dplearn-lint is the command-line driver.
+//
+// The framework is deliberately modelled on golang.org/x/tools/go/analysis
+// but is built only on the standard library (go/ast, go/parser, go/types,
+// go/build), so the module keeps zero external dependencies.
+//
+// Findings can be silenced per line with a suppression comment:
+//
+//	//dplint:ignore <check>[,<check>...] <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory; a directive without one is itself reported (check id
+// "dplint") so that suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Severity classifies how a finding affects the exit status of the driver:
+// Error findings fail the build, Warn findings are reported but do not.
+type Severity int
+
+const (
+	// Warn marks advisory findings.
+	Warn Severity = iota
+	// Error marks findings that must be fixed or explicitly suppressed.
+	Error
+)
+
+// String renders the severity in lower case ("warn", "error").
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warn"
+}
+
+// Diagnostic is one finding produced by an Analyzer, located at a concrete
+// file position.
+type Diagnostic struct {
+	Check    string         `json:"check"`
+	Severity Severity       `json:"-"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Severity, d.Message, d.Check)
+}
+
+// Analyzer is one registered check. Run inspects a single type-checked
+// package via its Pass and reports findings through Pass.Reportf.
+type Analyzer struct {
+	// Name is the check id used in output, suppression directives, and
+	// the driver's -checks flag.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced and
+	// why it matters for the DP guarantees.
+	Doc string
+	// Severity is the default severity of the check's findings.
+	Severity Severity
+	// Run inspects one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through one Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos with the pass's default severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e in the package under analysis, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, consulting both Defs and Uses.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return isTestFilename(p.Fset.Position(pos).Filename)
+}
+
+// registry holds every known Analyzer, keyed by name at registration time.
+var registry []*Analyzer
+
+func register(a *Analyzer) *Analyzer {
+	for _, old := range registry {
+		if old.Name == a.Name {
+			panic("analysis: duplicate analyzer " + a.Name)
+		}
+	}
+	registry = append(registry, a)
+	return a
+}
+
+// Analyzers returns every registered check, sorted by name.
+func Analyzers() []*Analyzer {
+	out := make([]*Analyzer, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName resolves a check id, returning nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range registry {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the given analyzers to the given packages, filters the
+// findings through //dplint:ignore directives, and returns the surviving
+// diagnostics sorted by position. Malformed or reason-less directives are
+// reported under the meta check id "dplint".
+func Run(pkgs []*Package, checks []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range checks {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sup := newSuppressionIndex()
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, sup.addPackage(pkg)...)
+	}
+	for _, d := range diags {
+		if !sup.matches(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EpsCheck requires exported functions that accept a privacy parameter
+// (a float64 named epsilon or eps) to validate it before use.
+//
+// Theorems 2.1 and 2.2 presuppose ε > 0: Lap(Δf/ε) noise with ε ≤ 0, NaN,
+// or ±Inf produces either a panic deep in the sampler or — far worse — a
+// release with no privacy at all that still returns normally. Exported
+// entry points are the trust boundary, so each must either guard ε itself
+// (a comparison against it, math.IsNaN, or math.IsInf) or hand it straight
+// to a validating function (a name containing "valid", "check", or "must",
+// or a New*/Make* constructor that can return an error).
+var EpsCheck = register(&Analyzer{
+	Name:     "epscheck",
+	Doc:      "exported function takes an epsilon parameter but never validates it",
+	Severity: Error,
+	Run:      runEpsCheck,
+})
+
+func isEpsilonName(name string) bool {
+	switch strings.ToLower(name) {
+	case "eps", "epsilon":
+		return true
+	}
+	return false
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.UntypedFloat)
+}
+
+func runEpsCheck(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if fn.Type.Params == nil {
+				continue
+			}
+			for _, field := range fn.Type.Params.List {
+				for _, name := range field.Names {
+					if !isEpsilonName(name.Name) {
+						continue
+					}
+					obj := p.ObjectOf(name)
+					if obj == nil || !isFloat64(obj.Type()) {
+						continue
+					}
+					if !epsilonValidated(p, fn.Body, obj) {
+						p.Reportf(name.Pos(), "exported %s takes privacy parameter %q but never validates it (guard it or pass it to a validator before use; Theorem 2.1/2.2 require ε > 0)", fn.Name.Name, name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// epsilonValidated reports whether body contains a validation of the
+// parameter object eps: an ordering comparison involving it, a NaN/Inf
+// classification, or a call that forwards it to a validating function.
+func epsilonValidated(p *Pass, body *ast.BlockStmt, eps types.Object) bool {
+	refersToEps := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == eps {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	valid := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if valid {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if refersToEps(n.X) || refersToEps(n.Y) {
+					valid = true
+				}
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if name == "" {
+				return true
+			}
+			lower := strings.ToLower(name)
+			validator := lower == "isnan" || lower == "isinf" ||
+				strings.Contains(lower, "valid") || strings.Contains(lower, "check") ||
+				strings.Contains(lower, "must") ||
+				strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Make")
+			if !validator {
+				return true
+			}
+			for _, arg := range n.Args {
+				if refersToEps(arg) {
+					valid = true
+					break
+				}
+			}
+		}
+		return !valid
+	})
+	return valid
+}
+
+// calleeName returns the bare name of the called function or method, or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

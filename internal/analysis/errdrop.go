@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop reports call statements in non-test code that silently discard a
+// returned error.
+//
+// The mechanism constructors (NewLaplace, NewExponential, ...) return an
+// error exactly when their ε or sensitivity is invalid — that error *is*
+// the privacy guarantee's precondition check. A call statement that drops
+// it turns "refuse to release" into "release with undefined privacy".
+// Handle the error, or assign it to _ explicitly so the decision is
+// visible in the diff. Printing to stdout/stderr and writes into
+// in-memory buffers are exempt (they cannot meaningfully fail).
+var ErrDrop = register(&Analyzer{
+	Name:     "errdrop",
+	Doc:      "call discards a returned error; handle it or assign it to _ explicitly",
+	Severity: Error,
+	Run:      runErrDrop,
+})
+
+func runErrDrop(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[call]
+			if !ok || !resultErrors(tv.Type) {
+				return true
+			}
+			if errDropExempt(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "result of %s includes an error that is silently discarded; handle it or assign to _ explicitly", callDisplay(call))
+			return true
+		})
+	}
+}
+
+// errDropExempt reports whether call is on the builtin exemption list:
+// fmt printing to stdout/stderr and writes to in-memory buffers.
+func errDropExempt(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && isPkgRef(p, id, "fmt") {
+		name := sel.Sel.Name
+		if strings.HasPrefix(name, "Print") {
+			return true // stdout
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return isStdStream(p, call.Args[0]) || isMemoryWriter(p, call.Args[0])
+		}
+		return false
+	}
+	// Write*/String-building methods on bytes.Buffer and strings.Builder
+	// are documented to always return a nil error.
+	if strings.HasPrefix(sel.Sel.Name, "Write") {
+		if selInfo, ok := p.Pkg.Info.Selections[sel]; ok {
+			return isMemoryWriterType(selInfo.Recv())
+		}
+	}
+	return false
+}
+
+func isStdStream(p *Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !isPkgRef(p, id, "os") {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}
+
+func isMemoryWriter(p *Pass, e ast.Expr) bool {
+	return isMemoryWriterType(p.TypeOf(e))
+}
+
+func isMemoryWriterType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+func callDisplay(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExpDomain reports direct math.Exp calls in the mechanism and gibbs
+// packages, where the argument is a quality score or posterior weight.
+//
+// The exponential mechanism (Theorem 2.2) and the Gibbs posterior assign
+// weight exp(ε·q(D,y)/2Δ) to every candidate. Exponentiating scores in the
+// linear domain overflows for |arg| ≳ 709 and, worse, underflows to an
+// exact 0.0 that erases candidates from the distribution — changing the
+// released distribution and voiding the ε bound. All weight manipulation
+// must stay in log space via the blessed helpers in internal/mathx
+// (LogSumExp, LogNormalize, ExpNormalize, Sigmoid) or sample via
+// rng.CategoricalLog. Residual exp() of provably bounded arguments
+// (e.g. a Metropolis acceptance ratio clamped to ≤ 0) must carry a
+// //dplint:ignore stating the bound.
+var ExpDomain = register(&Analyzer{
+	Name:     "expdomain",
+	Doc:      "math.Exp on mechanism weights; keep weights in log space via internal/mathx helpers",
+	Severity: Error,
+	Run:      runExpDomain,
+})
+
+// expDomainPackages are the import-path fragments whose non-test code is
+// subject to the check.
+var expDomainPackages = []string{"internal/mechanism", "internal/gibbs"}
+
+func runExpDomain(p *Pass) {
+	covered := false
+	for _, frag := range expDomainPackages {
+		if strings.HasSuffix(strings.TrimSuffix(p.Pkg.Path, "_test"), frag) {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok || sel.Sel.Name != "Exp" {
+				return true
+			}
+			if !isPkgRef(p, pkgID, "math") {
+				return true
+			}
+			p.Reportf(call.Pos(), "math.Exp on a mechanism weight: linear-domain weights under/overflow and distort the released distribution; use mathx.LogSumExp/ExpNormalize/Sigmoid or rng.CategoricalLog (suppress with the proven bound if the argument is clamped)")
+			return true
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq reports == and != between floating-point operands.
+//
+// Mironov (CCS 2012) showed that the textbook Laplace mechanism is broken
+// in IEEE-754 arithmetic precisely because floating-point values carry
+// artifacts that equality tests expose: probability masses that should be
+// equal differ in the last ulp, and branches taken on float equality leak
+// which artifact occurred. Compare with a tolerance (mathx.AlmostEqual),
+// classify with math.IsNaN/math.Signbit, or restructure to avoid the
+// comparison. Deliberate exact comparisons (IEEE sentinels, documented
+// fast paths) must carry a //dplint:ignore with the justification.
+//
+// _test.go files are exempt: the test suite asserts bit-exact equality of
+// seeded deterministic streams on purpose (reproducibility tests), which
+// is a different invariant from runtime comparison of computed mass.
+var FloatEq = register(&Analyzer{
+	Name:     "floateq",
+	Doc:      "floating-point == or != comparison; use a tolerance (mathx.AlmostEqual) or classify the value",
+	Severity: Error,
+	Run:      runFloatEq,
+})
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func runFloatEq(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.TypeOf(be.X)) || !isFloat(p.TypeOf(be.Y)) {
+				return true
+			}
+			// A comparison whose result is known at compile time is a
+			// constant expression, not a runtime float comparison.
+			if tv, ok := p.Pkg.Info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			p.Reportf(be.OpPos, "floating-point %s comparison: IEEE-754 rounding makes exact equality unreliable (Mironov 2012); use mathx.AlmostEqual, math.IsNaN, or restructure", be.Op)
+			return true
+		})
+	}
+}

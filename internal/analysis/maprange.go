@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapRange reports iteration over a map that feeds an ordered output
+// (a slice built by append, or text written during the loop) without a
+// subsequent sort.
+//
+// Go randomizes map iteration order, so a released histogram, CSV row, or
+// candidate list assembled from a map range is a fresh random permutation
+// on every run. That breaks the seeded reproducibility our experiment
+// tables rely on, and in a DP release the permutation is an extra
+// randomness channel correlated with the data (which keys exist) that the
+// privacy proof never accounted for. Collect keys, sort them, then emit —
+// or sort the collected slice before it escapes the function.
+var MapRange = register(&Analyzer{
+	Name:     "maprange",
+	Doc:      "range over a map feeding ordered output without a sort; iterate sorted keys instead",
+	Severity: Error,
+	Run:      runMapRange,
+})
+
+func runMapRange(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		// Walk function by function so "is there a sort after the loop?"
+		// has a well-defined scope.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkMapRanges(p, body)
+			return true
+		})
+	}
+}
+
+func checkMapRanges(p *Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := typeUnderlying(p.TypeOf(rs.X)).(*types.Map); !isMap {
+			return true
+		}
+		if emits(p, rs.Body) {
+			p.Reportf(rs.For, "map iteration order is randomized: output emitted inside this range over a map is permuted on every run; collect and sort keys first")
+			return true
+		}
+		for _, obj := range appendTargets(p, rs.Body) {
+			if !sortedAfter(p, fnBody, rs, obj) {
+				p.Reportf(rs.For, "slice %q built from a map range is in randomized order and is never sorted afterwards; sort it (or iterate sorted keys) before it escapes", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func typeUnderlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// emits reports whether the loop body writes human-visible ordered output
+// directly: fmt printing or Write* methods on writers/builders.
+func emits(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && isPkgRef(p, id, "fmt") &&
+			(strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")) {
+			found = true
+			return false
+		}
+		if isWriterCall(p, sel) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWriterCall reports whether sel is a Write*/WriteString-style method
+// call (ordered emission into a stream or builder).
+func isWriterCall(p *Pass, sel *ast.SelectorExpr) bool {
+	if !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return false
+	}
+	_, isMethod := p.Pkg.Info.Selections[sel]
+	return isMethod
+}
+
+// appendTargets returns the distinct objects appended to inside body.
+func appendTargets(p *Pass, body *ast.BlockStmt) []types.Object {
+	var objs []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || p.ObjectOf(fn) != nil && p.ObjectOf(fn).Pkg() != nil {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := p.ObjectOf(id); obj != nil && !seen[obj] {
+					seen[obj] = true
+					objs = append(objs, obj)
+				}
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// sortedAfter reports whether, somewhere in fn after the range statement,
+// obj is passed to a sort (sort.* or slices.Sort*) or re-consumed by a
+// sorting call.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if isPkgRef(p, id, "sort") {
+		return true
+	}
+	if isPkgRef(p, id, "slices") && strings.HasPrefix(sel.Sel.Name, "Sort") {
+		return true
+	}
+	return false
+}

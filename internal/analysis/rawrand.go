@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// RawRand reports imports of math/rand (and math/rand/v2) anywhere except
+// the internal/rng package and _test.go files.
+//
+// Every mechanism's ε-DP statement quantifies over the randomness of the
+// release. Routing all sampling through internal/rng keeps experiments
+// reproducible under a single seed, keeps the Laplace sampler's
+// floating-point caveats documented in one place, and leaves exactly one
+// seam to swap in a cryptographically-secure source before any adversarial
+// deployment. A stray math/rand import silently bypasses all three.
+var RawRand = register(&Analyzer{
+	Name:     "rawrand",
+	Doc:      "math/rand imported outside internal/rng; use the seeded samplers in internal/rng",
+	Severity: Error,
+	Run:      runRawRand,
+})
+
+func runRawRand(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, "internal/rng") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s outside internal/rng: route randomness through repro/internal/rng so experiments stay seeded and reproducible", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package epscheck exercises the epscheck check: exported functions with
+// an epsilon/eps float64 parameter must validate it before use.
+package epscheck
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadEpsilon reports an invalid privacy parameter.
+var ErrBadEpsilon = errors.New("epsilon must be positive")
+
+// ReleaseUnvalidated spends ε without ever looking at it.
+func ReleaseUnvalidated(value, epsilon float64) float64 { // want `exported ReleaseUnvalidated takes privacy parameter "epsilon" but never validates it`
+	return value / epsilon
+}
+
+// ShortName must be caught under the abbreviated parameter name too.
+func ShortName(eps float64) float64 { // want `exported ShortName takes privacy parameter "eps" but never validates it`
+	return 1 / eps
+}
+
+// ReleaseGuarded validates ε inline with a comparison guard.
+func ReleaseGuarded(value, epsilon float64) (float64, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) {
+		return 0, ErrBadEpsilon
+	}
+	return value / epsilon, nil
+}
+
+// ReleaseNaNGuard classifies ε with math.IsNaN, which counts as validation.
+func ReleaseNaNGuard(value, epsilon float64) (float64, error) {
+	if math.IsNaN(epsilon) {
+		return 0, ErrBadEpsilon
+	}
+	return value / epsilon, nil
+}
+
+func checkEpsilon(eps float64) error {
+	if eps <= 0 {
+		return ErrBadEpsilon
+	}
+	return nil
+}
+
+// ReleaseDelegated hands ε to a named validator before use.
+func ReleaseDelegated(value, epsilon float64) (float64, error) {
+	if err := checkEpsilon(epsilon); err != nil {
+		return 0, err
+	}
+	return value / epsilon, nil
+}
+
+// Mechanism is a stand-in validated constructor target.
+type Mechanism struct{ eps float64 }
+
+// NewMechanism validates on construction.
+func NewMechanism(eps float64) (*Mechanism, error) {
+	if eps <= 0 {
+		return nil, ErrBadEpsilon
+	}
+	return &Mechanism{eps: eps}, nil
+}
+
+// ReleaseViaConstructor forwards ε into a New* constructor, which is
+// trusted to validate.
+func ReleaseViaConstructor(value, epsilon float64) (float64, error) {
+	m, err := NewMechanism(epsilon)
+	if err != nil {
+		return 0, err
+	}
+	return value / m.eps, nil
+}
+
+// unexportedSpend is below the trust boundary: callers inside the package
+// are expected to have validated already.
+func unexportedSpend(value, epsilon float64) float64 {
+	return value / epsilon
+}
+
+// ReleaseNotEpsilon has a float parameter with a non-privacy name.
+func ReleaseNotEpsilon(value, scale float64) float64 {
+	return value / scale
+}
+
+var _ = unexportedSpend

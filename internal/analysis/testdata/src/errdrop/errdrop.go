@@ -1,0 +1,74 @@
+// Package errdrop exercises the errdrop check: statements that silently
+// discard a returned error are reported in non-test files.
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrInvalid stands in for a mechanism precondition failure.
+var ErrInvalid = errors.New("invalid parameter")
+
+func validate(eps float64) error {
+	if eps <= 0 {
+		return ErrInvalid
+	}
+	return nil
+}
+
+func pair() (int, error) { return 0, nil }
+
+// DropPlain discards the only return value, an error.
+func DropPlain() {
+	validate(-1) // want "result of validate includes an error that is silently discarded"
+}
+
+// DropTuple discards an (int, error) pair.
+func DropTuple() {
+	pair() // want "result of pair includes an error that is silently discarded"
+}
+
+// DropDeferred discards an error at defer time.
+func DropDeferred(f *os.File) {
+	defer f.Close() // want "result of f.Close includes an error that is silently discarded"
+}
+
+// DropInWriter discards a write error on a real writer.
+func DropInWriter(w io.Writer) {
+	fmt.Fprintln(w, "released") // want "result of fmt.Fprintln includes an error that is silently discarded"
+}
+
+// ExplicitDiscard assigns to _, a visible decision that is allowed.
+func ExplicitDiscard() {
+	_ = validate(-1)
+	_, _ = pair()
+}
+
+// Handled consumes the error.
+func Handled() error {
+	if err := validate(1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// StdoutAndBuffers are exempt: they cannot meaningfully fail.
+func StdoutAndBuffers() string {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stdout, "x=%d\n", 1)
+	fmt.Fprintln(os.Stderr, "warn")
+	var buf bytes.Buffer
+	buf.WriteString("a")
+	fmt.Fprintf(&buf, "b")
+	return buf.String()
+}
+
+// SuppressedClose documents why the error is unrecoverable here.
+func SuppressedClose(f *os.File) {
+	//dplint:ignore errdrop read-only handle: Close error cannot lose data
+	defer f.Close()
+}

@@ -1,0 +1,34 @@
+// Package mechanism exercises the expdomain check inside a covered
+// package path (suffix internal/mechanism): direct math.Exp on weights is
+// reported.
+package mechanism
+
+import "math"
+
+// Weights exponentiates quality scores in the linear domain — exactly the
+// under/overflow hazard the check exists for.
+func Weights(scores []float64, eps float64) []float64 {
+	out := make([]float64, len(scores))
+	for i, q := range scores {
+		out[i] = math.Exp(eps * q / 2) // want "math.Exp on a mechanism weight"
+	}
+	return out
+}
+
+// LogWeights stays in log space: no exponentiation, nothing reported.
+func LogWeights(scores []float64, eps float64) []float64 {
+	out := make([]float64, len(scores))
+	for i, q := range scores {
+		out[i] = eps * q / 2
+	}
+	return out
+}
+
+// Clamped exponentiates a provably non-positive argument and says so.
+func Clamped(logAlpha float64) float64 {
+	if logAlpha > 0 {
+		logAlpha = 0
+	}
+	//dplint:ignore expdomain argument clamped to <= 0 so exp is in (0,1]
+	return math.Exp(logAlpha)
+}

@@ -1,0 +1,13 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+)
+
+// Tests may exponentiate freely to cross-check log-domain code.
+func TestWeights(t *testing.T) {
+	if math.Exp(0) != 1 {
+		t.Fatal("exp(0) != 1")
+	}
+}

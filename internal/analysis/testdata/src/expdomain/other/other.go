@@ -1,0 +1,10 @@
+// Package other is outside the covered package paths, so math.Exp is not
+// a mechanism weight here and nothing is reported.
+package other
+
+import "math"
+
+// Density evaluates a plain Gaussian density; not a mechanism weight.
+func Density(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}

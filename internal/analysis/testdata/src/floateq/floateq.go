@@ -1,0 +1,46 @@
+// Package floateq exercises the floateq check: runtime == / != between
+// floating-point operands is reported in non-test files.
+package floateq
+
+import "math"
+
+// MassEqual compares two probability masses exactly.
+func MassEqual(p, q float64) bool {
+	return p == q // want "floating-point == comparison"
+}
+
+// MassDiffers compares against a float32 pair.
+func MassDiffers(p, q float32) bool {
+	return p != q // want "floating-point != comparison"
+}
+
+// ZeroTest compares a computed value against the zero literal.
+func ZeroTest(p float64) bool {
+	return p != 0 // want "floating-point != comparison"
+}
+
+// NaNByReflexivity is the classic x != x idiom; use math.IsNaN instead.
+func NaNByReflexivity(x float64) bool {
+	return x != x // want "floating-point != comparison"
+}
+
+// IntEqual is fine: integer equality is exact.
+func IntEqual(a, b int) bool {
+	return a == b
+}
+
+// Tolerance compares with an explicit tolerance, the blessed pattern.
+func Tolerance(p, q float64) bool {
+	return math.Abs(p-q) <= 1e-12
+}
+
+// constFold is a compile-time constant, not a runtime comparison.
+const constFold = 2.0 == 2.0
+
+// Suppressed carries a justification and must not be reported.
+func Suppressed(x float64) bool {
+	//dplint:ignore floateq exact sentinel: x is assigned only the literal 0 or 1
+	return x == 0
+}
+
+var _ = constFold

@@ -1,0 +1,12 @@
+package floateq
+
+import "testing"
+
+// Test files may assert bit-exact equality: seeded reproducibility tests
+// depend on it, so the check exempts them.
+func TestExactReproducibility(t *testing.T) {
+	a, b := 0.5, 0.5
+	if a != b {
+		t.Fatal("streams diverged")
+	}
+}

@@ -1,0 +1,72 @@
+// Package maprange exercises the maprange check: map iteration feeding an
+// ordered output without a sort is reported.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UnsortedKeys builds a released slice in randomized map order.
+func UnsortedKeys(hist map[string]int) []string {
+	var keys []string
+	for k := range hist { // want `slice "keys" built from a map range`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the blessed pattern: collect, then sort before release.
+func SortedKeys(hist map[string]int) []string {
+	var keys []string
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PrintDuringRange emits text in randomized order.
+func PrintDuringRange(hist map[string]int) {
+	for k, v := range hist { // want "output emitted inside this range over a map"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// BuildDuringRange writes into a builder in randomized order.
+func BuildDuringRange(hist map[string]int) string {
+	var b strings.Builder
+	for k := range hist { // want "output emitted inside this range over a map"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Total aggregates; order cannot matter, nothing is reported.
+func Total(hist map[string]int) int {
+	var n int
+	for _, v := range hist {
+		n += v
+	}
+	return n
+}
+
+// SliceAppend ranges over a slice, which iterates in order.
+func SliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}
+
+// SuppressedOrderIrrelevant documents why the order is immaterial.
+func SuppressedOrderIrrelevant(set map[string]bool) []string {
+	var keys []string
+	//dplint:ignore maprange result is consumed as an unordered set by the caller
+	for k := range set {
+		keys = append(keys, k)
+	}
+	return keys
+}

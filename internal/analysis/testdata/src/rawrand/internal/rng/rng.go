@@ -1,0 +1,8 @@
+// Package rng is the one blessed home for math/rand: the check exempts
+// any package whose import path ends in internal/rng.
+package rng
+
+import "math/rand"
+
+// New returns a seeded source.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,13 @@
+// Package rawrand exercises the rawrand check: math/rand imported outside
+// internal/rng must be reported in non-test files.
+package rawrand
+
+import (
+	"math"
+	"math/rand" // want "import of math/rand outside internal/rng"
+)
+
+// Noise draws unseeded noise, bypassing the reproducibility seam.
+func Noise() float64 {
+	return math.Abs(rand.Float64())
+}

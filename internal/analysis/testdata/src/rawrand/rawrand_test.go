@@ -1,0 +1,14 @@
+package rawrand
+
+// Test files may use math/rand directly: they do not release anything.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNoise(t *testing.T) {
+	if rand.New(rand.NewSource(1)).Float64() < 0 {
+		t.Fatal("impossible")
+	}
+}

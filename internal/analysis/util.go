@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// isPkgRef reports whether id is a reference to the imported package with
+// the given import path (e.g. the "math" in math.Exp).
+func isPkgRef(p *Pass, id *ast.Ident, path string) bool {
+	pn, ok := p.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// resultErrors reports whether a call with the given result type returns
+// at least one error value.
+func resultErrors(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}

@@ -141,7 +141,7 @@ func SampleContinuous(release func(*dataset.Dataset, *rng.RNG) float64, pair Nei
 	for _, v := range outP {
 		lo, hi = math.Min(lo, v), math.Max(hi, v)
 	}
-	if lo == hi {
+	if lo == hi { //dplint:ignore floateq degenerate-range collapse: equal only when every sample is the identical value
 		hi = lo + 1
 	}
 	countD := make([]int, bins)

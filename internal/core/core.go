@@ -72,7 +72,7 @@ func NewLearner(cfg Config) (*Learner, error) {
 	if cfg.Delta < 0 || cfg.Delta >= 1 {
 		return nil, fmt.Errorf("%w: delta must lie in [0, 1)", ErrBadConfig)
 	}
-	if cfg.Delta == 0 {
+	if cfg.Delta == 0 { //dplint:ignore floateq config sentinel: an unset Delta field is the exact zero value
 		cfg.Delta = 0.05
 	}
 	return &Learner{cfg: cfg}, nil

@@ -39,6 +39,7 @@ func (d *DensityEstimate) At(x float64) float64 {
 // L1Distance returns ∫|d − other| over the common support, computed
 // bin-exactly (both estimates must share Lo, Hi, and bin count).
 func (d *DensityEstimate) L1Distance(other *DensityEstimate) (float64, error) {
+	//dplint:ignore floateq shared-geometry precondition: both estimates must carry bitwise-identical endpoints
 	if d.Lo != other.Lo || d.Hi != other.Hi || len(d.Density) != len(other.Density) {
 		return 0, fmt.Errorf("core: density estimates not comparable")
 	}
@@ -74,7 +75,7 @@ func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon fl
 	}
 	out := &DensityEstimate{Lo: lo, Hi: hi, Density: make([]float64, bins)}
 	w := (hi - lo) / float64(bins)
-	if total == 0 {
+	if total == 0 { //dplint:ignore floateq exactly-zero total only when every bin was clamped to literal 0 above
 		// All mass noised away: fall back to uniform (still DP: it is a
 		// post-processing decision independent of the data).
 		for i := range out.Density {

@@ -95,11 +95,12 @@ func (d *Dataset) IsNeighborOf(other *Dataset) bool {
 }
 
 func equalExample(a, b Example) bool {
+	//dplint:ignore floateq intentional bitwise record equality: the neighbor relation compares stored values, not arithmetic results
 	if a.Y != b.Y || len(a.X) != len(b.X) {
 		return false
 	}
 	for i := range a.X {
-		if a.X[i] != b.X[i] {
+		if a.X[i] != b.X[i] { //dplint:ignore floateq intentional bitwise record equality: stored values, not arithmetic results
 			return false
 		}
 	}

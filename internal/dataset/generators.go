@@ -163,7 +163,7 @@ func (b BernoulliTable) FromBits(bits []int) *Dataset {
 func CountOnes(d *Dataset) int {
 	c := 0
 	for _, e := range d.Examples {
-		if e.X[0] != 0 {
+		if e.X[0] != 0 { //dplint:ignore floateq binary dataset records are exact 0/1 codes
 			c++
 		}
 	}

@@ -219,6 +219,7 @@ func A8NoisyGD(opts Options) (*Table, error) {
 			}
 			gibbsErr.Add(learn.ClassificationError(fit.Theta, test))
 		}
+		//dplint:ignore floateq sweep-grid sentinel: targetEps is copied verbatim from the literal grid
 		if targetEps == 8.0 && gdErr.Mean() > nonPrivErr+0.1 {
 			converges = false
 		}
@@ -266,7 +267,7 @@ func A10PrivatePCA(opts Options) (*Table, error) {
 				}
 				w.Add(learn.CapturedVariance(trueC, res.Components, 1))
 			}
-			if n == ns[0] && eps == epss[0] {
+			if n == ns[0] && eps == epss[0] { //dplint:ignore floateq sweep-grid sentinel: eps is copied verbatim from the literal grid
 				first = w.Mean()
 			}
 			last = w.Mean()
@@ -332,7 +333,7 @@ func A11SparseVector(opts Options) (*Table, error) {
 		queryFns[qi] = func(dd *dataset.Dataset) float64 {
 			var c float64
 			for _, idx := range sub {
-				if dd.Examples[idx].X[0] == 1 {
+				if dd.Examples[idx].X[0] == 1 { //dplint:ignore floateq binary dataset records are exact 0/1 codes
 					c++
 				}
 			}
@@ -385,7 +386,7 @@ func A11SparseVector(opts Options) (*Table, error) {
 			found.Add(float64(positives))
 		}
 		f1 := 2 * prec.Mean() * rec.Mean() / math.Max(prec.Mean()+rec.Mean(), 1e-12)
-		if eps == 0.1 {
+		if eps == 0.1 { //dplint:ignore floateq sweep-grid sentinel: eps is copied verbatim from the literal grid
 			firstF1 = f1
 		}
 		lastF1 = f1

@@ -37,6 +37,7 @@ func E1LaplacePrivacy(opts Options) (*Table, error) {
 	noiseTol := 4 * math.Sqrt(2/float64(minCount))
 	allOK := true
 	for _, eps := range []float64{0.1, 0.5, 1, 2} {
+		//dplint:ignore floateq binary dataset records are exact 0/1 codes
 		q := mechanism.CountQuery(func(e dataset.Example) bool { return e.X[0] == 1 })
 		m, err := mechanism.NewLaplace(q, eps)
 		if err != nil {

@@ -84,6 +84,7 @@ func (s *MALASampler) Run(x0 []float64, burnin, count, thin int, g *rng.RNG) ([]
 		if !math.IsNaN(lp) && !math.IsInf(lp, -1) {
 			gProp := grad(prop)
 			logAlpha := lp - logp + logQ(prop, gProp, x) - logQ(x, gx, prop)
+			//dplint:ignore expdomain bounded argument: the exp branch runs only when logAlpha < 0, so exp stays in (0,1)
 			if logAlpha >= 0 || g.Float64() < math.Exp(logAlpha) {
 				copy(x, prop)
 				logp = lp
@@ -111,7 +112,7 @@ func Autocorrelation(chain []float64, lag int) float64 {
 		w.Add(v)
 	}
 	mean, variance := w.Mean(), w.PopulationVariance()
-	if variance == 0 {
+	if variance == 0 { //dplint:ignore floateq degenerate chain: an exactly-constant chain has bitwise-zero population variance
 		return 1
 	}
 	var acc float64

@@ -129,6 +129,7 @@ func (e *Estimator) PosteriorMeanRisk(d *dataset.Dataset) float64 {
 		if math.IsInf(lp, -1) {
 			continue
 		}
+		//dplint:ignore expdomain bounded argument: lp is a normalized log-posterior entry, so lp <= 0 and exp stays in (0,1]
 		k.Add(math.Exp(lp) * risks[i])
 	}
 	return k.Sum()
@@ -145,6 +146,7 @@ func (e *Estimator) PosteriorMeanTheta(d *dataset.Dataset) []float64 {
 		if math.IsInf(lp, -1) {
 			continue
 		}
+		//dplint:ignore expdomain bounded argument: lp is a normalized log-posterior entry, so lp <= 0 and exp stays in (0,1]
 		w := math.Exp(lp)
 		for j := 0; j < dim; j++ {
 			mean[j] += w * e.Thetas[i][j]

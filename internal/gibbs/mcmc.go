@@ -46,6 +46,7 @@ func (s *MHSampler) Run(x0 []float64, burnin, count, thin int, g *rng.RNG) ([][]
 		}
 		lp := s.LogTarget(prop)
 		proposed++
+		//dplint:ignore expdomain bounded argument: the exp branch runs only when lp < logp, so exp stays in (0,1)
 		if lp >= logp || g.Float64() < math.Exp(lp-logp) {
 			copy(x, prop)
 			logp = lp

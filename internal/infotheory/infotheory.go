@@ -91,10 +91,10 @@ func KL(p, q []float64) (float64, error) {
 	}
 	var d float64
 	for i := range pn {
-		if pn[i] == 0 {
+		if pn[i] == 0 { //dplint:ignore floateq discrete support test: exactly-zero mass is outside supp(P) by construction
 			continue
 		}
-		if qn[i] == 0 {
+		if qn[i] == 0 { //dplint:ignore floateq absolute-continuity test: P must place no mass where Q has exactly none
 			return 0, ErrNotAbsolutelyContinuous
 		}
 		d += pn[i] * math.Log(pn[i]/qn[i])
@@ -261,10 +261,9 @@ func (j *Joint) MutualInformation() float64 {
 	var mi float64
 	for i, row := range j.P {
 		for k, v := range row {
-			if v == 0 {
-				continue
-			}
-			mi += v * math.Log(v/(px[i]*py[k]))
+			// mathx.XLogY carries the 0·log 0 convention, avoiding a
+			// float equality test on the joint mass.
+			mi += mathx.XLogY(v, v/(px[i]*py[k]))
 		}
 	}
 	if mi < 0 {
@@ -278,14 +277,11 @@ func (j *Joint) ConditionalEntropyYGivenX() float64 {
 	var h float64
 	for _, row := range j.P {
 		px := mathx.SumSlice(row)
-		if px == 0 {
+		if px == 0 { //dplint:ignore floateq zero-mass row: conditioning on an impossible event contributes nothing
 			continue
 		}
 		for _, v := range row {
-			if v == 0 {
-				continue
-			}
-			h -= v * math.Log(v/px)
+			h -= mathx.XLogY(v, v/px)
 		}
 	}
 	if h < 0 {
@@ -408,7 +404,7 @@ func BlahutArimoto(w [][]float64, tol float64, maxIter int) (capacity float64, p
 			py[j] = 0
 		}
 		for i, r := range rows {
-			if px[i] == 0 {
+			if px[i] == 0 { //dplint:ignore floateq zero-mass input symbol contributes nothing to the output law
 				continue
 			}
 			for j, v := range r {
@@ -420,10 +416,7 @@ func BlahutArimoto(w [][]float64, tol float64, maxIter int) (capacity float64, p
 		for i, r := range rows {
 			var di float64
 			for j, v := range r {
-				if v == 0 {
-					continue
-				}
-				di += v * math.Log(v/py[j])
+				di += mathx.XLogY(v, v/py[j])
 			}
 			d[i] = di
 			lower += px[i] * di

@@ -23,7 +23,7 @@ import (
 // distributions on any two neighbors is at most ε, and Rényi-DP uses
 // exactly D_α.
 func RenyiDivergence(p, q []float64, alpha float64) (float64, error) {
-	if alpha <= 0 || alpha == 1 || math.IsInf(alpha, 1) {
+	if alpha <= 0 || alpha == 1 || math.IsInf(alpha, 1) { //dplint:ignore floateq alpha=1 is the excluded KL limit; only the exact value is undefined here
 		return 0, fmt.Errorf("infotheory: RenyiDivergence needs alpha in (0,1)∪(1,∞), got %v", alpha)
 	}
 	if len(p) != len(q) {
@@ -41,13 +41,13 @@ func RenyiDivergence(p, q []float64, alpha float64) (float64, error) {
 	terms := make([]float64, 0, len(pn))
 	for i := range pn {
 		switch {
-		case pn[i] == 0 && alpha > 1:
+		case pn[i] == 0 && alpha > 1: //dplint:ignore floateq discrete support test: exactly-zero mass makes the term identically zero
 			continue // 0^α · q^{1-α} = 0
-		case pn[i] == 0:
+		case pn[i] == 0: //dplint:ignore floateq discrete support test: exactly-zero mass makes the term identically zero
 			continue // α<1: p^α = 0
-		case qn[i] == 0 && alpha > 1:
+		case qn[i] == 0 && alpha > 1: //dplint:ignore floateq absolute-continuity test: p-mass against exactly-zero q diverges for alpha>1
 			return math.Inf(1), nil // p>0 against q=0 blows up for α>1
-		case qn[i] == 0:
+		case qn[i] == 0: //dplint:ignore floateq discrete support test: exactly-zero q kills the term for alpha<1
 			continue // α<1: q^{1−α} = 0 kills the term
 		default:
 			terms = append(terms, alpha*math.Log(pn[i])+(1-alpha)*math.Log(qn[i]))
@@ -80,10 +80,10 @@ func MaxDivergence(p, q []float64) (float64, error) {
 	}
 	d := math.Inf(-1)
 	for i := range pn {
-		if pn[i] == 0 {
+		if pn[i] == 0 { //dplint:ignore floateq discrete support test: exactly-zero mass is outside supp(p)
 			continue
 		}
-		if qn[i] == 0 {
+		if qn[i] == 0 { //dplint:ignore floateq absolute-continuity test: p-mass where q has exactly none gives infinite max-divergence
 			return math.Inf(1), nil
 		}
 		if v := math.Log(pn[i] / qn[i]); v > d {

@@ -30,7 +30,7 @@ func sphereNoise(dim int, scale float64, g *rng.RNG) []float64 {
 	}
 	dir := make([]float64, dim)
 	var norm float64
-	for norm == 0 {
+	for norm == 0 { //dplint:ignore floateq rejection loop: redraw on the measure-zero event of a bitwise-zero Gaussian vector
 		for i := range dir {
 			dir[i] = g.Normal(0, 1)
 		}

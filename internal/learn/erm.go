@@ -170,7 +170,7 @@ func ClassificationError(theta []float64, d *dataset.Dataset) float64 {
 	}
 	var errs float64
 	for _, e := range d.Examples {
-		if ClassifyLinear(theta, e.X) != e.Y {
+		if ClassifyLinear(theta, e.X) != e.Y { //dplint:ignore floateq labels and classifier outputs are exact +-1 codes, never arithmetic results
 			errs++
 		}
 	}

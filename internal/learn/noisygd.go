@@ -60,7 +60,7 @@ func NoisyGD(d *dataset.Dataset, dim int, grad func(theta []float64, e dataset.E
 		return nil, errors.New("learn: NoisyGD needs StepEpsilon in (0,1] and StepDelta in (0,1)")
 	}
 	slack := cfg.CompositionSlack
-	if slack == 0 {
+	if slack == 0 { //dplint:ignore floateq config sentinel: an unset CompositionSlack field is the exact zero value
 		slack = 1e-6
 	}
 	n := float64(d.Len())

@@ -36,7 +36,7 @@ func SecondMomentMatrix(d *dataset.Dataset) *linalg.Matrix {
 	c := linalg.NewMatrix(dim, dim)
 	for _, e := range d.Examples {
 		for i := 0; i < dim; i++ {
-			if e.X[i] == 0 {
+			if e.X[i] == 0 { //dplint:ignore floateq sparsity skip: an exactly-zero coordinate contributes nothing either way
 				continue
 			}
 			for j := i; j < dim; j++ {
@@ -131,7 +131,7 @@ func CapturedVariance(trueMoment *linalg.Matrix, components *linalg.Matrix, k in
 	for i := 0; i < dim; i++ {
 		trace += trueMoment.At(i, i)
 	}
-	if trace == 0 {
+	if trace == 0 { //dplint:ignore floateq degenerate moment matrix: bitwise-zero trace only for the all-zero dataset
 		return 0
 	}
 	var captured float64

@@ -102,7 +102,7 @@ func NewLU(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.At(i, k) / pv
 			lu.Set(i, k, m)
-			if m == 0 {
+			if m == 0 { //dplint:ignore floateq sparsity skip: an exactly-zero multiplier eliminates nothing
 				continue
 			}
 			for j := k + 1; j < n; j++ {
@@ -195,7 +195,7 @@ func NewQR(a *Matrix) *QR {
 		for i := k; i < m; i++ {
 			nrm = math.Hypot(nrm, qr.At(i, k))
 		}
-		if nrm == 0 {
+		if nrm == 0 { //dplint:ignore floateq exactly-zero column norm means a zero column; the reflector is skipped
 			rdiag[k] = 0
 			continue
 		}
@@ -237,7 +237,7 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 	copy(y, b)
 	// Apply Householder reflections: y = Qᵀ b.
 	for k := 0; k < n; k++ {
-		if f.qr.At(k, k) == 0 {
+		if f.qr.At(k, k) == 0 { //dplint:ignore floateq exactly-zero Householder pivot means no reflection was stored for this column
 			continue
 		}
 		var s float64

@@ -164,7 +164,7 @@ func (m *Matrix) Mul(other *Matrix) *Matrix {
 	for i := 0; i < m.rows; i++ {
 		for k := 0; k < m.cols; k++ {
 			a := m.data[i*m.cols+k]
-			if a == 0 {
+			if a == 0 { //dplint:ignore floateq sparsity skip: an exactly-zero factor contributes nothing either way
 				continue
 			}
 			rowOut := out.data[i*out.cols : (i+1)*out.cols]
@@ -203,7 +203,7 @@ func (m *Matrix) MulVecT(x []float64) []float64 {
 	out := make([]float64, m.cols)
 	for i := 0; i < m.rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //dplint:ignore floateq sparsity skip: an exactly-zero factor contributes nothing either way
 			continue
 		}
 		row := m.data[i*m.cols : (i+1)*m.cols]
@@ -221,7 +221,7 @@ func (m *Matrix) AtA() *Matrix {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for a := 0; a < m.cols; a++ {
 			ra := row[a]
-			if ra == 0 {
+			if ra == 0 { //dplint:ignore floateq sparsity skip: an exactly-zero factor contributes nothing either way
 				continue
 			}
 			for b := a; b < m.cols; b++ {

@@ -212,6 +212,9 @@ func (m *OUE) Guarantee() float64 { return m.Epsilon }
 //
 //	Var = [ q(1−q) + f·(p−q)(1−p−q) ] / (n·(p−q)²)
 func KRRVariance(k int, epsilon, f float64, n int) float64 {
+	if epsilon <= 0 || math.IsNaN(epsilon) {
+		return math.NaN()
+	}
 	e := math.Exp(epsilon)
 	p := e / (e + float64(k) - 1)
 	q := (1 - p) / float64(k-1)
@@ -223,6 +226,9 @@ func KRRVariance(k int, epsilon, f float64, n int) float64 {
 //
 //	Var = [ q(1−q) + f·(1/2−q)(1/2+q−...) ] ≈ 4e^ε/(n(e^ε−1)²) for small f.
 func OUEVariance(epsilon, f float64, n int) float64 {
+	if epsilon <= 0 || math.IsNaN(epsilon) {
+		return math.NaN()
+	}
 	q := 1 / (math.Exp(epsilon) + 1)
 	p := 0.5
 	return (q*(1-q) + f*(p-q)*(1-p-q)) / (float64(n) * (p - q) * (p - q))

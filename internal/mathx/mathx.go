@@ -70,7 +70,7 @@ func Log1mExp(x float64) float64 {
 	if x > 0 {
 		return math.NaN()
 	}
-	if x == 0 {
+	if x == 0 { //dplint:ignore floateq exact sentinel: log(1-exp(0)) = -Inf only at bitwise zero
 		return NegInf
 	}
 	if x < -math.Ln2 {
@@ -86,7 +86,7 @@ func LogSubExp(a, b float64) float64 {
 	if a < b {
 		return math.NaN()
 	}
-	if a == b || math.IsInf(a, -1) {
+	if a == b || math.IsInf(a, -1) { //dplint:ignore floateq exact cancellation fast path: e^a - e^b is exactly 0 only when a equals b bitwise
 		return NegInf
 	}
 	return a + Log1mExp(b-a)
@@ -153,7 +153,7 @@ func Logit(p float64) float64 {
 // XLogX returns x*log(x) with the continuous extension 0*log(0) = 0.
 // Negative x yields NaN.
 func XLogX(x float64) float64 {
-	if x == 0 {
+	if x == 0 { //dplint:ignore floateq continuous extension 0*log(0) = 0 applies at exact zero only
 		return 0
 	}
 	return x * math.Log(x)
@@ -162,7 +162,7 @@ func XLogX(x float64) float64 {
 // XLogY returns x*log(y) with the convention 0*log(0) = 0 (used by entropy
 // and KL computations). x > 0 with y == 0 yields -Inf as expected.
 func XLogY(x, y float64) float64 {
-	if x == 0 {
+	if x == 0 { //dplint:ignore floateq convention 0*log(y) = 0 applies at exact zero only
 		return 0
 	}
 	return x * math.Log(y)
@@ -186,7 +186,7 @@ func Clamp(x, lo, hi float64) float64 {
 // absolutely for small magnitudes and relatively for large ones:
 // |a-b| <= tol * max(1, |a|, |b|).
 func AlmostEqual(a, b, tol float64) bool {
-	if a == b {
+	if a == b { //dplint:ignore floateq fast path of the tolerance comparison itself; also makes Inf == Inf equal
 		return true
 	}
 	diff := math.Abs(a - b)
@@ -207,9 +207,9 @@ func NormalQuantile(p float64) float64 {
 	switch {
 	case p < 0 || p > 1 || math.IsNaN(p):
 		return math.NaN()
-	case p == 0:
+	case p == 0: //dplint:ignore floateq exact endpoint: quantile is ±Inf only at bitwise 0 and 1
 		return math.Inf(-1)
-	case p == 1:
+	case p == 1: //dplint:ignore floateq exact endpoint: quantile is ±Inf only at bitwise 0 and 1
 		return math.Inf(1)
 	}
 	// Φ is strictly increasing; [-40, 40] covers all representable p.
@@ -309,10 +309,10 @@ func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 // iterations have run, returning the midpoint of the final interval.
 func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
 	flo, fhi := f(lo), f(hi)
-	if flo == 0 {
+	if flo == 0 { //dplint:ignore floateq exact root at the endpoint short-circuits the search
 		return lo, nil
 	}
-	if fhi == 0 {
+	if fhi == 0 { //dplint:ignore floateq exact root at the endpoint short-circuits the search
 		return hi, nil
 	}
 	if (flo > 0) == (fhi > 0) {
@@ -321,7 +321,7 @@ func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64,
 	for i := 0; i < maxIter; i++ {
 		mid := 0.5 * (lo + hi)
 		fmid := f(mid)
-		if fmid == 0 || hi-lo < tol {
+		if fmid == 0 || hi-lo < tol { //dplint:ignore floateq exact root short-circuit; the tolerance test is the real convergence criterion
 			return mid, nil
 		}
 		if (fmid > 0) == (fhi > 0) {
@@ -469,7 +469,7 @@ func L1Norm(xs []float64) float64 {
 func L2Norm(xs []float64) float64 {
 	var scale, ssq float64 = 0, 1
 	for _, x := range xs {
-		if x == 0 {
+		if x == 0 { //dplint:ignore floateq exact-zero skip: only bitwise zero contributes nothing to the norm
 			continue
 		}
 		ax := math.Abs(x)

@@ -2,9 +2,10 @@ package mathx
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/rng"
 )
 
 func TestLogSumExpBasic(t *testing.T) {
@@ -271,11 +272,11 @@ func TestWelford(t *testing.T) {
 }
 
 func TestWelfordMatchesDirect(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	g := rng.New(7)
 	xs := make([]float64, 500)
 	var w Welford
 	for i := range xs {
-		xs[i] = rng.NormFloat64()*3 + 1
+		xs[i] = g.Normal(1, 3)
 		w.Add(xs[i])
 	}
 	mean := SumSlice(xs) / float64(len(xs))

@@ -46,15 +46,15 @@ func (a *Accountant) AdvancedComposition(deltaSlack float64) (Guarantee, error) 
 	}
 	eps := a.spent[0].Epsilon
 	for _, g := range a.spent {
-		if g.Delta != 0 {
+		if g.Delta != 0 { //dplint:ignore floateq pure eps-DP is encoded as bitwise delta=0; no arithmetic ever perturbs it
 			return Guarantee{}, errors.New("mechanism: advanced composition implemented for pure ε-DP only")
 		}
-		if g.Epsilon != eps {
+		if g.Epsilon != eps { //dplint:ignore floateq homogeneity check: the spent guarantees must carry the identical stored ε
 			return Guarantee{}, errors.New("mechanism: advanced composition implemented for homogeneous ε only")
 		}
 	}
 	k := float64(len(a.spent))
-	epsTotal := eps*math.Sqrt(2*k*math.Log(1/deltaSlack)) + k*eps*(math.Exp(eps)-1)
+	epsTotal := eps*math.Sqrt(2*k*math.Log(1/deltaSlack)) + k*eps*math.Expm1(eps)
 	return Guarantee{Epsilon: epsTotal, Delta: deltaSlack}, nil
 }
 

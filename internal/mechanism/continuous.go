@@ -133,11 +133,12 @@ func (m *IntervalMechanism) Guarantee() Guarantee {
 // return +Inf only when a piece of one has zero mass where the other
 // doesn't — with shared geometry this cannot happen.
 func MaxLogDensityRatio(m1, m2 *IntervalMechanism) (float64, error) {
+	//dplint:ignore floateq shared-geometry precondition: both mechanisms must carry bitwise-identical endpoints
 	if m1.Lo != m2.Lo || m1.Hi != m2.Hi || len(m1.Breaks) != len(m2.Breaks) {
 		return 0, ErrBadInterval
 	}
 	for i := range m1.Breaks {
-		if m1.Breaks[i] != m2.Breaks[i] {
+		if m1.Breaks[i] != m2.Breaks[i] { //dplint:ignore floateq shared-geometry precondition: breakpoints must be bitwise-identical copies
 			return 0, ErrBadInterval
 		}
 	}
@@ -177,7 +178,7 @@ func ContinuousMedian(d *dataset.Dataset, j int, lo, hi, epsilon float64) (*Inte
 		if v <= lo || v >= hi {
 			continue
 		}
-		if len(breaks) == 0 || breaks[len(breaks)-1] != v {
+		if len(breaks) == 0 || breaks[len(breaks)-1] != v { //dplint:ignore floateq dedup scan over sorted clamped values: duplicates are bitwise copies
 			breaks = append(breaks, v)
 		}
 	}

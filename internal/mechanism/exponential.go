@@ -135,7 +135,7 @@ func PrivateMode(j int, values []float64, epsilon float64) (*Exponential, []floa
 	quality := func(d *dataset.Dataset, u int) float64 {
 		var c float64
 		for _, e := range d.Examples {
-			if e.X[j] == vals[u] {
+			if e.X[j] == vals[u] { //dplint:ignore floateq discrete feature: candidate values are exact codes copied from the data
 				c++
 			}
 		}

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/mathx"
 	"repro/internal/rng"
 )
 
@@ -37,7 +38,7 @@ type Guarantee struct {
 
 // String renders the guarantee.
 func (g Guarantee) String() string {
-	if g.Delta == 0 {
+	if g.Delta == 0 { //dplint:ignore floateq pure eps-DP is encoded as bitwise delta=0; no arithmetic ever perturbs it
 		return fmt.Sprintf("%.6g-DP", g.Epsilon)
 	}
 	return fmt.Sprintf("(%.6g, %.3g)-DP", g.Epsilon, g.Delta)
@@ -252,9 +253,9 @@ func NewRandomizedResponse(epsilon float64) (*RandomizedResponse, error) {
 }
 
 // TruthProbability returns e^ε/(1+e^ε), the per-record truth-telling
-// probability.
+// probability, computed as the numerically stable logistic sigmoid.
 func (m *RandomizedResponse) TruthProbability() float64 {
-	return 1 / (1 + math.Exp(-m.Epsilon))
+	return mathx.Sigmoid(m.Epsilon)
 }
 
 // Release perturbs each bit independently.

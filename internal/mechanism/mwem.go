@@ -55,6 +55,7 @@ func NewMWEM(domainSize int, queries [][]float64, rounds int, epsilon float64) (
 			return nil, fmt.Errorf("mechanism: MWEM query %d has %d entries for domain %d", i, len(q), domainSize)
 		}
 		for _, v := range q {
+			//dplint:ignore floateq counting-query contract: indicator entries must be bitwise 0 or 1, anything else is rejected
 			if v != 0 && v != 1 {
 				return nil, fmt.Errorf("mechanism: MWEM query %d is not a 0/1 counting query", i)
 			}
@@ -67,7 +68,8 @@ func NewMWEM(domainSize int, queries [][]float64, rounds int, epsilon float64) (
 func evaluate(q, p []float64) float64 {
 	var s float64
 	for v, ind := range q {
-		if ind == 1 {
+		if ind == 1 { //dplint:ignore floateq entries are validated bitwise 0/1 indicators in NewMWEM
+
 			s += p[v]
 		}
 	}
@@ -128,6 +130,7 @@ func (m *MWEM) Run(d *dataset.Dataset, g *rng.RNG) ([]float64, error) {
 		// Multiplicative weights update toward the measurement.
 		diff := measured - evaluate(m.Queries[qi], synth)
 		for v := range synth {
+			//dplint:ignore expdomain bounded argument: diff is in [-1,1] and query entries are 0/1, so |arg| <= 1/2
 			factor := math.Exp(diff * m.Queries[qi][v] / 2)
 			synth[v] *= factor
 		}

@@ -54,6 +54,7 @@ func (m *PermuteAndFlip) Release(d *dataset.Dataset, g *rng.RNG) int {
 	for {
 		perm := g.Perm(m.NumCandidates)
 		for _, u := range perm {
+			//dplint:ignore expdomain bounded argument: scores[u] <= qStar so the exponent is <= 0 and exp stays in (0,1]
 			p := math.Exp(m.Epsilon * (scores[u] - qStar) / (2 * m.Sensitivity))
 			if g.Bernoulli(p) {
 				return u
@@ -89,6 +90,7 @@ func (m *PermuteAndFlip) LogProbabilities(d *dataset.Dataset) []float64 {
 	accept := make([]float64, k) // acceptance probabilities p_u
 	fail := make([]float64, k)   // 1 − p_u
 	for u := range accept {
+		//dplint:ignore expdomain bounded argument: scores[u] <= qStar so the exponent is <= 0 and exp stays in (0,1]
 		accept[u] = math.Exp(m.Epsilon * (scores[u] - qStar) / (2 * m.Sensitivity))
 		fail[u] = 1 - accept[u]
 	}
@@ -153,6 +155,7 @@ func ExpectedQualityGap(logProbs []float64, quality func(u int) float64) float64
 		if math.IsInf(lp, -1) {
 			continue
 		}
+		//dplint:ignore expdomain bounded argument: lp is a normalized log-probability, so lp <= 0 and exp stays in (0,1]
 		gap += math.Exp(lp) * (best - quality(u))
 	}
 	return gap

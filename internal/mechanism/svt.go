@@ -121,6 +121,9 @@ func PrivateQuantile(j int, p float64, candidates []float64, epsilon float64) (*
 // 5th and 95th percentiles), by two PrivateQuantile selections, each with
 // half the budget. The release is ε-DP by basic composition.
 func PrivateRange(d *dataset.Dataset, j int, coverage float64, candidates []float64, epsilon float64, g *rng.RNG) (lo, hi float64, err error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) {
+		return 0, 0, ErrInvalidEpsilon
+	}
 	if coverage <= 0 || coverage >= 1 {
 		return 0, 0, errors.New("mechanism: PrivateRange needs coverage in (0,1)")
 	}

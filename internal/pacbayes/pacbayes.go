@@ -108,9 +108,9 @@ func BinaryKL(q, p float64) float64 {
 	}
 	var d float64
 	switch {
-	case q == 0:
+	case q == 0: //dplint:ignore floateq exact endpoint of binary KL: the 0*log(0) convention applies at bitwise zero
 		d = -math.Log(1 - p)
-	case q == 1:
+	case q == 1: //dplint:ignore floateq exact endpoint of binary KL: the 0*log(0) convention applies at bitwise one
 		d = -math.Log(p)
 	default:
 		d = q*math.Log(q/p) + (1-q)*math.Log((1-q)/(1-p))

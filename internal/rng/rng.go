@@ -10,7 +10,9 @@
 // benchmarks are exactly reproducible. This library is a research
 // reproduction; cryptographic randomness (crypto/rand) would be required
 // before using the mechanisms against a real adversary, and the RNG type
-// documents that boundary.
+// documents that boundary. The rawrand lint check (cmd/dplearn-lint)
+// enforces it: this package is the only non-test code allowed to import
+// math/rand, so swapping the source later is a one-package change.
 package rng
 
 import (
@@ -105,7 +107,7 @@ func (g *RNG) geometric(p float64) int64 {
 	if p <= 0 || p > 1 {
 		panic("rng: geometric requires p in (0, 1]")
 	}
-	if p == 1 {
+	if p == 1 { //dplint:ignore floateq exact boundary: success probability of bitwise 1 always returns 0 failures
 		return 0
 	}
 	// Inversion of the CDF via an exponential draw.
@@ -203,7 +205,7 @@ func (g *RNG) CategoricalLog(logWeights []float64) int {
 		}
 		// Gumbel(0,1) = -log(-log U)
 		u := g.r.Float64()
-		for u == 0 {
+		for u == 0 { //dplint:ignore floateq rejects the exact-zero draw so log(-log(u)) stays finite (Mironov-style edge case)
 			u = g.r.Float64()
 		}
 		v := lw - math.Log(-math.Log(u))

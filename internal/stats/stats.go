@@ -100,7 +100,7 @@ func NewECDF(xs []float64) (*ECDF, error) {
 func (e *ECDF) At(x float64) float64 {
 	// Index of first element > x.
 	idx := sort.SearchFloat64s(e.sorted, x)
-	for idx < len(e.sorted) && e.sorted[idx] == x {
+	for idx < len(e.sorted) && e.sorted[idx] == x { //dplint:ignore floateq tie scan over stored sample values: duplicates are bitwise copies
 		idx++
 	}
 	return float64(idx) / float64(len(e.sorted))
@@ -135,10 +135,10 @@ func KSStatistic(a, b []float64) float64 {
 		// Step past the smallest current value in both samples at once so
 		// that ties are handled atomically (both ECDFs jump together).
 		v := math.Min(sa[i], sb[j])
-		for i < len(sa) && sa[i] == v {
+		for i < len(sa) && sa[i] == v { //dplint:ignore floateq tie scan: v is copied from sa[i]/sb[j], so matches are bitwise
 			i++
 		}
-		for j < len(sb) && sb[j] == v {
+		for j < len(sb) && sb[j] == v { //dplint:ignore floateq tie scan: v is copied from sa[i]/sb[j], so matches are bitwise
 			j++
 		}
 		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
@@ -214,7 +214,7 @@ func (h *Histogram) BinCenter(i int) float64 {
 // all zeros).
 func (h *Histogram) Probabilities() []float64 {
 	out := make([]float64, len(h.Counts))
-	if h.total == 0 {
+	if h.total == 0 { //dplint:ignore floateq total is a sum of unit increments; exactly zero iff the histogram is empty
 		return out
 	}
 	for i, c := range h.Counts {
