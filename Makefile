@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench experiments quick-experiments fmt fmt-check
+.PHONY: all build test vet lint race cover bench experiments quick-experiments fmt fmt-check fuzz-smoke
 
 all: build vet lint test
 
@@ -22,6 +22,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzzing pass over the log-domain primitives (one -fuzz target
+# per invocation, as `go test` requires). Override FUZZTIME for longer
+# campaigns, e.g. `make fuzz-smoke FUZZTIME=2m`.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogAddExp$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogSumExp$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogNormalize$$' -fuzztime $(FUZZTIME)
 
 cover:
 	$(GO) test -cover ./...

@@ -13,7 +13,11 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/learn"
+	"repro/internal/parallel"
+	"repro/internal/rng"
 )
 
 // benchOpts returns deterministic quick options; the benchmark index
@@ -144,3 +148,98 @@ func BenchmarkA10PrivatePCA(b *testing.B) { runExperiment(b, "A10", 4, "var_rati
 // BenchmarkA11SparseVector regenerates A11 (SVT precision/recall).
 // Metric: recall at the largest ε.
 func BenchmarkA11SparseVector(b *testing.B) { runExperiment(b, "A11", 2, "recall") }
+
+// ---------------------------------------------------------------------
+// Serial vs parallel fan-out benchmarks (internal/parallel). Compare the
+// *Serial (Workers=1) and *Parallel (Workers=0 = GOMAXPROCS) variants of
+// each pair; recorded runs live in results/bench_parallel.txt. Outputs
+// are bit-identical across the variants — only wall-clock differs.
+// ---------------------------------------------------------------------
+
+// benchRiskSetup builds a 10,000-predictor grid (100² coefficient
+// lattice) and a 1,000-example regression sample: 10M loss evaluations
+// per risk vector.
+func benchRiskSetup() (learn.Loss, [][]float64, *dataset.Dataset) {
+	thetas := learn.NewGrid(-2, 2, 2, 100).Thetas()
+	model := dataset.LinearModel{Weights: []float64{1.2, -0.6}, Noise: 0.3}
+	d := model.Generate(1000, rng.New(7))
+	return learn.NewClippedLoss(learn.SquaredLoss{}, 25), thetas, d
+}
+
+func benchRiskVector10k(b *testing.B, workers int) {
+	loss, thetas, d := benchRiskSetup()
+	opts := parallel.Options{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = learn.RiskVectorOpts(loss, thetas, d, opts)
+	}
+}
+
+// BenchmarkRiskVector10kSerial evaluates the 10k-θ risk grid with one
+// worker.
+func BenchmarkRiskVector10kSerial(b *testing.B) { benchRiskVector10k(b, 1) }
+
+// BenchmarkRiskVector10kParallel evaluates the same grid with all CPUs.
+func BenchmarkRiskVector10kParallel(b *testing.B) { benchRiskVector10k(b, 0) }
+
+func benchLearner(b *testing.B, workers int) *Learner {
+	b.Helper()
+	loss, thetas, _ := benchRiskSetup()
+	l, err := NewLearner(Config{
+		Loss:     loss,
+		Thetas:   thetas,
+		Epsilon:  1,
+		Parallel: parallel.Options{Workers: workers},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkCertify10kCold certifies the 10k-θ learner with an empty risk
+// cache every iteration (a fresh Learner per iteration).
+func BenchmarkCertify10kCold(b *testing.B) {
+	_, _, d := benchRiskSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		l := benchLearner(b, 0)
+		b.StartTimer()
+		if _, err := l.Certify(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCertify10kWarm certifies repeatedly on one Learner, so every
+// iteration after the first hits the fingerprint-keyed risk cache.
+func BenchmarkCertify10kWarm(b *testing.B) {
+	_, _, d := benchRiskSetup()
+	l := benchLearner(b, 0)
+	if _, err := l.Certify(d); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Certify(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSweepE9(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Options{Seed: int64(1000 + i), Quick: true, Workers: workers}
+		if _, err := experiments.Run("E9", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepE9Serial runs the E9 regression sweep with its (n, ε)
+// cells on one worker.
+func BenchmarkSweepE9Serial(b *testing.B) { benchSweepE9(b, 1) }
+
+// BenchmarkSweepE9Parallel fans the same sweep's cells across all CPUs.
+func BenchmarkSweepE9Parallel(b *testing.B) { benchSweepE9(b, 0) }

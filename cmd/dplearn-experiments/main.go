@@ -25,9 +25,10 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	format := flag.String("format", "text", "output format: text, csv, or json")
 	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently")
+	workers := flag.Int("workers", 0, "worker fan-out inside each experiment's sweep (0 = all CPUs, 1 = serial; results are identical either way)")
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	ids := experiments.IDs()
 	if *runIDs != "" {
 		ids = strings.Split(*runIDs, ",")

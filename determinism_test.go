@@ -1,0 +1,171 @@
+package dplearn
+
+// Golden determinism test: the parallel fan-out engine promises
+// bit-for-bit identical results for every Workers setting (see package
+// parallel's determinism contract). This test runs the full pipeline —
+// Fit, Certify, risk grid, and the Figure-1 information account
+// (channel sums + Blahut–Arimoto capacity) — at several worker counts
+// and compares every released float by its exact bit pattern.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/learn"
+	"repro/internal/parallel"
+)
+
+// goldenRun is the bit-level snapshot of one pipeline execution.
+type goldenRun struct {
+	fitIndex int
+	fitTheta []uint64
+	risks    []uint64
+	cert     []uint64
+	account  []uint64
+}
+
+func float64Bits(vs ...float64) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+func bitsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// goldenPipeline executes the full pipeline with the given worker count
+// and snapshots every output. Each call rebuilds its own sample space
+// and RNG, so runs are independent and comparable.
+func goldenPipeline(t *testing.T, workers int) goldenRun {
+	t.Helper()
+	n := 8
+	inputs, logPX := channel.CountSampleSpace(n, 0.5)
+	for _, d := range inputs {
+		for i := range d.Examples {
+			d.Examples[i].Y = d.Examples[i].X[0]
+		}
+	}
+	loss := learn.NewClippedLoss(learn.AbsoluteLoss{}, 1)
+	grid := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	learner, err := NewLearner(Config{
+		Loss:     loss,
+		Thetas:   grid,
+		Epsilon:  2,
+		Parallel: parallel.Options{Workers: workers},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := inputs[len(inputs)/2]
+	fit, err := learner.Fit(train, NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := learner.Certify(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := learner.Estimator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	risks := est.Risks(train)
+	acct, err := learner.AccountInformation(inputs, logPX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenRun{
+		fitIndex: fit.Index,
+		fitTheta: float64Bits(fit.Theta...),
+		risks:    float64Bits(risks...),
+		cert: float64Bits(cert.Privacy.Epsilon, cert.Lambda, cert.RiskBound,
+			cert.Delta, cert.ExpEmpRisk, cert.KL),
+		account: float64Bits(acct.MutualInformation, acct.Capacity,
+			acct.DPCap, acct.ExpectedRisk),
+	}
+}
+
+// TestGoldenDeterminismAcrossWorkers pins the determinism contract:
+// Workers ∈ {1, 2, 7, GOMAXPROCS} must produce byte-identical fits,
+// certificates, risk grids, and information accounts for a fixed seed.
+func TestGoldenDeterminismAcrossWorkers(t *testing.T) {
+	ref := goldenPipeline(t, 1)
+	for _, workers := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+		got := goldenPipeline(t, workers)
+		if got.fitIndex != ref.fitIndex {
+			t.Errorf("workers=%d: fit index %d != %d", workers, got.fitIndex, ref.fitIndex)
+		}
+		if !bitsEqual(got.fitTheta, ref.fitTheta) {
+			t.Errorf("workers=%d: fit theta bits differ", workers)
+		}
+		if !bitsEqual(got.risks, ref.risks) {
+			t.Errorf("workers=%d: risk grid bits differ", workers)
+		}
+		if !bitsEqual(got.cert, ref.cert) {
+			t.Errorf("workers=%d: certificate bits differ", workers)
+		}
+		if !bitsEqual(got.account, ref.account) {
+			t.Errorf("workers=%d: information account bits differ", workers)
+		}
+	}
+}
+
+// TestGoldenDeterminismRepeatedRuns guards against hidden global state:
+// the same configuration run twice (same worker count) must reproduce
+// the exact bits, including through the risk cache (second Certify on a
+// shared learner hits the cache; its certificate must equal the cold
+// one bit-for-bit).
+func TestGoldenDeterminismRepeatedRuns(t *testing.T) {
+	a := goldenPipeline(t, 2)
+	b := goldenPipeline(t, 2)
+	if a.fitIndex != b.fitIndex || !bitsEqual(a.fitTheta, b.fitTheta) ||
+		!bitsEqual(a.risks, b.risks) || !bitsEqual(a.cert, b.cert) ||
+		!bitsEqual(a.account, b.account) {
+		t.Fatal("identical configurations produced different bits")
+	}
+
+	n := 8
+	inputs, _ := channel.CountSampleSpace(n, 0.5)
+	for _, d := range inputs {
+		for i := range d.Examples {
+			d.Examples[i].Y = d.Examples[i].X[0]
+		}
+	}
+	loss := learn.NewClippedLoss(learn.AbsoluteLoss{}, 1)
+	learner, err := NewLearner(Config{
+		Loss:    loss,
+		Thetas:  [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}},
+		Epsilon: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := inputs[len(inputs)/2]
+	cold, err := learner.Certify(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := learner.Certify(train) // risk cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(
+		float64Bits(cold.RiskBound, cold.ExpEmpRisk, cold.KL),
+		float64Bits(warm.RiskBound, warm.ExpEmpRisk, warm.KL),
+	) {
+		t.Fatal("cached Certify differs from cold Certify")
+	}
+}

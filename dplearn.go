@@ -41,7 +41,12 @@ import (
 	"repro/internal/rng"
 )
 
-// Config configures a private learner. See core.Config.
+// Config configures a private learner. See core.Config. Config.Parallel
+// sets the worker fan-out for the learner's hot paths (risk grids,
+// channel sums); results are bit-identical for every worker count. The
+// Learner additionally memoizes risk vectors by dataset fingerprint, so
+// Fit + Certify + AccountInformation on the same data evaluate the
+// O(|Θ|·n) risk grid once.
 type Config = core.Config
 
 // Learner is a configured private learner. See core.Learner.

@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/infotheory"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 )
 
 // ErrBadChannel is returned for malformed channel construction inputs.
@@ -40,12 +42,32 @@ type Channel struct {
 	LogPX []float64
 	// Rows holds normalized log transition rows: Rows[i][j] = log p(θⱼ | Ẑᵢ).
 	Rows [][]float64
+	// Parallel controls worker fan-out for the leakage, marginal, and
+	// capacity sums. The zero value uses all CPUs; every setting yields
+	// bit-identical results (fixed chunk geometry, ordered reduction).
+	Parallel parallel.Options
 }
+
+// rowGrain is the fan-out grain for per-input work: one index is a full
+// posterior enumeration or a KL over a row, so channels with few inputs
+// still split across CPUs.
+const rowGrain = 1
 
 // FromMechanism enumerates the channel of a discrete learner over the
 // given sample-space points with the given (unnormalized) log input
-// masses.
+// masses, one posterior row per worker chunk (all CPUs). The mechanism's
+// LogProbabilities is called from multiple goroutines and must be safe
+// for concurrent use — true for every mechanism in this module (they
+// are pure up to the internally-locked risk cache). Use FromMechanismOpts
+// with Workers: 1 for a mechanism that is not.
 func FromMechanism(inputs []*dataset.Dataset, logPX []float64, m DiscreteMechanism) (*Channel, error) {
+	return FromMechanismOpts(inputs, logPX, m, parallel.Options{})
+}
+
+// FromMechanismOpts is FromMechanism under an explicit parallel.Options.
+// The enumerated rows are identical for every worker count: each row is
+// an independent pure function of its input point.
+func FromMechanismOpts(inputs []*dataset.Dataset, logPX []float64, m DiscreteMechanism, opts parallel.Options) (*Channel, error) {
 	if len(inputs) == 0 || len(inputs) != len(logPX) || m == nil {
 		return nil, ErrBadChannel
 	}
@@ -54,17 +76,18 @@ func FromMechanism(inputs []*dataset.Dataset, logPX []float64, m DiscreteMechani
 		return nil, ErrBadChannel
 	}
 	rows := make([][]float64, len(inputs))
-	var width int
-	for i, d := range inputs {
-		r := m.LogProbabilities(d)
-		if i == 0 {
-			width = len(r)
-		} else if len(r) != width {
+	parallel.ForGrain(len(inputs), rowGrain, opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rows[i] = m.LogProbabilities(inputs[i])
+		}
+	})
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
 			return nil, fmt.Errorf("channel: ragged mechanism output at input %d", i)
 		}
-		rows[i] = r
 	}
-	return &Channel{LogPX: px, Rows: rows}, nil
+	return &Channel{LogPX: px, Rows: rows, Parallel: opts}, nil
 }
 
 // New constructs a channel from explicit normalized log rows and input
@@ -97,12 +120,14 @@ func (c *Channel) NumOutputs() int { return len(c.Rows[0]) }
 // Joint returns the joint distribution p(Ẑ, θ) in the linear domain.
 func (c *Channel) Joint() (*infotheory.Joint, error) {
 	table := make([][]float64, c.NumInputs())
-	for i := range table {
-		table[i] = make([]float64, c.NumOutputs())
-		for j := range table[i] {
-			table[i][j] = math.Exp(c.LogPX[i] + c.Rows[i][j])
+	parallel.ForGrain(c.NumInputs(), rowGrain, c.Parallel, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			table[i] = make([]float64, c.NumOutputs())
+			for j := range table[i] {
+				table[i][j] = math.Exp(c.LogPX[i] + c.Rows[i][j])
+			}
 		}
-	}
+	})
 	return infotheory.NewJoint(table)
 }
 
@@ -116,38 +141,44 @@ func (c *Channel) MutualInformation() (float64, error) {
 }
 
 // OutputMarginalLog returns log p(θ) = log Σᵢ p(Ẑᵢ)·p(θ|Ẑᵢ) — the
-// paper's "optimal prior" E_Ẑ π̂ (Section 4).
+// paper's "optimal prior" E_Ẑ π̂ (Section 4). Columns fan out across
+// workers; each output entry is an independent LogSumExp over inputs.
 func (c *Channel) OutputMarginalLog() []float64 {
 	out := make([]float64, c.NumOutputs())
-	buf := make([]float64, c.NumInputs())
-	for j := range out {
-		for i := range buf {
-			buf[i] = c.LogPX[i] + c.Rows[i][j]
+	nIn := c.NumInputs()
+	parallel.ForGrain(c.NumOutputs(), 32, c.Parallel, func(lo, hi int) {
+		buf := make([]float64, nIn)
+		for j := lo; j < hi; j++ {
+			for i := range buf {
+				buf[i] = c.LogPX[i] + c.Rows[i][j]
+			}
+			out[j] = mathx.LogSumExp(buf)
 		}
-		out[j] = mathx.LogSumExp(buf)
-	}
+	})
 	return out
 }
 
 // ExpectedValue returns E over the joint of vals[i][j] (e.g. per-input,
-// per-θ empirical risks).
+// per-θ empirical risks), reduced in row-major order over fixed chunks.
 func (c *Channel) ExpectedValue(vals [][]float64) (float64, error) {
 	if len(vals) != c.NumInputs() {
 		return 0, ErrBadChannel
 	}
-	var k mathx.KahanSum
-	for i, row := range vals {
-		if len(row) != c.NumOutputs() {
+	nOut := c.NumOutputs()
+	for _, row := range vals {
+		if len(row) != nOut {
 			return 0, ErrBadChannel
 		}
-		for j, v := range row {
-			w := math.Exp(c.LogPX[i] + c.Rows[i][j])
-			if w > 0 {
-				k.Add(w * v)
-			}
-		}
 	}
-	return k.Sum(), nil
+	total := parallel.Sum(c.NumInputs()*nOut, c.Parallel, func(idx int) float64 {
+		i, j := idx/nOut, idx%nOut
+		w := math.Exp(c.LogPX[i] + c.Rows[i][j])
+		if w > 0 {
+			return w * vals[i][j]
+		}
+		return 0
+	})
+	return total, nil
 }
 
 // Objective returns the paper's Section-4 regularized objective
@@ -178,39 +209,45 @@ func (c *Channel) ExpectedKLToPrior(logPrior []float64) (float64, error) {
 	if len(logPrior) != c.NumOutputs() {
 		return 0, ErrBadChannel
 	}
-	var k mathx.KahanSum
-	for i, row := range c.Rows {
-		kl, err := infotheory.KLLogSpace(row, logPrior)
+	var mu sync.Mutex
+	var firstErr error
+	total := parallel.SumGrain(c.NumInputs(), rowGrain, c.Parallel, func(i int) float64 {
+		kl, err := infotheory.KLLogSpace(c.Rows[i], logPrior)
 		if err != nil {
-			return 0, err
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return 0
 		}
-		k.Add(math.Exp(c.LogPX[i]) * kl)
+		return math.Exp(c.LogPX[i]) * kl
+	})
+	if firstErr != nil {
+		return 0, firstErr
 	}
-	return k.Sum(), nil
+	return total, nil
 }
 
 // Capacity returns the Shannon capacity of the channel (max over input
-// distributions of the MI) via Blahut–Arimoto, in nats.
+// distributions of the MI) via Blahut–Arimoto, in nats. The iteration's
+// inner sums fan out under the channel's parallel options.
 func (c *Channel) Capacity(tol float64, maxIter int) (float64, error) {
-	rows := make([][]float64, c.NumInputs())
-	for i, r := range c.Rows {
-		rows[i] = make([]float64, len(r))
-		for j, lv := range r {
-			rows[i][j] = math.Exp(lv)
-		}
-	}
-	cap_, _, err := infotheory.BlahutArimoto(rows, tol, maxIter)
+	cap_, _, err := infotheory.BlahutArimotoOpts(c.linearRows(), tol, maxIter, c.Parallel)
 	return cap_, err
 }
 
 // MaxPairwiseLogRatio returns max over input pairs and outputs of
 // |log p(θ|Ẑ) − log p(θ|Ẑ′)| — the channel's worst-case distinguishing
-// power between any two sample-space points (not just neighbors).
+// power between any two sample-space points (not just neighbors). The
+// O(|X|²·|Θ|) scan fans out over the first pair index; max is
+// order-invariant, so the result is worker-count independent.
 func (c *Channel) MaxPairwiseLogRatio() float64 {
-	var m float64
-	for a := 0; a < c.NumInputs(); a++ {
-		for b := a + 1; b < c.NumInputs(); b++ {
-			for j := 0; j < c.NumOutputs(); j++ {
+	nIn, nOut := c.NumInputs(), c.NumOutputs()
+	return parallel.MaxAbs(nIn, c.Parallel, func(a int) float64 {
+		var m float64
+		for b := a + 1; b < nIn; b++ {
+			for j := 0; j < nOut; j++ {
 				la, lb := c.Rows[a][j], c.Rows[b][j]
 				aInf, bInf := math.IsInf(la, -1), math.IsInf(lb, -1)
 				if aInf && bInf {
@@ -224,8 +261,8 @@ func (c *Channel) MaxPairwiseLogRatio() float64 {
 				}
 			}
 		}
-	}
-	return m
+		return m
+	})
 }
 
 // Compose post-processes the channel's output through a second (data-
@@ -258,21 +295,23 @@ func (c *Channel) Compose(post [][]float64) (*Channel, error) {
 		}
 	}
 	rows := make([][]float64, c.NumInputs())
-	for i := range rows {
-		rows[i] = make([]float64, nOut)
-		for k := 0; k < nOut; k++ {
-			var p float64
-			for j := 0; j < c.NumOutputs(); j++ {
-				p += math.Exp(c.Rows[i][j]) * postNorm[j][k]
-			}
-			if p <= 0 {
-				rows[i][k] = math.Inf(-1)
-			} else {
-				rows[i][k] = math.Log(p)
+	parallel.ForGrain(c.NumInputs(), rowGrain, c.Parallel, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rows[i] = make([]float64, nOut)
+			for k := 0; k < nOut; k++ {
+				var p float64
+				for j := 0; j < c.NumOutputs(); j++ {
+					p += math.Exp(c.Rows[i][j]) * postNorm[j][k]
+				}
+				if p <= 0 {
+					rows[i][k] = math.Inf(-1)
+				} else {
+					rows[i][k] = math.Log(p)
+				}
 			}
 		}
-	}
-	return &Channel{LogPX: append([]float64(nil), c.LogPX...), Rows: rows}, nil
+	})
+	return &Channel{LogPX: append([]float64(nil), c.LogPX...), Rows: rows, Parallel: c.Parallel}, nil
 }
 
 // DPLeakageCapNats returns the trivial mutual-information cap for an

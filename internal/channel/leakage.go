@@ -4,17 +4,23 @@ import (
 	"math"
 
 	"repro/internal/infotheory"
+	"repro/internal/parallel"
 )
 
-// linearRows converts the channel's log rows to the linear domain.
+// linearRows converts the channel's log rows to the linear domain,
+// fanning rows out across workers (element-wise, worker-count
+// independent).
 func (c *Channel) linearRows() [][]float64 {
 	rows := make([][]float64, c.NumInputs())
-	for i, r := range c.Rows {
-		rows[i] = make([]float64, len(r))
-		for j, lv := range r {
-			rows[i][j] = math.Exp(lv)
+	parallel.ForGrain(c.NumInputs(), rowGrain, c.Parallel, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := c.Rows[i]
+			rows[i] = make([]float64, len(r))
+			for j, lv := range r {
+				rows[i][j] = math.Exp(lv)
+			}
 		}
-	}
+	})
 	return rows
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/mechanism"
 	"repro/internal/pacbayes"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -47,12 +48,23 @@ type Config struct {
 	// Delta is the PAC-Bayes confidence parameter for the risk
 	// certificate (default 0.05 when zero).
 	Delta float64
+	// Parallel controls worker fan-out for every hot path of the learner
+	// (risk grids, posterior reductions, channel sums, capacity
+	// iteration). The zero value uses all CPUs; Workers == 1 forces
+	// serial execution. Every setting produces bit-identical results —
+	// see package parallel for the determinism contract.
+	Parallel parallel.Options
 }
 
 // Learner is a configured private learner. It is immutable and safe for
-// concurrent use with per-goroutine RNGs.
+// concurrent use with per-goroutine RNGs. Internally it memoizes risk
+// vectors by dataset fingerprint, so Fit, Certify, and
+// AccountInformation on the same data evaluate the O(|Θ|·n) risk grid
+// once; the cache is safe for concurrent use and does not change any
+// result.
 type Learner struct {
-	cfg Config
+	cfg   Config
+	cache *gibbs.RiskCache
 }
 
 // NewLearner validates the configuration.
@@ -75,7 +87,7 @@ func NewLearner(cfg Config) (*Learner, error) {
 	if cfg.Delta == 0 { //dplint:ignore floateq config sentinel: an unset Delta field is the exact zero value
 		cfg.Delta = 0.05
 	}
-	return &Learner{cfg: cfg}, nil
+	return &Learner{cfg: cfg, cache: gibbs.NewRiskCache()}, nil
 }
 
 // Epsilon returns the configured per-Fit privacy budget.
@@ -88,7 +100,15 @@ func (l *Learner) Estimator(n int) (*gibbs.Estimator, error) {
 		return nil, fmt.Errorf("%w: sample size must be positive", ErrBadConfig)
 	}
 	lambda := gibbs.LambdaForEpsilon(l.cfg.Epsilon, l.cfg.Loss, n)
-	return gibbs.New(l.cfg.Loss, l.cfg.Thetas, l.cfg.LogPrior, lambda)
+	est, err := gibbs.New(l.cfg.Loss, l.cfg.Thetas, l.cfg.LogPrior, lambda)
+	if err != nil {
+		return nil, err
+	}
+	// Risks depend only on (Loss, Thetas, data) — not on λ — so every
+	// estimator this learner calibrates can share one cache.
+	est.Parallel = l.cfg.Parallel
+	est.Cache = l.cache
+	return est, nil
 }
 
 // Certificate bundles everything the learner can prove about one Fit.
@@ -208,7 +228,7 @@ func (l *Learner) AccountInformation(inputs []*dataset.Dataset, logPX []float64)
 	if err != nil {
 		return nil, err
 	}
-	ch, err := channel.FromMechanism(inputs, logPX, est)
+	ch, err := channel.FromMechanismOpts(inputs, logPX, est, l.cfg.Parallel)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/parallel"
 )
 
 // Options configures an experiment run.
@@ -25,6 +27,15 @@ type Options struct {
 	// Quick shrinks the workload (fewer Monte-Carlo samples, smaller
 	// sweeps) so benchmarks finish promptly.
 	Quick bool
+	// Workers caps the worker fan-out of sweep-based experiments (0 =
+	// all CPUs, 1 = serial). Every setting produces identical tables;
+	// see SweepGrid.
+	Workers int
+}
+
+// parallel returns the fan-out options for sweep-based experiments.
+func (o Options) parallel() parallel.Options {
+	return parallel.Options{Workers: o.Workers}
 }
 
 // Table is an experiment result in the shape of a paper table.

@@ -7,27 +7,27 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/learn"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
 // E7BaselineComparison positions the Gibbs estimator against the
 // Chaudhuri et al. baselines the paper cites (Section 1): non-private
 // ERM, output perturbation, and objective perturbation, on DP logistic
-// classification. Test error is averaged over repetitions, per (n, ε).
+// classification. Test error is averaged over repetitions, per (n, ε);
+// the (n, ε) cells fan out through SweepGrid.
 func E7BaselineComparison(opts Options) (*Table, error) {
 	g := rng.New(opts.Seed)
 	reps := 30
 	testN := 4000
-	ns := []int{250, 1000, 4000}
-	epss := []float64{0.1, 0.5, 2}
+	grid := Grid{Ns: []int{250, 1000, 4000}, Epss: []float64{0.1, 0.5, 2}}
 	if opts.Quick {
 		reps = 5
 		testN = 1500
-		ns = []int{250, 1000}
-		epss = []float64{0.5, 2}
+		grid = Grid{Ns: []int{250, 1000}, Epss: []float64{0.5, 2}}
 	}
 	model := dataset.LogisticModel{Weights: []float64{2, -1.5}, Bias: 0}
-	grid := learn.NewGrid(-2, 2, 2, 17)
+	thetas := learn.NewGrid(-2, 2, 2, 17).Thetas()
 	lambdaReg := 0.01
 	gd := learn.GDOptions{MaxIter: 400, Tol: 1e-7}
 	t := &Table{
@@ -37,54 +37,67 @@ func E7BaselineComparison(opts Options) (*Table, error) {
 	}
 	test := model.Generate(testN, g.Split()).NormalizeRows()
 	bayes := model.BayesError(20_000, g.Split())
-	shapeOK := true
-	for _, n := range ns {
-		train := model.Generate(n, g.Split()).NormalizeRows()
-		// Non-private ERM (deterministic given the data).
-		erm, err := learn.LogisticRegression(train, lambdaReg, gd)
+	// Per-n shared work, serial in n order; the sweep cells only read it.
+	trains := make([]*dataset.Dataset, len(grid.Ns))
+	ermErrs := make([]float64, len(grid.Ns))
+	for i, n := range grid.Ns {
+		trains[i] = model.Generate(n, g.Split()).NormalizeRows()
+		erm, err := learn.LogisticRegression(trains[i], lambdaReg, gd)
 		if err != nil && err != learn.ErrNotConverged {
 			return nil, err
 		}
-		ermErr := learn.ClassificationError(erm, test)
-		for _, eps := range epss {
-			learner, err := core.NewLearner(core.Config{
-				Loss:    learn.ZeroOneLoss{},
-				Thetas:  grid.Thetas(),
-				Epsilon: eps,
-			})
-			if err != nil {
-				return nil, err
-			}
-			var gibbsErr, outErr, objErr mathx.Welford
-			for r := 0; r < reps; r++ {
-				fit, err := learner.Fit(train, g)
-				if err != nil {
-					return nil, err
-				}
-				gibbsErr.Add(learn.ClassificationError(fit.Theta, test))
-				thOut, err := learn.OutputPerturbationLogistic(train, lambdaReg, eps, gd, g)
-				if err != nil {
-					return nil, err
-				}
-				outErr.Add(learn.ClassificationError(thOut, test))
-				thObj, err := learn.ObjectivePerturbationLogistic(train, lambdaReg, eps, gd, g)
-				if err != nil {
-					return nil, err
-				}
-				objErr.Add(learn.ClassificationError(thObj, test))
-			}
-			// Shape check: every private learner approaches non-private
-			// ERM at the largest (n, ε) cell.
-			//dplint:ignore floateq sweep-grid sentinel: eps is copied verbatim from the literal grid
-			if n == ns[len(ns)-1] && eps == epss[len(epss)-1] {
-				for _, e := range []float64{gibbsErr.Mean(), objErr.Mean()} {
-					if e > ermErr+0.1 {
-						shapeOK = false
-					}
-				}
-			}
-			t.AddRow(fmt.Sprint(n), f(eps), f(ermErr), f(gibbsErr.Mean()), f(outErr.Mean()), f(objErr.Mean()))
+		ermErrs[i] = learn.ClassificationError(erm, test)
+	}
+	type cellMeans struct{ gibbs, out, obj float64 }
+	results, err := SweepGrid(grid, g, opts.parallel(), func(c Cell) (cellMeans, error) {
+		// Cells fan out at the sweep level, so each learner runs serial
+		// inside its cell (nested fan-out would oversubscribe).
+		learner, err := core.NewLearner(core.Config{
+			Loss:     learn.ZeroOneLoss{},
+			Thetas:   thetas,
+			Epsilon:  c.Eps,
+			Parallel: parallel.Options{Workers: 1},
+		})
+		if err != nil {
+			return cellMeans{}, err
 		}
+		train := trains[c.Row]
+		var gibbsErr, outErr, objErr mathx.Welford
+		for r := 0; r < reps; r++ {
+			fit, err := learner.Fit(train, c.RNG)
+			if err != nil {
+				return cellMeans{}, err
+			}
+			gibbsErr.Add(learn.ClassificationError(fit.Theta, test))
+			thOut, err := learn.OutputPerturbationLogistic(train, lambdaReg, c.Eps, gd, c.RNG)
+			if err != nil {
+				return cellMeans{}, err
+			}
+			outErr.Add(learn.ClassificationError(thOut, test))
+			thObj, err := learn.ObjectivePerturbationLogistic(train, lambdaReg, c.Eps, gd, c.RNG)
+			if err != nil {
+				return cellMeans{}, err
+			}
+			objErr.Add(learn.ClassificationError(thObj, test))
+		}
+		return cellMeans{gibbs: gibbsErr.Mean(), out: outErr.Mean(), obj: objErr.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	shapeOK := true
+	for k, res := range results {
+		i, j := k/len(grid.Epss), k%len(grid.Epss)
+		// Shape check: every private learner approaches non-private ERM
+		// at the largest (n, ε) cell.
+		if i == len(grid.Ns)-1 && j == len(grid.Epss)-1 {
+			for _, e := range []float64{res.gibbs, res.obj} {
+				if e > ermErrs[i]+0.1 {
+					shapeOK = false
+				}
+			}
+		}
+		t.AddRow(fmt.Sprint(grid.Ns[i]), f(grid.Epss[j]), f(ermErrs[i]), f(res.gibbs), f(res.out), f(res.obj))
 	}
 	t.AddNote("bayes error of the generating model ≈ %s", f(bayes))
 	t.AddNote("expected shape: all private methods improve with n and eps, approaching non-private ERM; gibbs and objective perturbation dominate output perturbation at small eps (Chaudhuri et al. shape)")
@@ -94,21 +107,19 @@ func E7BaselineComparison(opts Options) (*Table, error) {
 
 // E9PrivateRegression implements the paper's future-work direction of
 // differentially-private regression via the Gibbs posterior (Section 5):
-// clipped squared loss over a coefficient grid, swept over (n, ε), with
-// true risk computed in closed form under the generator.
+// clipped squared loss over a coefficient grid, swept over (n, ε) with
+// SweepGrid, with true risk computed in closed form under the generator.
 func E9PrivateRegression(opts Options) (*Table, error) {
 	g := rng.New(opts.Seed)
 	reps := 40
-	ns := []int{100, 400, 1600}
-	epss := []float64{0.2, 1, 5}
+	grid := Grid{Ns: []int{100, 400, 1600}, Epss: []float64{0.2, 1, 5}}
 	if opts.Quick {
 		reps = 6
-		ns = []int{100, 400}
-		epss = []float64{1, 5}
+		grid = Grid{Ns: []int{100, 400}, Epss: []float64{1, 5}}
 	}
 	model := dataset.LinearModel{Weights: []float64{1.2, -0.6}, Noise: 0.3}
-	grid := learn.NewGrid(-2, 2, 2, 17)
-	clip := grid.SquaredLossBound(mathx.L2Norm([]float64{1, 1}), 3)
+	coefGrid := learn.NewGrid(-2, 2, 2, 17)
+	clip := coefGrid.SquaredLossBound(mathx.L2Norm([]float64{1, 1}), 3)
 	loss := learn.NewClippedLoss(learn.SquaredLoss{}, clip)
 	t := &Table{
 		ID:      "E9",
@@ -116,37 +127,41 @@ func E9PrivateRegression(opts Options) (*Table, error) {
 		Columns: []string{"n", "eps", "mean true risk (gibbs)", "true risk (non-priv ERM)", "noise floor"},
 	}
 	floor := model.Noise * model.Noise
-	improves := true
-	var lastRow, firstRow float64
-	for _, n := range ns {
-		train := model.Generate(n, g.Split())
-		ermIdx, _ := learn.ERMFinite(loss, grid.Thetas(), train)
-		ermTheta := grid.At(ermIdx)
-		ermRisk := model.TrueRisk(ermTheta, 0)
-		for _, eps := range epss {
-			learner, err := core.NewLearner(core.Config{Loss: loss, Thetas: grid.Thetas(), Epsilon: eps})
-			if err != nil {
-				return nil, err
-			}
-			var risk mathx.Welford
-			for r := 0; r < reps; r++ {
-				fit, err := learner.Fit(train, g)
-				if err != nil {
-					return nil, err
-				}
-				risk.Add(model.TrueRisk(fit.Theta, 0))
-			}
-			//dplint:ignore floateq sweep-grid sentinel: eps is copied verbatim from the literal grid
-			if n == ns[0] && eps == epss[0] {
-				firstRow = risk.Mean()
-			}
-			lastRow = risk.Mean()
-			t.AddRow(fmt.Sprint(n), f(eps), f(risk.Mean()), f(ermRisk), f(floor))
+	trains := make([]*dataset.Dataset, len(grid.Ns))
+	ermRisks := make([]float64, len(grid.Ns))
+	for i, n := range grid.Ns {
+		trains[i] = model.Generate(n, g.Split())
+		ermIdx, _ := learn.ERMFinite(loss, coefGrid.Thetas(), trains[i])
+		ermRisks[i] = model.TrueRisk(coefGrid.At(ermIdx), 0)
+	}
+	results, err := SweepGrid(grid, g, opts.parallel(), func(c Cell) (float64, error) {
+		learner, err := core.NewLearner(core.Config{
+			Loss:     loss,
+			Thetas:   coefGrid.Thetas(),
+			Epsilon:  c.Eps,
+			Parallel: parallel.Options{Workers: 1},
+		})
+		if err != nil {
+			return 0, err
 		}
+		var risk mathx.Welford
+		for r := 0; r < reps; r++ {
+			fit, err := learner.Fit(trains[c.Row], c.RNG)
+			if err != nil {
+				return 0, err
+			}
+			risk.Add(model.TrueRisk(fit.Theta, 0))
+		}
+		return risk.Mean(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if lastRow >= firstRow {
-		improves = false
+	for k, mean := range results {
+		i, j := k/len(grid.Epss), k%len(grid.Epss)
+		t.AddRow(fmt.Sprint(grid.Ns[i]), f(grid.Epss[j]), f(mean), f(ermRisks[i]), f(floor))
 	}
+	improves := results[len(results)-1] < results[0]
 	t.AddNote("expected shape: gibbs true risk decreases in both n and eps, approaching the ERM risk and the irreducible noise floor")
 	t.AddNote("risk at largest (n,eps) below smallest: %v", improves)
 	return t, nil
@@ -155,16 +170,15 @@ func E9PrivateRegression(opts Options) (*Table, error) {
 // E10DensityEstimation implements the paper's future-work direction of
 // differentially-private density estimation (Section 5): the
 // Laplace-histogram release and the Gibbs-selected histogram, measured by
-// L1 distance to the true mixture density, swept over ε and n.
+// L1 distance to the true mixture density, swept over (n, ε) with
+// SweepGrid.
 func E10DensityEstimation(opts Options) (*Table, error) {
 	g := rng.New(opts.Seed)
 	reps := 40
-	ns := []int{200, 1000, 5000}
-	epss := []float64{0.2, 1, 5}
+	grid := Grid{Ns: []int{200, 1000, 5000}, Epss: []float64{0.2, 1, 5}}
 	if opts.Quick {
 		reps = 6
-		ns = []int{200, 1000}
-		epss = []float64{1, 5}
+		grid = Grid{Ns: []int{200, 1000}, Epss: []float64{1, 5}}
 	}
 	mix := dataset.GaussianMixture{Means: []float64{-1.2, 1.2}, Sigmas: []float64{0.4, 0.6}, Weights: []float64{1, 1.5}}
 	lo, hi := -4.0, 4.0
@@ -186,58 +200,60 @@ func E10DensityEstimation(opts Options) (*Table, error) {
 		Title:   "Private density estimation (Section 5 future work): L1 error to the true mixture, 32 bins on [-4,4]",
 		Columns: []string{"n", "eps", "laplace hist L1", "gibbs hist L1", "non-private L1"},
 	}
-	improves := true
-	var first, last float64
-	for _, n := range ns {
-		d := mix.Generate(n, g.Split())
-		nonPriv, err := core.NonPrivateHistogramDensity(d, 0, bins, lo, hi)
+	datasets := make([]*dataset.Dataset, len(grid.Ns))
+	nonPrivL1 := make([]float64, len(grid.Ns))
+	for i, n := range grid.Ns {
+		datasets[i] = mix.Generate(n, g.Split())
+		nonPriv, err := core.NonPrivateHistogramDensity(datasets[i], 0, bins, lo, hi)
 		if err != nil {
 			return nil, err
 		}
-		l1NonPriv, err := nonPriv.L1Distance(truth)
+		nonPrivL1[i], err = nonPriv.L1Distance(truth)
 		if err != nil {
 			return nil, err
 		}
-		for _, eps := range epss {
-			var lapL1, gibbsL1 mathx.Welford
-			for r := 0; r < reps; r++ {
-				priv, err := core.PrivateHistogramDensity(d, 0, bins, lo, hi, eps, g)
-				if err != nil {
-					return nil, err
-				}
-				l1, err := priv.L1Distance(truth)
-				if err != nil {
-					return nil, err
-				}
-				lapL1.Add(l1)
-				gd, _, err := core.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, eps, g)
-				if err != nil {
-					return nil, err
-				}
-				// Rebin the Gibbs density onto the reference grid for L1.
-				re := make([]float64, bins)
-				for i := 0; i < bins; i++ {
-					x := lo + (float64(i)+0.5)*w
-					re[i] = gd.At(x)
-				}
-				reEst := &core.DensityEstimate{Lo: lo, Hi: hi, Density: re}
-				l1g, err := reEst.L1Distance(truth)
-				if err != nil {
-					return nil, err
-				}
-				gibbsL1.Add(l1g)
+	}
+	type cellMeans struct{ lap, gibbs float64 }
+	results, err := SweepGrid(grid, g, opts.parallel(), func(c Cell) (cellMeans, error) {
+		d := datasets[c.Row]
+		var lapL1, gibbsL1 mathx.Welford
+		for r := 0; r < reps; r++ {
+			priv, err := core.PrivateHistogramDensity(d, 0, bins, lo, hi, c.Eps, c.RNG)
+			if err != nil {
+				return cellMeans{}, err
 			}
-			//dplint:ignore floateq sweep-grid sentinel: eps is copied verbatim from the literal grid
-			if n == ns[0] && eps == epss[0] {
-				first = lapL1.Mean()
+			l1, err := priv.L1Distance(truth)
+			if err != nil {
+				return cellMeans{}, err
 			}
-			last = lapL1.Mean()
-			t.AddRow(fmt.Sprint(n), f(eps), f(lapL1.Mean()), f(gibbsL1.Mean()), f(l1NonPriv))
+			lapL1.Add(l1)
+			gd, _, err := core.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, c.Eps, c.RNG)
+			if err != nil {
+				return cellMeans{}, err
+			}
+			// Rebin the Gibbs density onto the reference grid for L1.
+			re := make([]float64, bins)
+			for i := 0; i < bins; i++ {
+				x := lo + (float64(i)+0.5)*w
+				re[i] = gd.At(x)
+			}
+			reEst := &core.DensityEstimate{Lo: lo, Hi: hi, Density: re}
+			l1g, err := reEst.L1Distance(truth)
+			if err != nil {
+				return cellMeans{}, err
+			}
+			gibbsL1.Add(l1g)
 		}
+		return cellMeans{lap: lapL1.Mean(), gibbs: gibbsL1.Mean()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if last >= first {
-		improves = false
+	for k, res := range results {
+		i, j := k/len(grid.Epss), k%len(grid.Epss)
+		t.AddRow(fmt.Sprint(grid.Ns[i]), f(grid.Epss[j]), f(res.lap), f(res.gibbs), f(nonPrivL1[i]))
 	}
+	improves := results[len(results)-1].lap < results[0].lap
 	t.AddNote("expected shape: both private estimators' L1 error decreases in n and eps, approaching the non-private histogram's error")
 	t.AddNote("error at largest (n,eps) below smallest: %v", improves)
 	return t, nil

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// Grid describes an (n, ε) experiment sweep: the cross product of sample
+// sizes and privacy budgets that the learning experiments walk.
+type Grid struct {
+	Ns   []int
+	Epss []float64
+}
+
+// Cells returns len(Ns) * len(Epss).
+func (g Grid) Cells() int { return len(g.Ns) * len(g.Epss) }
+
+// Cell identifies one grid point of a sweep together with its dedicated
+// random stream.
+type Cell struct {
+	// Row and Col index into Grid.Ns and Grid.Epss.
+	Row, Col int
+	// N and Eps are the grid point's values.
+	N   int
+	Eps float64
+	// RNG is the cell's private random stream, split from the sweep RNG
+	// in cell-index order before any cell runs. It must not be shared
+	// with other cells.
+	RNG *rng.RNG
+}
+
+// sweepGrain keeps one grid cell per chunk: each cell is a full batch of
+// Monte-Carlo fits, far past the fan-out amortization knee.
+const sweepGrain = 1
+
+// SweepGrid evaluates body at every (n, ε) grid point, fanning the cells
+// out across opts workers, and returns the results in row-major cell
+// order (n outer, ε inner — the order the tables print).
+//
+// Determinism: every cell's RNG is split from g in cell-index order
+// BEFORE the fan-out starts, so the stream a cell sees depends only on
+// (seed, cell index) — never on worker count or scheduling. Combined
+// with package parallel's fixed chunk geometry this makes a sweep's
+// tables byte-identical for every Workers setting.
+//
+// body runs concurrently with itself; it must only touch its Cell and
+// read-only captured state. If any cell fails, the first error in cell
+// order is returned.
+func SweepGrid[R any](grid Grid, g *rng.RNG, opts parallel.Options, body func(c Cell) (R, error)) ([]R, error) {
+	cells := make([]Cell, 0, grid.Cells())
+	for i, n := range grid.Ns {
+		for j, eps := range grid.Epss {
+			cells = append(cells, Cell{Row: i, Col: j, N: n, Eps: eps, RNG: g.Split()})
+		}
+	}
+	out := make([]R, len(cells))
+	errs := make([]error, len(cells))
+	parallel.ForGrain(len(cells), sweepGrain, opts, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			out[k], errs[k] = body(cells[k])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

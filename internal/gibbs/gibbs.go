@@ -20,9 +20,9 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/learn"
-	"repro/internal/mathx"
 	"repro/internal/mechanism"
 	"repro/internal/pacbayes"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -42,6 +42,16 @@ type Estimator struct {
 	// Lambda is the inverse temperature λ (the exponential-mechanism
 	// parameter).
 	Lambda float64
+	// Parallel controls worker fan-out for the risk grid and the
+	// posterior reductions. The zero value uses all CPUs; every setting
+	// produces bit-identical results (see package parallel).
+	Parallel parallel.Options
+	// Cache optionally memoizes risk vectors by dataset fingerprint, so
+	// repeated posterior computations on the same data evaluate the
+	// O(|Θ|·n) risk grid once. The cache must be dedicated to this
+	// (Loss, Thetas) pair; core.Learner threads one through every
+	// estimator it calibrates. Nil disables memoization.
+	Cache *RiskCache
 }
 
 // New validates and constructs an Estimator.
@@ -68,9 +78,21 @@ func (e *Estimator) logPriorOrUniform() []float64 {
 	return out
 }
 
-// Risks returns the per-θ empirical risks on d.
+// Risks returns the per-θ empirical risks on d, evaluated with the
+// estimator's fan-out options and memoized in Cache when one is set.
+// The returned slice is the caller's to keep (cached vectors are copied
+// out), and its values are bit-identical for every worker count.
 func (e *Estimator) Risks(d *dataset.Dataset) []float64 {
-	return learn.RiskVector(e.Loss, e.Thetas, d)
+	if e.Cache == nil {
+		return learn.RiskVectorOpts(e.Loss, e.Thetas, d, e.Parallel)
+	}
+	fp := d.Fingerprint()
+	if r := e.Cache.lookup(fp); r != nil {
+		return append([]float64(nil), r...)
+	}
+	r := learn.RiskVectorOpts(e.Loss, e.Thetas, d, e.Parallel)
+	e.Cache.store(fp, r)
+	return append([]float64(nil), r...)
 }
 
 // LogPosterior returns the normalized Gibbs log-posterior on dataset d.
@@ -120,19 +142,19 @@ func (e *Estimator) Guarantee(n int) mechanism.Guarantee {
 }
 
 // PosteriorMeanRisk returns E_{θ~π̂} R̂_Ẑ(θ), the posterior-expected
-// empirical risk on d.
+// empirical risk on d, via the ordered chunked reduction (bit-identical
+// across worker counts).
 func (e *Estimator) PosteriorMeanRisk(d *dataset.Dataset) float64 {
 	post := e.LogPosterior(d)
 	risks := e.Risks(d)
-	var k mathx.KahanSum
-	for i, lp := range post {
+	return parallel.Sum(len(post), e.Parallel, func(i int) float64 {
+		lp := post[i]
 		if math.IsInf(lp, -1) {
-			continue
+			return 0
 		}
 		//dplint:ignore expdomain bounded argument: lp is a normalized log-posterior entry, so lp <= 0 and exp stays in (0,1]
-		k.Add(math.Exp(lp) * risks[i])
-	}
-	return k.Sum()
+		return math.Exp(lp) * risks[i]
+	})
 }
 
 // PosteriorMeanTheta returns E_{θ~π̂} θ, the posterior-mean parameter
@@ -140,17 +162,19 @@ func (e *Estimator) PosteriorMeanRisk(d *dataset.Dataset) float64 {
 // covered by the sampling privacy certificate).
 func (e *Estimator) PosteriorMeanTheta(d *dataset.Dataset) []float64 {
 	post := e.LogPosterior(d)
+	weights := parallel.Map(len(post), e.Parallel, func(i int) float64 {
+		if math.IsInf(post[i], -1) {
+			return 0
+		}
+		//dplint:ignore expdomain bounded argument: post[i] is a normalized log-posterior entry, so it is <= 0 and exp stays in (0,1]
+		return math.Exp(post[i])
+	})
 	dim := len(e.Thetas[0])
 	mean := make([]float64, dim)
-	for i, lp := range post {
-		if math.IsInf(lp, -1) {
-			continue
-		}
-		//dplint:ignore expdomain bounded argument: lp is a normalized log-posterior entry, so lp <= 0 and exp stays in (0,1]
-		w := math.Exp(lp)
-		for j := 0; j < dim; j++ {
-			mean[j] += w * e.Thetas[i][j]
-		}
+	for j := 0; j < dim; j++ {
+		mean[j] = parallel.Sum(len(weights), e.Parallel, func(i int) float64 {
+			return weights[i] * e.Thetas[i][j]
+		})
 	}
 	return mean
 }

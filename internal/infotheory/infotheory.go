@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 )
 
 // ErrInvalidDistribution is returned when a probability vector contains
@@ -374,6 +375,15 @@ func MutualInformationFromCounts(counts [][]int) (float64, error) {
 // capacity-achieving input distribution. Iterations stop when successive
 // capacity bounds differ by less than tol or after maxIter iterations.
 func BlahutArimoto(w [][]float64, tol float64, maxIter int) (capacity float64, px []float64, err error) {
+	return BlahutArimotoOpts(w, tol, maxIter, parallel.Options{Workers: 1})
+}
+
+// BlahutArimotoOpts is BlahutArimoto with the per-iteration O(|X|·|Y|)
+// sums fanned out under opts. The output law is accumulated per output
+// symbol (inputs walked in index order) and the divergences d_i are
+// element-wise, so the iterate sequence — and hence the capacity — is
+// bit-identical for every worker count.
+func BlahutArimotoOpts(w [][]float64, tol float64, maxIter int, opts parallel.Options) (capacity float64, px []float64, err error) {
 	nIn := len(w)
 	if nIn == 0 {
 		return 0, nil, ErrInvalidDistribution
@@ -399,26 +409,33 @@ func BlahutArimoto(w [][]float64, tol float64, maxIter int) (capacity float64, p
 	py := make([]float64, nOut)
 	d := make([]float64, nIn)
 	for iter := 0; iter < maxIter; iter++ {
-		// Output distribution under current input.
-		for j := range py {
-			py[j] = 0
-		}
-		for i, r := range rows {
-			if px[i] == 0 { //dplint:ignore floateq zero-mass input symbol contributes nothing to the output law
-				continue
+		// Output distribution under current input: one column sum per
+		// output symbol, inputs in index order.
+		parallel.ForGrain(nOut, 32, opts, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				var s float64
+				for i, r := range rows {
+					if px[i] == 0 { //dplint:ignore floateq zero-mass input symbol contributes nothing to the output law
+						continue
+					}
+					s += px[i] * r[j]
+				}
+				py[j] = s
 			}
-			for j, v := range r {
-				py[j] += px[i] * v
+		})
+		// d_i = D(W_i ‖ py): element-wise over inputs.
+		parallel.ForGrain(nIn, 32, opts, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var di float64
+				for j, v := range rows[i] {
+					di += mathx.XLogY(v, v/py[j])
+				}
+				d[i] = di
 			}
-		}
-		// d_i = D(W_i ‖ py); capacity bounds from max and avg.
+		})
+		// Capacity bounds from avg and max (cheap, serial).
 		lower, upper := 0.0, math.Inf(-1)
-		for i, r := range rows {
-			var di float64
-			for j, v := range r {
-				di += mathx.XLogY(v, v/py[j])
-			}
-			d[i] = di
+		for i, di := range d {
 			lower += px[i] * di
 			if di > upper {
 				upper = di

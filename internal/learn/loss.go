@@ -15,11 +15,10 @@ package learn
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 )
 
 // Loss scores a predictor θ on a single example. Implementations must be
@@ -193,44 +192,29 @@ func EmpiricalRisk(l Loss, theta []float64, d *dataset.Dataset) float64 {
 	return k.Sum() / float64(d.Len())
 }
 
-// RiskVector evaluates the empirical risk of every θ in thetas on d.
-// For large predictor spaces the evaluation fans out across CPUs; the
-// result is identical to the sequential computation (each entry is an
-// independent pure function of (θ, d)).
+// RiskVector evaluates the empirical risk of every θ in thetas on d with
+// the default fan-out (all CPUs). The result is identical to the
+// sequential computation: each entry is an independent pure function of
+// (θ, d).
 func RiskVector(l Loss, thetas [][]float64, d *dataset.Dataset) []float64 {
-	out := make([]float64, len(thetas))
-	// Parallel dispatch only pays off when there is real work to split.
+	return RiskVectorOpts(l, thetas, d, parallel.Options{})
+}
+
+// riskGrain is the fan-out grain for risk evaluation: one index is a
+// full O(n) empirical-risk pass, so even small predictor grids split
+// into enough chunks to feed every CPU.
+const riskGrain = 8
+
+// RiskVectorOpts is RiskVector under an explicit parallel.Options.
+// Results are bit-for-bit identical for every worker count.
+func RiskVectorOpts(l Loss, thetas [][]float64, d *dataset.Dataset, opts parallel.Options) []float64 {
+	// Fan-out only pays off when there is real work to split.
 	if len(thetas)*d.Len() < 1<<14 {
-		for i, th := range thetas {
-			out[i] = EmpiricalRisk(l, th, d)
-		}
-		return out
+		opts = parallel.Options{Workers: 1}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(thetas) {
-		workers = len(thetas)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(thetas) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(thetas) {
-			hi = len(thetas)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = EmpiricalRisk(l, thetas[i], d)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return parallel.MapGrain(len(thetas), riskGrain, opts, func(i int) float64 {
+		return EmpiricalRisk(l, thetas[i], d)
+	})
 }
 
 // TrueRiskMC estimates the true risk E_Z lθ(Z) by Monte Carlo over fresh

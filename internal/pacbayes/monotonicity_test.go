@@ -1,0 +1,161 @@
+package pacbayes
+
+// Table-driven monotonicity tests for the Theorem 3.1 (Catoni) bound
+// and the Seeger kl-inversion bound: the certified risk must be
+// non-decreasing in the empirical risk and in KL(ρ‖π), must tighten as
+// the confidence is relaxed (δ→1), and must tighten with sample size at
+// a fixed inverse-temperature rate β = λ/n. These orderings are what
+// make the certificate actionable: a learner that lowers its empirical
+// risk or its KL can never be punished with a larger bound.
+
+import (
+	"math"
+	"testing"
+)
+
+// catoniAt evaluates the bound, failing the test on error.
+func catoniAt(t *testing.T, risk, kl, lambda float64, n int, delta float64) float64 {
+	t.Helper()
+	b, err := CatoniBound(risk, kl, lambda, n, delta)
+	if err != nil {
+		t.Fatalf("CatoniBound(%g,%g,%g,%d,%g): %v", risk, kl, lambda, n, delta, err)
+	}
+	if math.IsNaN(b) || b < 0 {
+		t.Fatalf("CatoniBound(%g,%g,%g,%d,%g) = %g", risk, kl, lambda, n, delta, b)
+	}
+	return b
+}
+
+// base parameter grid shared by the monotonicity sweeps.
+var catoniGrid = []struct {
+	name   string
+	risk   float64
+	kl     float64
+	lambda float64
+	n      int
+	delta  float64
+}{
+	{"small-n", 0.3, 0.5, 20, 50, 0.05},
+	{"mid-n", 0.25, 1.0, 100, 500, 0.05},
+	{"large-n", 0.1, 2.0, 400, 4000, 0.01},
+	{"low-risk", 0.02, 0.2, 150, 1000, 0.1},
+	{"high-kl", 0.4, 8.0, 60, 300, 0.05},
+}
+
+// TestCatoniMonotoneInEmpiricalRisk: at fixed (KL, λ, n, δ) the bound
+// is non-decreasing in the posterior's expected empirical risk.
+func TestCatoniMonotoneInEmpiricalRisk(t *testing.T) {
+	risks := []float64{0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1}
+	for _, tc := range catoniGrid {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := math.Inf(-1)
+			for _, r := range risks {
+				b := catoniAt(t, r, tc.kl, tc.lambda, tc.n, tc.delta)
+				if b < prev-1e-12 {
+					t.Errorf("bound decreased in risk: risk=%g gives %g after %g", r, b, prev)
+				}
+				prev = b
+			}
+		})
+	}
+}
+
+// TestCatoniMonotoneInKL: at fixed (risk, λ, n, δ) the bound is
+// non-decreasing in KL(ρ‖π) — straying from the prior costs certificate
+// tightness, the PAC-Bayes regularization the Gibbs posterior
+// optimally trades off (Lemma 3.2).
+func TestCatoniMonotoneInKL(t *testing.T) {
+	kls := []float64{0, 0.1, 0.5, 1, 2, 4, 8, 16}
+	for _, tc := range catoniGrid {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := math.Inf(-1)
+			for _, kl := range kls {
+				b := catoniAt(t, tc.risk, kl, tc.lambda, tc.n, tc.delta)
+				if b < prev-1e-12 {
+					t.Errorf("bound decreased in KL: kl=%g gives %g after %g", kl, b, prev)
+				}
+				prev = b
+			}
+		})
+	}
+}
+
+// TestCatoniTightensAsDeltaGrows: relaxing the confidence (δ→1) can
+// only shrink the ln(1/δ) penalty, so the bound is non-increasing in δ.
+func TestCatoniTightensAsDeltaGrows(t *testing.T) {
+	deltas := []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 0.999}
+	for _, tc := range catoniGrid {
+		t.Run(tc.name, func(t *testing.T) {
+			prev := math.Inf(1)
+			for _, delta := range deltas {
+				b := catoniAt(t, tc.risk, tc.kl, tc.lambda, tc.n, delta)
+				if b > prev+1e-12 {
+					t.Errorf("bound increased in delta: delta=%g gives %g after %g", delta, b, prev)
+				}
+				prev = b
+			}
+		})
+	}
+}
+
+// TestCatoniTightensWithSampleSize: at a fixed inverse-temperature
+// rate β = λ/n (the calibration Theorem 4.1 induces: λ grows linearly
+// in n at fixed ε), more data shrinks the (KL + ln(1/δ))/n penalty and
+// the bound is non-increasing in n.
+func TestCatoniTightensWithSampleSize(t *testing.T) {
+	ns := []int{50, 100, 400, 1600, 6400, 25600}
+	betas := []float64{0.5, 1, 2}
+	for _, tc := range catoniGrid {
+		for _, beta := range betas {
+			prev := math.Inf(1)
+			for _, n := range ns {
+				b := catoniAt(t, tc.risk, tc.kl, beta*float64(n), n, tc.delta)
+				if b > prev+1e-12 {
+					t.Errorf("%s beta=%g: bound increased in n: n=%d gives %g after %g",
+						tc.name, beta, n, b, prev)
+				}
+				prev = b
+			}
+		}
+	}
+}
+
+// TestCatoniDominatesEmpiricalRiskAtCalibratedLambda: the bound is
+// never below the empirical risk it certifies (it upper-bounds the true
+// risk, whose plug-in estimate is the empirical risk) across the grid.
+func TestCatoniDominatesEmpiricalRiskAtCalibratedLambda(t *testing.T) {
+	for _, tc := range catoniGrid {
+		b := catoniAt(t, tc.risk, tc.kl, tc.lambda, tc.n, tc.delta)
+		if b < tc.risk {
+			t.Errorf("%s: bound %g below empirical risk %g", tc.name, b, tc.risk)
+		}
+	}
+}
+
+// TestSeegerMonotoneInKLAndN: the kl-inversion bound obeys the same
+// orderings — non-decreasing in KL, non-increasing in n.
+func TestSeegerMonotoneInKLAndN(t *testing.T) {
+	kls := []float64{0, 0.25, 1, 4, 12}
+	prev := math.Inf(-1)
+	for _, kl := range kls {
+		b, err := SeegerBound(0.2, kl, 800, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b < prev-1e-12 {
+			t.Errorf("Seeger bound decreased in KL: kl=%g gives %g after %g", kl, b, prev)
+		}
+		prev = b
+	}
+	prev = math.Inf(1)
+	for _, n := range []int{50, 200, 800, 3200, 12800} {
+		b, err := SeegerBound(0.2, 1.5, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b > prev+1e-12 {
+			t.Errorf("Seeger bound increased in n: n=%d gives %g after %g", n, b, prev)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,249 @@
+// Package parallel is the library's deterministic fan-out engine. Every
+// data-parallel hot path — the Gibbs estimator's risk grid, the exact
+// Figure-1 channel sums, the experiment sweeps — routes through the
+// helpers here instead of hand-rolling goroutines.
+//
+// # Determinism contract
+//
+// Parallel execution is bit-for-bit deterministic: the result of every
+// helper depends only on its inputs, never on the number of workers or on
+// goroutine scheduling. Three rules enforce this:
+//
+//  1. Fixed chunk geometry. Index ranges are cut into chunks whose
+//     boundaries are a pure function of the problem size n (see
+//     ChunkSize), NOT of the worker count. Workers claim chunks from a
+//     shared counter, so scheduling varies, but which indices share a
+//     chunk never does.
+//  2. Ordered reduction. Reductions (Sum, MaxAbs) accumulate one
+//     partial per chunk and combine the partials in chunk-index order
+//     after all workers finish. Floating-point addition is not
+//     associative; fixing the grouping and the combination order fixes
+//     the bits.
+//  3. Serial path, same arithmetic. Workers == 1 runs on the calling
+//     goroutine with no spawns, but walks the identical chunk structure,
+//     so its output is byte-identical to every parallel worker count.
+//     The golden determinism test (determinism_test.go at the module
+//     root) pins this invariant for Fit, Certify, and the channel
+//     leakage account.
+//
+// Element-wise maps (For filling out[i] = f(i)) are deterministic under
+// any partition because each slot is written exactly once; they still use
+// the fixed chunk geometry so the cost model is uniform.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mathx"
+)
+
+// Options configures worker fan-out for a computation. The zero value
+// (Workers == 0) means "use all CPUs" (GOMAXPROCS); Workers == 1 forces
+// serial execution on the calling goroutine; higher values cap the
+// goroutine count. Options is plumbed through core.Config so one knob
+// controls every hot path of a Learner.
+type Options struct {
+	// Workers is the maximum number of concurrent workers. 0 means
+	// GOMAXPROCS; 1 means serial; negative values are treated as 0.
+	Workers int
+}
+
+// Resolve returns the effective worker count for a problem of size n:
+// at least 1, at most n, defaulting to GOMAXPROCS when Workers <= 0.
+func (o Options) Resolve(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// minChunk is the smallest chunk an index range is cut into. Small
+// chunks amortize badly (channel/counter traffic per chunk); large
+// chunks load-balance badly. 256 indices of empirical-risk work is
+// comfortably past the amortization knee while still yielding dozens of
+// chunks on the grids the benchmarks care about.
+const minChunk = 256
+
+// maxChunks bounds the number of chunks so the per-chunk partial slices
+// stay small for huge n.
+const maxChunks = 1024
+
+// ChunkSize returns the deterministic chunk size for a problem of size
+// n. It is a pure function of n only — never of the worker count — which
+// is what makes chunk-local reductions reproducible across Workers
+// settings.
+func ChunkSize(n int) int {
+	return chunkSizeGrain(n, minChunk)
+}
+
+// chunkSizeGrain is ChunkSize with an explicit minimum chunk length. The
+// grain is a property of the call site (how expensive one index is), so
+// it stays a compile-time constant there — the geometry remains a pure
+// function of (n, grain).
+func chunkSizeGrain(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	if n <= grain {
+		return max(n, 1)
+	}
+	size := grain
+	if n/size > maxChunks {
+		size = (n + maxChunks - 1) / maxChunks
+	}
+	return size
+}
+
+// numChunksGrain returns how many chunks of chunkSizeGrain(n, grain)
+// cover [0, n).
+func numChunksGrain(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	size := chunkSizeGrain(n, grain)
+	return (n + size - 1) / size
+}
+
+// For runs body(lo, hi) over consecutive chunks covering [0, n), fanning
+// the chunks out across the resolved worker count. body must treat
+// distinct index ranges independently (no shared mutable state beyond
+// disjoint slice slots); under that contract the result is identical for
+// every worker count. For blocks until all chunks complete.
+func For(n int, opts Options, body func(lo, hi int)) {
+	ForGrain(n, minChunk, opts, body)
+}
+
+// ForGrain is For with an explicit grain: the minimum number of indices
+// per chunk. Use a small grain (e.g. 8) when one index is expensive —
+// a full empirical-risk evaluation, a whole posterior row — and the
+// default For when indices are cheap arithmetic.
+func ForGrain(n, grain int, opts Options, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := opts.Resolve(n)
+	size := chunkSizeGrain(n, grain)
+	chunks := numChunksGrain(n, grain)
+	if workers == 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * size
+			hi := min(lo+size, n)
+			body(lo, hi)
+		}
+		return
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * size
+				hi := min(lo+size, n)
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map fills and returns out[i] = f(i) for i in [0, n). Each slot is an
+// independent pure function of i, so the result is worker-count
+// independent by construction.
+func Map(n int, opts Options, f func(i int) float64) []float64 {
+	return MapGrain(n, minChunk, opts, f)
+}
+
+// MapGrain is Map with an explicit grain (see ForGrain).
+func MapGrain(n, grain int, opts Options, f func(i int) float64) []float64 {
+	out := make([]float64, n)
+	ForGrain(n, grain, opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(i)
+		}
+	})
+	return out
+}
+
+// Sum returns the ordered chunked sum of term(i) for i in [0, n): each
+// chunk accumulates a Kahan-compensated partial, and the partials are
+// combined in chunk-index order with a second Kahan pass. The grouping
+// depends only on n (rule 1), the combination order is fixed (rule 2),
+// so the result is bit-identical for every worker count.
+func Sum(n int, opts Options, term func(i int) float64) float64 {
+	return SumGrain(n, minChunk, opts, term)
+}
+
+// SumGrain is Sum with an explicit grain (see ForGrain). The grain is
+// part of the fixed chunk geometry, so a call site always reduces in the
+// same order regardless of worker count.
+func SumGrain(n, grain int, opts Options, term func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	size := chunkSizeGrain(n, grain)
+	chunks := numChunksGrain(n, grain)
+	partials := make([]float64, chunks)
+	ForGrain(n, grain, opts, func(lo, hi int) {
+		var k mathx.KahanSum
+		for i := lo; i < hi; i++ {
+			k.Add(term(i))
+		}
+		partials[lo/size] = k.Sum()
+	})
+	var total mathx.KahanSum
+	for _, p := range partials {
+		total.Add(p)
+	}
+	return total.Sum()
+}
+
+// MaxAbs returns max_i |term(i)| over [0, n), reduced per chunk and then
+// in chunk-index order. Max is order-invariant for floats (ignoring NaN,
+// which callers must not produce), but the ordered reduction keeps the
+// code shape uniform with Sum. Empty ranges return 0.
+func MaxAbs(n int, opts Options, term func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	size := ChunkSize(n)
+	chunks := numChunksGrain(n, minChunk)
+	partials := make([]float64, chunks)
+	For(n, opts, func(lo, hi int) {
+		var m float64
+		for i := lo; i < hi; i++ {
+			v := term(i)
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		partials[lo/size] = m
+	})
+	var m float64
+	for _, p := range partials {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
