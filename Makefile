@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race cover bench experiments quick-experiments fmt fmt-check fuzz-smoke
+.PHONY: all build test vet lint lint-json race cover bench experiments quick-experiments fmt fmt-check fuzz-smoke
 
 all: build vet lint test
 
@@ -16,6 +16,13 @@ vet:
 # Exits non-zero when any error-severity finding survives suppression.
 lint:
 	$(GO) run ./cmd/dplearn-lint ./...
+
+# Machine-readable lint report: newline-delimited JSON, one finding per
+# line, including suppressed findings with their stated reasons. Always
+# writes dplint.json; the exit status still reflects unsuppressed errors.
+lint-json:
+	$(GO) run ./cmd/dplearn-lint -json ./... > dplint.json; \
+	status=$$?; wc -l < dplint.json | xargs -I{} echo "dplint.json: {} finding(s) recorded"; exit $$status
 
 test:
 	$(GO) test ./...

@@ -40,6 +40,7 @@ func main() {
 		}
 		pair := audit.WorstCaseBinaryPair(*n)
 		res, err := audit.SampleContinuous(func(d *dataset.Dataset, h *rng.RNG) float64 {
+			//dplint:ignore acctlint audit harness: samples the mechanism's output distribution to estimate realized eps, not a release path
 			return m.Release(d, h)[0]
 		}, pair, *samples, 60, *samples/200, g)
 		if err != nil {

@@ -10,7 +10,8 @@
 // Patterns follow the go tool convention: a directory, or dir/... for a
 // recursive walk ("./..." by default). Flags:
 //
-//	-json           emit findings as a JSON array instead of text
+//	-json           emit newline-delimited JSON, one finding per line,
+//	                including suppressed findings flagged as such
 //	-checks a,b,c   run only the named checks (default: all)
 //	-warn a,b,c     downgrade the named checks to warning severity
 //	-no-tests       skip _test.go files entirely
@@ -31,13 +32,18 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// jsonDiag is one NDJSON output line. Suppressed findings are included
+// (so dashboards can audit what the directives hide, and with what
+// stated reason) but never affect the exit status.
 type jsonDiag struct {
-	Check    string `json:"check"`
-	Severity string `json:"severity"`
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Message  string `json:"message"`
+	Check          string `json:"check"`
+	Severity       string `json:"severity"`
+	File           string `json:"file"`
+	Line           int    `json:"line"`
+	Column         int    `json:"column"`
+	Message        string `json:"message"`
+	Suppressed     bool   `json:"suppressed"`
+	SuppressReason string `json:"suppress_reason,omitempty"`
 }
 
 // run writes directly to os.Stdout/os.Stderr: the errdrop check exempts
@@ -88,40 +94,41 @@ func run(args []string) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, checks)
-	failed := false
+	failures := 0
 	if *jsonOut {
-		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiag{
-				Check:    d.Check,
-				Severity: d.Severity.String(),
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Column:   d.Pos.Column,
-				Message:  d.Message,
-			})
-		}
+		// NDJSON keeps suppressed findings visible; text mode hides them.
 		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
-			return 2
+		for _, d := range analysis.RunAll(pkgs, checks) {
+			if err := enc.Encode(jsonDiag{
+				Check:          d.Check,
+				Severity:       d.Severity.String(),
+				File:           d.Pos.Filename,
+				Line:           d.Pos.Line,
+				Column:         d.Pos.Column,
+				Message:        d.Message,
+				Suppressed:     d.Suppressed,
+				SuppressReason: d.SuppressReason,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+				return 2
+			}
+			if !d.Suppressed && d.Severity == analysis.Error {
+				failures++
+			}
 		}
 	} else {
+		diags := analysis.Run(pkgs, checks)
 		for _, d := range diags {
 			fmt.Fprintln(os.Stdout, d.String())
+			if d.Severity == analysis.Error {
+				failures++
+			}
 		}
-	}
-	for _, d := range diags {
-		if d.Severity == analysis.Error {
-			failed = true
-		}
-	}
-	if failed {
-		if !*jsonOut {
+		if failures > 0 {
 			fmt.Fprintf(os.Stdout, "dplearn-lint: %d finding(s)\n", len(diags))
 		}
+	}
+	if failures > 0 {
 		return 1
 	}
 	return 0

@@ -38,8 +38,13 @@ package dplearn
 import (
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/mechanism"
 	"repro/internal/rng"
 )
+
+// Accountant composes the privacy cost of repeated releases on the same
+// data. See mechanism.Accountant.
+type Accountant = mechanism.Accountant
 
 // Config configures a private learner. See core.Config. Config.Parallel
 // sets the worker fan-out for the learner's hot paths (risk grids,
@@ -89,15 +94,17 @@ func NewLearner(cfg Config) (*Learner, error) { return core.NewLearner(cfg) }
 func NewRNG(seed int64) *rng.RNG { return rng.New(seed) }
 
 // PrivateHistogramDensity releases an ε-DP histogram density (Laplace
-// mechanism + post-processing). See core.PrivateHistogramDensity.
-func PrivateHistogramDensity(d *Dataset, j, bins int, lo, hi, epsilon float64, g *rng.RNG) (*DensityEstimate, error) { //dplint:ignore epscheck thin wrapper: core.PrivateHistogramDensity validates epsilon before use
-	return core.PrivateHistogramDensity(d, j, bins, lo, hi, epsilon, g)
+// mechanism + post-processing), registering the spent ε with acct (nil to
+// skip accounting). See core.PrivateHistogramDensity.
+func PrivateHistogramDensity(d *Dataset, j, bins int, lo, hi, epsilon float64, acct *Accountant, g *rng.RNG) (*DensityEstimate, error) { //dplint:ignore epscheck thin wrapper: core.PrivateHistogramDensity validates epsilon before use
+	return core.PrivateHistogramDensity(d, j, bins, lo, hi, epsilon, acct, g)
 }
 
 // GibbsHistogramDensity selects a histogram density by the exponential
-// mechanism. See core.GibbsHistogramDensity.
-func GibbsHistogramDensity(d *Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, g *rng.RNG) (*DensityEstimate, int, error) { //dplint:ignore epscheck thin wrapper: core.GibbsHistogramDensity validates epsilon before use
-	return core.GibbsHistogramDensity(d, j, binChoices, lo, hi, clip, epsilon, g)
+// mechanism, registering the spent ε with acct (nil to skip accounting).
+// See core.GibbsHistogramDensity.
+func GibbsHistogramDensity(d *Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, acct *Accountant, g *rng.RNG) (*DensityEstimate, int, error) { //dplint:ignore epscheck thin wrapper: core.GibbsHistogramDensity validates epsilon before use
+	return core.GibbsHistogramDensity(d, j, binChoices, lo, hi, clip, epsilon, acct, g)
 }
 
 // ReleaseSummary computes an ε-DP summary of one feature.

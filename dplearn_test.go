@@ -43,14 +43,14 @@ func TestFacadeDensity(t *testing.T) {
 	g := NewRNG(3)
 	mix := dataset.GaussianMixture{Means: []float64{0}, Sigmas: []float64{1}, Weights: []float64{1}}
 	d := mix.Generate(1000, g)
-	dens, err := PrivateHistogramDensity(d, 0, 16, -4, 4, 1, g)
+	dens, err := PrivateHistogramDensity(d, 0, 16, -4, 4, 1, nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dens.At(0) <= dens.At(3.5) {
 		t.Error("density should peak near the mode")
 	}
-	gd, bins, err := GibbsHistogramDensity(d, 0, []int{8, 16, 32}, -4, 4, 10, 2, g)
+	gd, bins, err := GibbsHistogramDensity(d, 0, []int{8, 16, 32}, -4, 4, 10, 2, nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,16 +24,19 @@ func main() {
 	lo, hi := -4.0, 4.0
 	eps := 1.0
 
-	lap, err := dplearn.PrivateHistogramDensity(d, 0, 32, lo, hi, eps, g)
+	acct := &dplearn.Accountant{}
+	lap, err := dplearn.PrivateHistogramDensity(d, 0, 32, lo, hi, eps, acct, g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gibbsDens, bins, err := dplearn.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, eps, g)
+	gibbsDens, bins, err := dplearn.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, eps, acct, g)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("n=%d records, eps=%.1f; Gibbs selected %d bins\n\n", d.Len(), eps, bins)
+	fmt.Printf("n=%d records, eps=%.1f; Gibbs selected %d bins\n", d.Len(), eps, bins)
+	fmt.Printf("total budget spent on this data (basic composition over %d releases): %s\n\n",
+		acct.Count(), acct.BasicComposition())
 	fmt.Println("   x     true     laplace  gibbs    sketch (laplace)")
 	for x := -3.5; x <= 3.51; x += 0.5 {
 		lv := lap.At(x)

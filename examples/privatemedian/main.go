@@ -44,12 +44,15 @@ func main() {
 		}
 	}
 
-	// Sample a few private medians.
+	// Sample a few private medians, accounting each release.
+	acct := &mechanism.Accountant{}
 	fmt.Print("\nfive private releases: ")
 	for i := 0; i < 5; i++ {
 		fmt.Printf("%.2f ", candidates[m.Release(d, g)])
+		acct.Spend(m.Guarantee())
 	}
 	fmt.Println()
+	fmt.Printf("budget spent across them (basic composition): %s\n", acct.BasicComposition())
 
 	// Exact audit against a neighbor.
 	nb := d.ReplaceOne(0, dataset.Example{X: []float64{0.99}})

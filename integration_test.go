@@ -151,7 +151,7 @@ func TestIntegrationBudgetedPipeline(t *testing.T) {
 	}
 	acct.Spend(sum.Spent)
 
-	dens, err := PrivateHistogramDensity(d, 0, 16, 0, 1, 1, g)
+	dens, err := PrivateHistogramDensity(d, 0, 16, 0, 1, 1, nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AcctLint enforces the PINQ-style accounting discipline: every release
+// of DP-protected output that is reachable from the exported API must
+// register its Guarantee with an Accountant.Spend in the same function,
+// unconditionally, and no guarantee may be spent twice.
+//
+// Composition (Section 2 of the paper; McSherry's PINQ) only certifies
+// the budget that is actually registered: a Release whose Guarantee never
+// reaches Spend silently under-reports the privacy loss, a Spend nested
+// in a branch that the release does not share over-trusts a runtime
+// condition, and a double Spend over-reports (burning budget the data
+// still has). The check walks the package-level call graph to skip
+// functions no exported API can reach, and exempts methods of
+// Guarantee-bearing types — a composite mechanism's internal releases
+// (MWEM rounds, subsample-and-aggregate parts) are priced by its own
+// Guarantee, which its callers must spend.
+var AcctLint = register(&Analyzer{
+	Name:     "acctlint",
+	Doc:      "every reachable Release must flow its Guarantee into Accountant.Spend on all paths, exactly once",
+	Severity: Error,
+	Run:      runAcctLint,
+})
+
+func runAcctLint(p *Pass) {
+	reach := p.Prog.Reachable()
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if recvHasGuarantee(p, fd) {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !reach[funcKey(obj)] {
+				continue
+			}
+			checkAccounting(p, fd)
+		}
+	}
+}
+
+// recvHasGuarantee reports whether fd is a method of a Guarantee-bearing
+// (mechanism) type.
+func recvHasGuarantee(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return hasMethod(p.TypeOf(fd.Recv.List[0].Type), "Guarantee")
+}
+
+// checkAccounting matches the release sites of fd.Body against its spend
+// sites in source order and reports the violations.
+func checkAccounting(p *Pass, fd *ast.FuncDecl) {
+	var releases, spends []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isReleaseCall(p.Pkg, call):
+			releases = append(releases, call)
+		case isSpendCall(p.Pkg, call):
+			spends = append(spends, call)
+		}
+		return true
+	})
+	if len(releases) == 0 {
+		reportDoubleSpends(p, spends)
+		return
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i].Pos() < releases[j].Pos() })
+	sort.Slice(spends, func(i, j int) bool { return spends[i].Pos() < spends[j].Pos() })
+	// Greedy source-order matching: each release consumes the first spend
+	// positioned after it (a spend-then-release ordering would account the
+	// wrong data access).
+	used := make([]bool, len(spends))
+	for _, rel := range releases {
+		matched := -1
+		for i, sp := range spends {
+			if !used[i] && sp.Pos() > rel.Pos() {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			p.Reportf(rel.Pos(), "un-accounted release: its Guarantee never reaches an Accountant.Spend in this function, so composition under-reports the privacy loss")
+			continue
+		}
+		used[matched] = true
+		if guard := conditionalGuard(fd.Body, rel, spends[matched]); guard != nil {
+			p.Reportf(spends[matched].Pos(), "conditionally-accounted release: this Spend is guarded by a branch the release at line %d does not share, so some executions release without paying", p.Fset.Position(rel.Pos()).Line)
+		}
+	}
+	reportDoubleSpends(p, spends)
+}
+
+// reportDoubleSpends flags Spend calls re-registering the same
+// Guarantee-typed variable.
+func reportDoubleSpends(p *Pass, spends []*ast.CallExpr) {
+	seen := make(map[types.Object]*ast.CallExpr)
+	for _, sp := range spends {
+		if len(sp.Args) != 1 {
+			continue
+		}
+		id, ok := sp.Args[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if first, dup := seen[obj]; dup {
+			p.Reportf(sp.Pos(), "double-spend: guarantee %q was already registered at line %d; spending it again over-reports the privacy loss", id.Name, p.Fset.Position(first.Pos()).Line)
+			continue
+		}
+		seen[obj] = sp
+	}
+}
+
+// conditionalGuard returns the innermost if/switch statement that
+// encloses spend but not release, or nil when the spend is on every path
+// the release is on. Loops are not guards: a release and spend iterating
+// together stay matched.
+func conditionalGuard(body *ast.BlockStmt, release, spend ast.Node) ast.Node {
+	var stack []ast.Node
+	var guard ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == spend {
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch stack[i].(type) {
+				case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+					if !encloses(stack[i], release) {
+						guard = stack[i]
+						return false
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return guard
+}
+
+// encloses reports whether outer's source extent contains inner.
+func encloses(outer, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}

@@ -55,6 +55,13 @@ type Diagnostic struct {
 	Severity Severity       `json:"-"`
 	Pos      token.Position `json:"-"`
 	Message  string         `json:"message"`
+
+	// Suppressed marks findings silenced by a //dplint:ignore directive;
+	// Run drops them, RunAll keeps them flagged (so tooling such as the
+	// -json driver mode can audit what was waived and why).
+	Suppressed bool `json:"suppressed"`
+	// SuppressReason is the directive's mandatory reason when Suppressed.
+	SuppressReason string `json:"suppress_reason,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -83,6 +90,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Prog is the whole-run view (call graph, cross-package lookup)
+	// shared by every pass of one Run.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -144,10 +154,24 @@ func ByName(name string) *Analyzer {
 // diagnostics sorted by position. Malformed or reason-less directives are
 // reported under the meta check id "dplint".
 func Run(pkgs []*Package, checks []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range RunAll(pkgs, checks) {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: findings silenced by a
+// //dplint:ignore directive are returned with Suppressed set and the
+// directive's reason attached, instead of being dropped.
+func RunAll(pkgs []*Package, checks []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range checks {
-			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &diags}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Prog: prog, diags: &diags}
 			a.Run(pass)
 		}
 	}
@@ -157,9 +181,11 @@ func Run(pkgs []*Package, checks []*Analyzer) []Diagnostic {
 		out = append(out, sup.addPackage(pkg)...)
 	}
 	for _, d := range diags {
-		if !sup.matches(d) {
-			out = append(out, d)
+		if dir, ok := sup.directiveFor(d.Pos.Filename, d.Check, d.Pos.Line); ok {
+			d.Suppressed = true
+			d.SuppressReason = dir.reason
 		}
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

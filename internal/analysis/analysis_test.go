@@ -10,10 +10,10 @@ import (
 	"testing"
 )
 
-// TestRegistry pins the public check surface: the six DP checks must all
+// TestRegistry pins the public check surface: the nine DP checks must all
 // be registered and default to error severity.
 func TestRegistry(t *testing.T) {
-	want := []string{"epscheck", "errdrop", "expdomain", "floateq", "maprange", "rawrand"}
+	want := []string{"acctlint", "epscheck", "errdrop", "expdomain", "floateq", "maprange", "postproc", "rawrand", "sensann"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d checks, want %d", len(got), len(want))
@@ -146,6 +146,9 @@ func TestFloatEqGolden(t *testing.T)   { golden(t, "floateq") }
 func TestExpDomainGolden(t *testing.T) { golden(t, "expdomain") }
 func TestMapRangeGolden(t *testing.T)  { golden(t, "maprange") }
 func TestErrDropGolden(t *testing.T)   { golden(t, "errdrop") }
+func TestSensAnnGolden(t *testing.T)   { golden(t, "sensann") }
+func TestAcctLintGolden(t *testing.T)  { golden(t, "acctlint") }
+func TestPostProcGolden(t *testing.T)  { golden(t, "postproc") }
 
 // writeFixtureModule lays out a throwaway module so suppression handling
 // can be tested against exact line arithmetic.

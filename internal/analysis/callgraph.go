@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the package-level half of the dataflow framework: a static
+// call graph over every analyzed package, with reachability from the
+// exported API surface. The privacy checks that need more than one
+// function's worth of context (acctlint's "every release reachable from an
+// exported API must be accounted", sensann's cross-package annotation
+// lookup) consult the Program attached to their Pass.
+//
+// Resolution is deliberately simple: direct calls to declared functions
+// and methods (including qualified cross-package calls) produce edges;
+// calls through function-typed values, fields, and interfaces do not.
+// A function mentioned as a *value* (passed as a callback, stored in a
+// struct) is treated as called — anyone holding the value may invoke it —
+// which keeps reachability conservative in the direction that matters for
+// the privacy checks (more code is considered reachable, never less).
+
+// Program is the whole set of packages under one Run, indexed for
+// cross-package queries.
+type Program struct {
+	Pkgs []*Package
+
+	nodes map[string]*FuncNode
+	order []string // node keys in deterministic (position) order
+
+	// pkgRefs are functions referenced from package-level variable
+	// initializers (registries, tables of callbacks). They have no
+	// enclosing FuncNode, so Reachable treats them as roots: whoever
+	// reads the variable may invoke them.
+	pkgRefs []string
+
+	reachable map[string]bool // lazily computed by Reachable
+}
+
+// FuncNode is one declared function or method in the call graph.
+type FuncNode struct {
+	// Key is the stable cross-package identifier (types.Func.FullName).
+	Key string
+	// Obj is the function object in its defining package's type info.
+	Obj *types.Func
+	// Decl is the syntax, always with a non-nil Body.
+	Decl *ast.FuncDecl
+	// Pkg is the analyzed package containing the declaration.
+	Pkg *Package
+	// Calls lists the static call sites in the body, in source order.
+	// Call sites inside function literals belong to the enclosing
+	// declaration.
+	Calls []CallSite
+	// refs are keys of functions referenced as values (not called
+	// directly) from this body.
+	refs []string
+}
+
+// CallSite is one resolved static call.
+type CallSite struct {
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Key identifies the callee across packages.
+	Key string
+}
+
+// funcKey returns the cross-instance identity of fn. The loader
+// type-checks a package once as an analysis target and possibly again as
+// a dependency of other targets, producing distinct types.Func objects
+// for the same source declaration; FullName ("pkg/path.Name" or
+// "(pkg/path.Recv).Name") unifies them.
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// NewProgram indexes the packages and builds the call graph.
+func NewProgram(pkgs []*Package) *Program {
+	pr := &Program{Pkgs: pkgs, nodes: make(map[string]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					if gd, isGen := decl.(*ast.GenDecl); isGen {
+						pr.collectPkgRefs(pkg, gd)
+					}
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Key: funcKey(obj), Obj: obj, Decl: fd, Pkg: pkg}
+				pr.collectEdges(pkg, node)
+				if _, dup := pr.nodes[node.Key]; !dup {
+					pr.nodes[node.Key] = node
+					pr.order = append(pr.order, node.Key)
+				}
+			}
+		}
+	}
+	return pr
+}
+
+// collectEdges records every resolved call and function-value reference in
+// node's body.
+func (pr *Program) collectEdges(pkg *Package, node *FuncNode) {
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn != nil {
+			node.Calls = append(node.Calls, CallSite{Site: call, Key: funcKey(fn)})
+		}
+		return true
+	})
+	// Function values referenced outside call position: an Ident or
+	// Selector resolving to a *types.Func that is not the Fun of an
+	// enclosing call. Cheap over-approximation: count every reference and
+	// every direct call; references beyond the direct calls are value uses.
+	direct := make(map[*ast.Ident]bool)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			direct[fun] = true
+		case *ast.SelectorExpr:
+			direct[fun.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || direct[id] {
+			return true
+		}
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			node.refs = append(node.refs, funcKey(fn))
+		}
+		return true
+	})
+}
+
+// collectPkgRefs records every function referenced (called or stored) in
+// a package-level variable initializer.
+func (pr *Program) collectPkgRefs(pkg *Package, gd *ast.GenDecl) {
+	ast.Inspect(gd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if fn, isFn := pkg.Info.Uses[id].(*types.Func); isFn {
+				pr.pkgRefs = append(pr.pkgRefs, funcKey(fn))
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the statically-known callee of call, or nil.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Node returns the FuncNode for key, or nil when the function is declared
+// outside the analyzed packages.
+func (pr *Program) Node(key string) *FuncNode { return pr.nodes[key] }
+
+// NodeOf returns the FuncNode declaring fn, or nil.
+func (pr *Program) NodeOf(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return pr.nodes[funcKey(fn)]
+}
+
+// Nodes returns every FuncNode in deterministic declaration order.
+func (pr *Program) Nodes() []*FuncNode {
+	out := make([]*FuncNode, 0, len(pr.order))
+	for _, k := range pr.order {
+		out = append(out, pr.nodes[k])
+	}
+	return out
+}
+
+// Reachable returns the set of function keys reachable from the exported
+// API surface: exported functions and methods, main, and init functions,
+// following direct calls and function-value references. The result is
+// cached on first use.
+func (pr *Program) Reachable() map[string]bool {
+	if pr.reachable != nil {
+		return pr.reachable
+	}
+	pr.reachable = make(map[string]bool)
+	var queue []string
+	enqueue := func(key string) {
+		if !pr.reachable[key] {
+			pr.reachable[key] = true
+			queue = append(queue, key)
+		}
+	}
+	var roots []string
+	for _, key := range pr.order {
+		node := pr.nodes[key]
+		name := node.Decl.Name.Name
+		if node.Decl.Name.IsExported() || name == "main" || name == "init" {
+			roots = append(roots, key)
+		}
+	}
+	roots = append(roots, pr.pkgRefs...)
+	sort.Strings(roots)
+	for _, r := range roots {
+		enqueue(r)
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		node := pr.nodes[key]
+		if node == nil {
+			continue
+		}
+		for _, c := range node.Calls {
+			enqueue(c.Key)
+		}
+		for _, r := range node.refs {
+			enqueue(r)
+		}
+	}
+	return pr.reachable
+}

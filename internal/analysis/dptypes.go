@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Structural recognition of the repository's DP vocabulary. The checks
+// must work on golden-test fixtures as well as the real tree, so nothing
+// here keys on the module path: a "mechanism" is any named type carrying
+// both a Release and a Guarantee method, an "accountant spend" is any
+// method named Spend taking a single Guarantee-typed argument, and "raw
+// data" is any value of a type named Dataset or Example (or a container
+// of them).
+
+// hasMethod reports whether t (or its pointer type) has a method with the
+// given exported name.
+func hasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// namedName returns the name of the (possibly pointed-to) named type, or
+// "".
+func namedName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+// methodRecv returns the receiver expression and type of a method call,
+// or (nil, nil) for ordinary and package-qualified calls.
+func methodRecv(pkg *Package, call *ast.CallExpr) (ast.Expr, types.Type) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+			return nil, nil
+		}
+	}
+	return sel.X, pkg.Info.TypeOf(sel.X)
+}
+
+// isReleaseCall reports whether call releases DP-protected output: a
+// Release method on a Guarantee-bearing type, or a posterior Sample /
+// SampleTheta on a Guarantee-bearing type (the Gibbs estimator's release
+// operation, Theorem 4.1).
+func isReleaseCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if name != "Release" && name != "Sample" && name != "SampleTheta" {
+		return false
+	}
+	_, recv := methodRecv(pkg, call)
+	return recv != nil && hasMethod(recv, "Guarantee")
+}
+
+// isSpendCall reports whether call registers a guarantee with an
+// accountant: a method named Spend whose single parameter has a named
+// type Guarantee.
+func isSpendCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Spend" {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	return namedName(sig.Params().At(0).Type()) == "Guarantee"
+}
+
+// isRawDataType reports whether t holds raw (pre-release) sample data: a
+// Dataset or Example type, a pointer or slice of one.
+func isRawDataType(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Named:
+			n := u.Obj().Name()
+			return n == "Dataset" || n == "Example"
+		default:
+			return false
+		}
+	}
+}

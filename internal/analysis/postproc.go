@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PostProc enforces post-processing hygiene around releases.
+//
+// Differential privacy is closed under post-processing: anything computed
+// from a released value alone inherits its guarantee. The converse
+// mistake — branching on the *raw* data after a release in the same
+// function — silently widens the privacy channel: the control flow (and
+// everything it selects) becomes a second, unaccounted query. The check
+// taints every value derived from raw sample data (Dataset/Example
+// parameters, fields, and anything computed from them), treats
+// Release/Sample results as clean (that is the point of a release), and
+// flags if-conditions, for-conditions, and switch tags that consume
+// tainted values after the first release of the enclosing function.
+// Ranging over the raw data again is allowed — feeding it to a second
+// mechanism is composition, priced by acctlint, not a violation. Public
+// scalars (d.Len(), fingerprints, error values) are clean.
+var PostProc = register(&Analyzer{
+	Name:     "postproc",
+	Doc:      "no branching on raw (pre-release) data after a release; post-processing may only consume released values",
+	Severity: Error,
+	Run:      runPostProc,
+})
+
+func runPostProc(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				postProcScope(p, fd.Body)
+			}
+		}
+	}
+}
+
+// postProcScope analyzes one function scope. Nested function literals are
+// analyzed as scopes of their own (a closure handed to an audit harness
+// or a quality function runs in a different dynamic context than the
+// statements around it), and are excluded from the enclosing scope's
+// release/branch accounting.
+func postProcScope(p *Pass, body *ast.BlockStmt) {
+	for _, lit := range directFuncLits(body) {
+		postProcScope(p, lit.Body)
+	}
+
+	var firstRelease ast.Node
+	inspectScope(body, func(n ast.Node) {
+		if firstRelease != nil {
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isReleaseCall(p.Pkg, call) {
+			firstRelease = call
+		}
+	})
+	if firstRelease == nil {
+		return
+	}
+
+	tl := newTaintLattice(p.Pkg, body,
+		func(obj types.Object) bool {
+			v, ok := obj.(*types.Var)
+			return ok && isRawDataType(v.Type())
+		},
+		func(call *ast.CallExpr) bool { return false },
+		func(call *ast.CallExpr) bool { return isSanitizer(p.Pkg, call) },
+	)
+
+	report := func(pos ast.Node, kind string) {
+		p.Reportf(pos.Pos(), "%s on raw (pre-release) data after the release at line %d: data-dependent control flow is an unaccounted query; branch on released values only",
+			kind, p.Fset.Position(firstRelease.Pos()).Line)
+	}
+	inspectScope(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.IfStmt:
+			if st.Cond.Pos() > firstRelease.Pos() && tl.Tainted(st.Cond) {
+				report(st.Cond, "branch")
+			}
+		case *ast.ForStmt:
+			if st.Cond != nil && st.Cond.Pos() > firstRelease.Pos() && tl.Tainted(st.Cond) {
+				report(st.Cond, "loop bound")
+			}
+		case *ast.SwitchStmt:
+			if st.Tag != nil && st.Tag.Pos() > firstRelease.Pos() && tl.Tainted(st.Tag) {
+				report(st.Tag, "switch")
+			}
+		}
+	})
+}
+
+// isSanitizer reports whether call launders raw data into a clean value:
+// a DP release, or a public scalar of the data (its size or an opaque
+// cache fingerprint).
+func isSanitizer(pkg *Package, call *ast.CallExpr) bool {
+	if isReleaseCall(pkg, call) {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Len", "Fingerprint":
+		return true
+	}
+	return false
+}
+
+// directFuncLits returns the outermost function literals in body.
+func directFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// inspectScope visits every node of body except the interiors of nested
+// function literals.
+func inspectScope(body *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,570 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SensAnn enforces the //dp:sensitivity annotation discipline on quality
+// functions.
+//
+// The exponential mechanism's guarantee (Theorem 2.2) is 2εΔq: it is only
+// as good as the declared global sensitivity Δq of the quality function.
+// The annotation grammar
+//
+//	//dp:sensitivity Δq=<expr>
+//
+// (also accepted as dq=<expr>; <expr> is a constant like 1, a per-record
+// bound like M/n or (clip+ln2)/n) placed on, or on the line above, a
+// function declaration or `q := func(...)` assignment declares that
+// bound. The check (1) flags quality functions passed to exponential /
+// Gibbs constructors without an annotation, (2) verifies declared bounds
+// against the function body for the recognizable forms — constant
+// returns, counting loops over examples, clamped or sigmoid averages,
+// empirical risks — and (3) cross-checks exact annotations against the
+// constructor's sensitivity argument. Unrecognizable bodies are trusted:
+// the annotation is then documentation, reviewed by a human.
+var SensAnn = register(&Analyzer{
+	Name:     "sensann",
+	Doc:      "quality functions need a verified //dp:sensitivity Δq=<expr> annotation (Theorem 2.2's Δq)",
+	Severity: Error,
+	Run:      runSensAnn,
+})
+
+// sensPrefix introduces a sensitivity annotation.
+const sensPrefix = "//dp:sensitivity"
+
+// sensShape is the comparable abstraction of a sensitivity expression:
+// coef·n^(−pow), with coef known only when exact.
+type sensShape struct {
+	coef  float64
+	pow   int // 0 for a constant bound, 1 for a per-record (·/n) bound
+	exact bool
+}
+
+func (s sensShape) String() string {
+	num := "c"
+	if s.exact {
+		num = strconv.FormatFloat(s.coef, 'g', -1, 64)
+	}
+	if s.pow == 1 {
+		return num + "/n"
+	}
+	return num
+}
+
+// compatible reports whether a declared shape is consistent with an
+// inferred one: the n-power must agree always, the coefficient only when
+// both sides are exact.
+func (s sensShape) compatible(inferred sensShape) bool {
+	if s.pow != inferred.pow {
+		return false
+	}
+	if s.exact && inferred.exact {
+		return math.Abs(s.coef-inferred.coef) <= 1e-9*math.Max(1, math.Abs(inferred.coef))
+	}
+	return true
+}
+
+// sensAnnotation is one parsed //dp:sensitivity comment.
+type sensAnnotation struct {
+	shape sensShape
+	expr  string
+	line  int
+	pos   token.Pos
+	bad   string // parse-error text; "" when well-formed
+}
+
+// parseSensExpr parses the <expr> of Δq=<expr> into a shape.
+func parseSensExpr(expr string) (sensShape, error) {
+	if expr == "" {
+		return sensShape{}, fmt.Errorf("empty bound")
+	}
+	num, pow := expr, 0
+	if i := strings.LastIndex(expr, "/"); i >= 0 {
+		den := expr[i+1:]
+		if den == "" {
+			return sensShape{}, fmt.Errorf("empty denominator")
+		}
+		ok := true
+		for _, r := range den {
+			if r < 'a' || r > 'z' {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return sensShape{}, fmt.Errorf("denominator must be a sample-size symbol like n")
+		}
+		num, pow = expr[:i], 1
+	}
+	trimmed := strings.TrimSuffix(strings.TrimPrefix(num, "("), ")")
+	if f, err := strconv.ParseFloat(trimmed, 64); err == nil {
+		if f <= 0 || math.IsInf(f, 0) {
+			return sensShape{}, fmt.Errorf("bound must be positive and finite")
+		}
+		return sensShape{coef: f, pow: pow, exact: true}, nil
+	}
+	return sensShape{pow: pow}, nil
+}
+
+// sensIndex maps "<filename>:<line>" of a function's anchor line to its
+// annotation. An annotation on line L anchors functions starting on L or
+// L+1 (trailing comment vs. comment above, like //dplint:ignore).
+type sensIndex map[string]*sensAnnotation
+
+func buildSensIndex(pkg *Package) (sensIndex, []*sensAnnotation) {
+	idx := make(sensIndex)
+	var all []*sensAnnotation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, sensPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ann := &sensAnnotation{line: pos.Line, pos: c.Pos()}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, sensPrefix))
+				switch {
+				case strings.HasPrefix(rest, "Δq="):
+					ann.expr = strings.Fields(strings.TrimPrefix(rest, "Δq="))[0]
+				case strings.HasPrefix(rest, "dq="):
+					ann.expr = strings.Fields(strings.TrimPrefix(rest, "dq="))[0]
+				default:
+					ann.bad = "want //dp:sensitivity Δq=<expr>"
+				}
+				if ann.bad == "" {
+					shape, err := parseSensExpr(ann.expr)
+					if err != nil {
+						ann.bad = err.Error()
+					}
+					ann.shape = shape
+				}
+				all = append(all, ann)
+				for _, l := range []int{pos.Line, pos.Line + 1} {
+					idx[fmt.Sprintf("%s:%d", pos.Filename, l)] = ann
+				}
+			}
+		}
+	}
+	return idx, all
+}
+
+// annotationFor looks up the annotation anchored at node's starting line.
+func (idx sensIndex) annotationFor(pkg *Package, node ast.Node) *sensAnnotation {
+	pos := pkg.Fset.Position(node.Pos())
+	return idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+}
+
+func runSensAnn(p *Pass) {
+	idx, all := buildSensIndex(p.Pkg)
+	for _, ann := range all {
+		if ann.bad != "" && !p.IsTestFile(ann.pos) {
+			p.Reportf(ann.pos, "malformed sensitivity annotation: %s", ann.bad)
+		}
+	}
+	for _, file := range p.Pkg.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		// Verify every annotated function whose body has a recognizable
+		// form, wherever it is declared.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var fnType *ast.FuncType
+			var body *ast.BlockStmt
+			var anchor ast.Node
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				fnType, body, anchor = d.Type, d.Body, d
+			case *ast.AssignStmt:
+				if len(d.Rhs) == 1 {
+					if lit, ok := d.Rhs[0].(*ast.FuncLit); ok {
+						fnType, body, anchor = lit.Type, lit.Body, d
+					}
+				}
+			}
+			if body == nil {
+				return true
+			}
+			ann := idx.annotationFor(p.Pkg, anchor)
+			if ann == nil || ann.bad != "" {
+				return true
+			}
+			if inferred, ok := inferSensShape(p.Pkg, fnType, body); ok && !ann.shape.compatible(inferred) {
+				p.Reportf(anchor.Pos(), "sensitivity annotation Δq=%s contradicts the body, which looks %s-sensitive (declared shape %s)", ann.expr, inferred, ann.shape)
+			}
+			return true
+		})
+		// Flag unannotated quality functions at constructor call sites, and
+		// cross-check exact annotations against the sensitivity argument.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sensArg, ok := qualityCtor(p.Pkg, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			qual := call.Args[0]
+			if t := p.TypeOf(qual); t != nil {
+				if _, isFunc := t.Underlying().(*types.Signature); !isFunc {
+					return true
+				}
+			}
+			ann := resolveQualityAnnotation(p, idx, qual)
+			if ann == nil {
+				p.Reportf(qual.Pos(), "quality function passed to %s without a //dp:sensitivity annotation: Theorem 2.2's 2εΔq guarantee depends on its declared sensitivity", ctorName(call))
+				return true
+			}
+			if ann.bad != "" || !ann.shape.exact || ann.shape.pow != 0 || sensArg < 0 || sensArg >= len(call.Args) {
+				return true
+			}
+			if tv, okc := p.Pkg.Info.Types[call.Args[sensArg]]; okc && tv.Value != nil {
+				if v, okf := constant.Float64Val(constant.ToFloat(tv.Value)); okf {
+					if math.Abs(v-ann.shape.coef) > 1e-9*math.Max(1, math.Abs(v)) {
+						p.Reportf(call.Args[sensArg].Pos(), "constructor sensitivity argument %g disagrees with the quality function's //dp:sensitivity Δq=%s", v, ann.expr)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// qualityCtor reports whether call constructs an exponential-mechanism
+// style object from a quality function (first argument of function type),
+// returning the index of its sensitivity argument (-1 when none).
+func qualityCtor(pkg *Package, call *ast.CallExpr) (sensArg int, ok bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return 0, false
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case strings.HasSuffix(path, "internal/mechanism") && (fn.Name() == "NewExponential" || fn.Name() == "NewReportNoisyMax"):
+		return 2, true
+	case strings.HasSuffix(path, "internal/gibbs") && fn.Name() == "New":
+		return -1, true
+	}
+	return 0, false
+}
+
+func ctorName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "constructor"
+}
+
+// resolveQualityAnnotation finds the annotation of the function bound to
+// arg: an inline literal, a local `q := func` variable, or a declared
+// function (possibly in another analyzed package, via the call graph).
+func resolveQualityAnnotation(p *Pass, idx sensIndex, arg ast.Expr) *sensAnnotation {
+	switch a := arg.(type) {
+	case *ast.FuncLit:
+		return idx.annotationFor(p.Pkg, a)
+	case *ast.Ident:
+		obj := p.ObjectOf(a)
+		switch obj := obj.(type) {
+		case *types.Var:
+			if site := assignSiteOf(p.Pkg, obj); site != nil {
+				return idx.annotationFor(p.Pkg, site)
+			}
+		case *types.Func:
+			if node := p.Prog.NodeOf(obj); node != nil {
+				remote, _ := buildSensIndex(node.Pkg)
+				return remote.annotationFor(node.Pkg, node.Decl)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Pkg.Info.Uses[a.Sel].(*types.Func); ok && p.Prog != nil {
+			if node := p.Prog.NodeOf(fn); node != nil {
+				remote, _ := buildSensIndex(node.Pkg)
+				return remote.annotationFor(node.Pkg, node.Decl)
+			}
+		}
+	}
+	// Unresolvable values (fields, call results) are not flagged: we
+	// cannot see their declaration to require an annotation on it.
+	return &sensAnnotation{bad: "unresolvable"}
+}
+
+// assignSiteOf finds the := assignment (or var spec) binding obj to a
+// function literal in its package.
+func assignSiteOf(pkg *Package, obj *types.Var) ast.Node {
+	var found ast.Node
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range st.Lhs {
+					if id, ok := l.(*ast.Ident); ok && pkg.Info.ObjectOf(id) == obj {
+						found = st
+						return false
+					}
+				}
+			case *ast.ValueSpec:
+				for _, nm := range st.Names {
+					if pkg.Info.ObjectOf(nm) == obj {
+						found = st
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// inferSensShape recognizes the bodies the check can verify, returning
+// (shape, true) on success. Forms, in order of attempt:
+//
+//  1. constant returns: every return yields a numeric constant — the
+//     sensitivity is the spread max−min (e.g. a 0/1 loss);
+//  2. counting loop: a ±1 accumulator over a range of examples, returned
+//     directly or as ±|acc − t| — sensitivity 1 (|·| is 1-Lipschitz and a
+//     replace-one neighbor moves the count by at most 1);
+//  3. empirical risk: return ±EmpiricalRisk(...) — an average of [0, M]
+//     terms, sensitivity M/n (per-record shape);
+//  4. clamped / sigmoid average: per-example terms passed through
+//     Clamp(·, lo, hi) or Sigmoid, divided by the sample size — shape
+//     (hi−lo)/n, exact when the clamp bounds are constants.
+func inferSensShape(pkg *Package, fnType *ast.FuncType, body *ast.BlockStmt) (sensShape, bool) {
+	rets := returnExprs(body)
+	if len(rets) == 0 {
+		return sensShape{}, false
+	}
+	if s, ok := inferConstantReturns(pkg, rets); ok {
+		return s, true
+	}
+	if s, ok := inferCountingLoop(pkg, body, rets); ok {
+		return s, true
+	}
+	if s, ok := inferEmpiricalRisk(pkg, rets); ok {
+		return s, true
+	}
+	if s, ok := inferClampedAverage(pkg, body, rets); ok {
+		return s, true
+	}
+	return sensShape{}, false
+}
+
+// returnExprs collects the single-result return expressions of body,
+// excluding nested function literals.
+func returnExprs(body *ast.BlockStmt) []ast.Expr {
+	var out []ast.Expr
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(st.Results) != 1 {
+				ok = false
+				return false
+			}
+			out = append(out, st.Results[0])
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	return out
+}
+
+func inferConstantReturns(pkg *Package, rets []ast.Expr) (sensShape, bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rets {
+		tv, ok := pkg.Info.Types[r]
+		if !ok || tv.Value == nil {
+			return sensShape{}, false
+		}
+		v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+		if !ok {
+			return sensShape{}, false
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return sensShape{coef: hi - lo, pow: 0, exact: true}, true
+}
+
+// inferCountingLoop matches bodies of the PrivateMedian family: an
+// accumulator bumped by ±1 per example inside a range loop, returned as
+// acc, −acc, |acc−t|, or −|acc−t|.
+func inferCountingLoop(pkg *Package, body *ast.BlockStmt, rets []ast.Expr) (sensShape, bool) {
+	counters := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !rangesOverExamples(pkg, rng) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			inc, ok := m.(*ast.IncDecStmt)
+			if !ok {
+				return true
+			}
+			if id, ok := inc.X.(*ast.Ident); ok {
+				if obj := pkg.Info.ObjectOf(id); obj != nil {
+					counters[obj] = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	if len(counters) == 0 {
+		return sensShape{}, false
+	}
+	for _, r := range rets {
+		if !isCounterExpr(pkg, r, counters) {
+			return sensShape{}, false
+		}
+	}
+	return sensShape{coef: 1, pow: 0, exact: true}, true
+}
+
+// rangesOverExamples reports whether rng iterates the examples of a raw
+// dataset: range d.Examples, or range over a raw-data-typed expression.
+func rangesOverExamples(pkg *Package, rng *ast.RangeStmt) bool {
+	if sel, ok := rng.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Examples" {
+		return true
+	}
+	return isRawDataType(pkg.Info.TypeOf(rng.X))
+}
+
+// isCounterExpr matches acc, −acc, |acc − t|, −|acc − t| for a known
+// counter acc (t arbitrary: counting-query targets like p·n are
+// data-independent under replace-one neighbors, where n is fixed).
+func isCounterExpr(pkg *Package, e ast.Expr, counters map[types.Object]bool) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		e = u.X
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Abs" && len(call.Args) == 1 {
+			if b, ok := call.Args[0].(*ast.BinaryExpr); ok && (b.Op == token.SUB || b.Op == token.ADD) {
+				return isCounterIdent(pkg, b.X, counters) || isCounterIdent(pkg, b.Y, counters)
+			}
+			return isCounterIdent(pkg, call.Args[0], counters)
+		}
+	}
+	return isCounterIdent(pkg, e, counters)
+}
+
+func isCounterIdent(pkg *Package, e ast.Expr, counters map[types.Object]bool) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && counters[pkg.Info.ObjectOf(id)]
+}
+
+// inferEmpiricalRisk matches return ±EmpiricalRisk(...): an average of
+// [0, M]-bounded per-example losses, shape M/n.
+func inferEmpiricalRisk(pkg *Package, rets []ast.Expr) (sensShape, bool) {
+	for _, r := range rets {
+		if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+			r = u.X
+		}
+		call, ok := r.(*ast.CallExpr)
+		if !ok {
+			return sensShape{}, false
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Name() != "EmpiricalRisk" {
+			return sensShape{}, false
+		}
+	}
+	return sensShape{pow: 1}, true
+}
+
+// inferClampedAverage matches per-example terms bounded by Clamp(·, lo,
+// hi) or Sigmoid, averaged by a division by the sample size in the return.
+func inferClampedAverage(pkg *Package, body *ast.BlockStmt, rets []ast.Expr) (sensShape, bool) {
+	width, widthExact, found := 0.0, false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		name := ""
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		switch {
+		case name == "Clamp" && len(call.Args) == 3:
+			found = true
+			lo, okLo := constFloat(pkg, call.Args[1])
+			hi, okHi := constFloat(pkg, call.Args[2])
+			if okLo && okHi {
+				width, widthExact = hi-lo, true
+			}
+		case name == "Sigmoid":
+			found, width, widthExact = true, 1, true
+		}
+		return true
+	})
+	if !found {
+		return sensShape{}, false
+	}
+	for _, r := range rets {
+		if !dividesBySampleSize(r) {
+			return sensShape{}, false
+		}
+	}
+	return sensShape{coef: width, pow: 1, exact: widthExact}, true
+}
+
+// constFloat folds e to a constant float when possible.
+func constFloat(pkg *Package, e ast.Expr) (float64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Float64Val(constant.ToFloat(tv.Value))
+}
+
+// dividesBySampleSize reports whether e is a quotient whose denominator
+// mentions a Len() call or len(...) (i.e. the term is an average).
+func dividesBySampleSize(e ast.Expr) bool {
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.QUO {
+		return false
+	}
+	mentions := false
+	ast.Inspect(b.Y, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "len" {
+				mentions = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Len" {
+				mentions = true
+			}
+		}
+		return true
+	})
+	return mentions
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the intraprocedural half of the dataflow framework: a
+// flow-insensitive taint lattice over one function body. Checks seed the
+// lattice (e.g. postproc marks raw-dataset parameters), name the calls
+// that sanitize (a Release or posterior Sample launders its inputs into a
+// DP-protected output), and then ask whether an expression may carry a
+// seeded value.
+//
+// The analysis is a fixpoint over assignments: propagating x := f(tainted)
+// marks x, propagating through composite literals, index/selector/star
+// expressions, range statements, and method calls whose receiver absorbs a
+// tainted argument. Two deliberate refinements keep the false-positive
+// rate workable on real code:
+//
+//   - error-typed values never carry taint: `res, err := m.Release(...)`
+//     must leave err clean so the ubiquitous `if err != nil` guard is not
+//     flagged as data-dependent control flow;
+//   - a sanitizer call kills taint at its result even when its arguments
+//     are tainted — that is the whole point of a DP release.
+type taintLattice struct {
+	pkg *Package
+	// tainted objects (variables) in the current function.
+	objs map[types.Object]bool
+	// seed decides whether an object is tainted a priori (e.g. a
+	// parameter of dataset type).
+	seed func(types.Object) bool
+	// sourceCall decides whether a call expression's results are tainted
+	// a priori.
+	sourceCall func(*ast.CallExpr) bool
+	// sanitizerCall decides whether a call kills taint at its result.
+	sanitizerCall func(*ast.CallExpr) bool
+}
+
+// newTaintLattice runs the fixpoint over body and returns the lattice
+// ready for Tainted queries. Function literals nested in body are part of
+// the same lattice (their bodies execute with access to the enclosing
+// scope), which suits intraprocedural checks that treat closures as inline
+// code.
+func newTaintLattice(pkg *Package, body *ast.BlockStmt,
+	seed func(types.Object) bool,
+	sourceCall, sanitizerCall func(*ast.CallExpr) bool) *taintLattice {
+
+	tl := &taintLattice{
+		pkg:           pkg,
+		objs:          make(map[types.Object]bool),
+		seed:          seed,
+		sourceCall:    sourceCall,
+		sanitizerCall: sanitizerCall,
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				changed = tl.propagateAssign(st) || changed
+			case *ast.ValueSpec:
+				changed = tl.propagateValueSpec(st) || changed
+			case *ast.RangeStmt:
+				changed = tl.propagateRange(st) || changed
+			case *ast.CallExpr:
+				changed = tl.propagateReceiver(st) || changed
+			}
+			return true
+		})
+	}
+	return tl
+}
+
+// mark taints the object bound by lhs (an *ast.Ident), reporting change.
+func (tl *taintLattice) mark(lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := tl.pkg.Info.ObjectOf(id)
+	if obj == nil || isErrorType(obj.Type()) || tl.objs[obj] {
+		return false
+	}
+	tl.objs[obj] = true
+	return true
+}
+
+// propagateAssign handles x, y := rhs... and x = rhs.
+func (tl *taintLattice) propagateAssign(st *ast.AssignStmt) bool {
+	changed := false
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// Multi-value: one tainted producer taints every non-error lhs.
+		if tl.Tainted(st.Rhs[0]) {
+			for _, l := range st.Lhs {
+				changed = tl.mark(l) || changed
+			}
+		}
+		return changed
+	}
+	for i, l := range st.Lhs {
+		if i < len(st.Rhs) && tl.Tainted(st.Rhs[i]) {
+			changed = tl.mark(l) || changed
+		}
+	}
+	return changed
+}
+
+// propagateValueSpec handles var x = rhs declarations.
+func (tl *taintLattice) propagateValueSpec(sp *ast.ValueSpec) bool {
+	changed := false
+	if len(sp.Values) == 1 && len(sp.Names) > 1 {
+		if tl.Tainted(sp.Values[0]) {
+			for _, n := range sp.Names {
+				changed = tl.mark(n) || changed
+			}
+		}
+		return changed
+	}
+	for i, n := range sp.Names {
+		if i < len(sp.Values) && tl.Tainted(sp.Values[i]) {
+			changed = tl.mark(n) || changed
+		}
+	}
+	return changed
+}
+
+// propagateRange taints the key/value variables of a range over a tainted
+// collection.
+func (tl *taintLattice) propagateRange(st *ast.RangeStmt) bool {
+	if !tl.Tainted(st.X) {
+		return false
+	}
+	changed := false
+	if st.Key != nil {
+		changed = tl.mark(st.Key) || changed
+	}
+	if st.Value != nil {
+		changed = tl.mark(st.Value) || changed
+	}
+	return changed
+}
+
+// propagateReceiver taints the receiver of a method call fed a tainted
+// argument (e.g. buf.Write(raw) taints buf). Sanitizer calls are exempt:
+// handing raw data to a Release is the intended use, not contamination.
+func (tl *taintLattice) propagateReceiver(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || tl.sanitizerCall(call) {
+		return false
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	for _, a := range call.Args {
+		if tl.Tainted(a) {
+			return tl.mark(recv)
+		}
+	}
+	return false
+}
+
+// Tainted reports whether e may evaluate to (or contain) a seeded value.
+func (tl *taintLattice) Tainted(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if tl.sanitizerCall(x) {
+				return false // taint killed; do not descend into args
+			}
+			if tl.sourceCall(x) {
+				found = true
+				return false
+			}
+			return true
+		case *ast.Ident:
+			obj := tl.pkg.Info.ObjectOf(x)
+			if obj == nil || isErrorType(obj.Type()) {
+				return true
+			}
+			if tl.objs[obj] || tl.seed(obj) {
+				found = true
+				return false
+			}
+		case *ast.FuncLit:
+			return false // a closure value is not itself data
+		}
+		return true
+	})
+	return found
+}

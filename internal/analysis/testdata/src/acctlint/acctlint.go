@@ -1,0 +1,137 @@
+// Package acctlint exercises the accounting check: every reachable
+// release must flow its Guarantee into Accountant.Spend exactly once,
+// unconditionally. The types below are structural stubs of the real
+// mechanism package — the check recognizes them by shape (a Guarantee
+// method marks a mechanism; a Spend(Guarantee) method marks an
+// accountant), not by import path.
+package acctlint
+
+// Example is one raw record.
+type Example struct{ X []float64 }
+
+// Dataset is the raw sample.
+type Dataset struct{ Examples []Example }
+
+// Len is the dataset's public size.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// Guarantee is a privacy price tag.
+type Guarantee struct{ Epsilon float64 }
+
+// RNG stands in for the seeded sampler.
+type RNG struct{ state uint64 }
+
+// Mech is a mechanism: it bears a Guarantee method, so its Release is a
+// DP release site.
+type Mech struct{ Epsilon float64 }
+
+// Release consumes the raw data. As a method of a Guarantee-bearing type
+// it is itself exempt from accounting — callers pay, not the mechanism.
+func (m *Mech) Release(d *Dataset, g *RNG) float64 { return m.Epsilon }
+
+// Guarantee prices one release.
+func (m *Mech) Guarantee() Guarantee { return Guarantee{Epsilon: m.Epsilon} }
+
+// Accountant registers spends.
+type Accountant struct{ spent []Guarantee }
+
+// Spend records one guarantee.
+func (a *Accountant) Spend(g Guarantee) { a.spent = append(a.spent, g) }
+
+// Leak is the seeded violation: an exported release whose guarantee
+// never reaches an accountant.
+func Leak(d *Dataset, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	return m.Release(d, g) // want "un-accounted release"
+}
+
+// Accounted releases and pays: clean.
+func Accounted(d *Dataset, acct *Accountant, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	v := m.Release(d, g)
+	acct.Spend(m.Guarantee())
+	return v
+}
+
+// Public reaches helper through the call graph, so helper's leak is
+// reported even though helper is unexported.
+func Public(d *Dataset, g *RNG) float64 {
+	return helper(d, g)
+}
+
+func helper(d *Dataset, g *RNG) float64 {
+	m := &Mech{Epsilon: 2}
+	return m.Release(d, g) // want "un-accounted release"
+}
+
+// orphan is unreachable from every exported root, so its release is not
+// checked: dead code cannot leak.
+func orphan(d *Dataset, g *RNG) float64 {
+	m := &Mech{Epsilon: 3}
+	return m.Release(d, g)
+}
+
+// MaybePay releases unconditionally but spends only under a flag: some
+// executions release without paying.
+func MaybePay(d *Dataset, acct *Accountant, debug bool, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	v := m.Release(d, g)
+	if debug {
+		acct.Spend(m.Guarantee()) // want "conditionally-accounted release"
+	}
+	return v
+}
+
+// LoopPay releases and spends together inside a loop: loops are not
+// guards, the pair stays matched on every iteration.
+func LoopPay(d *Dataset, acct *Accountant, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	var s float64
+	for i := 0; i < 3; i++ {
+		s += m.Release(d, g)
+		acct.Spend(m.Guarantee())
+	}
+	return s
+}
+
+// DoubleSpend registers the same guarantee twice, over-reporting the
+// privacy loss.
+func DoubleSpend(d *Dataset, acct *Accountant, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	v := m.Release(d, g)
+	gu := m.Guarantee()
+	acct.Spend(gu)
+	acct.Spend(gu) // want "double-spend"
+	return v
+}
+
+// SuppressedLeak keeps a deliberate un-accounted release behind a
+// reasoned directive; the finding is recorded as suppressed, not lost.
+func SuppressedLeak(d *Dataset, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	//dplint:ignore acctlint fixture: harness samples the raw release on synthetic data
+	return m.Release(d, g)
+}
+
+// Composite is itself a mechanism (it bears Guarantee), so its internal
+// releases are priced by its own Guarantee and exempt from per-call
+// accounting — callers spend the composite price.
+type Composite struct{ parts []Mech }
+
+// Guarantee prices the whole composition.
+func (c *Composite) Guarantee() Guarantee {
+	var eps float64
+	for _, m := range c.parts {
+		eps += m.Epsilon
+	}
+	return Guarantee{Epsilon: eps}
+}
+
+// Run releases every part without spending: exempt by receiver.
+func (c *Composite) Run(d *Dataset, g *RNG) float64 {
+	var s float64
+	for i := range c.parts {
+		s += c.parts[i].Release(d, g)
+	}
+	return s
+}

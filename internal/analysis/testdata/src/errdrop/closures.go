@@ -1,0 +1,33 @@
+package errdrop
+
+// DropInDeferClosure discards an error inside a deferred closure — the
+// classic cleanup path where failures vanish.
+func DropInDeferClosure() {
+	defer func() {
+		validate(-1) // want "result of validate includes an error that is silently discarded"
+	}()
+}
+
+// DropInGoClosure discards an error inside a spawned goroutine, where no
+// caller can ever observe it.
+func DropInGoClosure() {
+	go func() {
+		pair() // want "result of pair includes an error that is silently discarded"
+	}()
+}
+
+// HandledInClosure consumes the error inside the closure: clean.
+func HandledInClosure(sink func(error)) {
+	defer func() {
+		if err := validate(0); err != nil {
+			sink(err)
+		}
+	}()
+}
+
+// SuppressedInClosure keeps the drop behind a reasoned directive.
+func SuppressedInClosure() {
+	defer func() {
+		validate(0) //dplint:ignore errdrop fixture: best-effort cleanup, error is advisory
+	}()
+}

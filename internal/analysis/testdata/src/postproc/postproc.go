@@ -1,0 +1,169 @@
+// Package postproc exercises the post-processing check: after a release,
+// control flow may depend on released values only — branching on the raw
+// data again is a second, unaccounted query. The stubs mirror the real
+// mechanism shapes structurally (Guarantee method = mechanism,
+// Dataset/Example = raw data).
+package postproc
+
+// Example is one raw record.
+type Example struct{ X []float64 }
+
+// Dataset is the raw sample.
+type Dataset struct{ Examples []Example }
+
+// Len is the dataset's public size — a clean scalar.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// Guarantee is a privacy price tag.
+type Guarantee struct{ Epsilon float64 }
+
+// RNG stands in for the seeded sampler.
+type RNG struct{ state uint64 }
+
+// Mech is a mechanism; its Release output is clean by post-processing.
+type Mech struct{ Epsilon float64 }
+
+// Release consumes the raw data and returns a protected value.
+func (m *Mech) Release(d *Dataset, g *RNG) float64 { return m.Epsilon }
+
+// Guarantee prices one release.
+func (m *Mech) Guarantee() Guarantee { return Guarantee{Epsilon: m.Epsilon} }
+
+// parse derives a value (tainted) and an error (always clean) from the
+// raw data.
+func parse(d *Dataset) (float64, error) {
+	return float64(len(d.Examples)), nil
+}
+
+// rawMean computes a raw statistic; taint follows its result.
+func rawMean(d *Dataset) float64 {
+	var s float64
+	for _, e := range d.Examples {
+		s += e.X[0]
+	}
+	return s / float64(len(d.Examples))
+}
+
+// Leaky branches on the raw data after the release.
+func Leaky(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	if d.Examples[0].X[0] > 0.5 { // want "branch on raw"
+		return out * 2
+	}
+	return out
+}
+
+// LoopLeak bounds a loop by a raw value after the release.
+func LoopLeak(d *Dataset, m *Mech, g *RNG) float64 {
+	s := m.Release(d, g)
+	for i := 0; float64(i) < d.Examples[0].X[0]; i++ { // want "loop bound on raw"
+		s++
+	}
+	return s
+}
+
+// SwitchLeak switches on a raw value after the release.
+func SwitchLeak(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	switch int(d.Examples[0].X[0]) { // want "switch on raw"
+	case 0:
+		return out
+	}
+	return 0
+}
+
+// DerivedLeak shows taint following a computation: the pre-release mean
+// is raw data even though the branch never mentions d directly.
+func DerivedLeak(d *Dataset, m *Mech, g *RNG) float64 {
+	mean := rawMean(d)
+	out := m.Release(d, g)
+	if mean > 0.5 { // want "branch on raw"
+		return out
+	}
+	return 0
+}
+
+// Guarded branches before the release: allowed — the query order is
+// data-then-release, not release-then-data.
+func Guarded(d *Dataset, m *Mech, g *RNG) float64 {
+	if len(d.Examples) == 0 {
+		return 0
+	}
+	return m.Release(d, g)
+}
+
+// PostProcess branches on the released value: exactly what
+// post-processing permits.
+func PostProcess(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// LenIsPublic branches on the dataset's size, a public scalar: clean.
+func LenIsPublic(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	if d.Len() == 0 {
+		return 0
+	}
+	return out
+}
+
+// ErrGuard branches on an error after the release: error values never
+// carry taint.
+func ErrGuard(d *Dataset, m *Mech, g *RNG) (float64, error) {
+	out := m.Release(d, g)
+	v, err := parse(d)
+	if err != nil {
+		return 0, err
+	}
+	_ = v
+	return out, nil
+}
+
+// SecondPass feeds the raw data to a second mechanism after the first
+// release: that is composition — priced by acctlint, not a
+// post-processing violation — and ranging over the data is allowed.
+func SecondPass(d *Dataset, m1, m2 *Mech, acct *Accountant, g *RNG) float64 {
+	a := m1.Release(d, g)
+	acct.Spend(m1.Guarantee())
+	b := m2.Release(d, g)
+	acct.Spend(m2.Guarantee())
+	var s float64
+	for range d.Examples {
+		s++
+	}
+	return a + b + s
+}
+
+// Accountant registers spends (present so SecondPass can pay its way).
+type Accountant struct{ spent []Guarantee }
+
+// Spend records one guarantee.
+func (a *Accountant) Spend(g Guarantee) { a.spent = append(a.spent, g) }
+
+// ClosureScopes: the literal runs in its own dynamic context — it
+// contains no release, so its raw-data branch is not post-processing of
+// the outer release.
+func ClosureScopes(d *Dataset, m *Mech, g *RNG) func() float64 {
+	out := m.Release(d, g)
+	return func() float64 {
+		if d.Examples[0].X[0] > 0 {
+			return out
+		}
+		return 0
+	}
+}
+
+// SuppressedLeak keeps a deliberate raw-data branch behind a reasoned
+// directive.
+func SuppressedLeak(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	//dplint:ignore postproc fixture: deliberate leak kept as a regression specimen
+	if d.Examples[0].X[0] > 0 {
+		return out
+	}
+	return 0
+}

@@ -1,0 +1,9 @@
+package rawrand
+
+import "math/rand/v2" // want "import of math/rand/v2 outside internal/rng"
+
+// NoiseV2 draws from the v2 global generator, which is just as unseeded
+// and unreproducible as the v1 one.
+func NoiseV2() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,42 @@
+// Package gibbs stubs the Gibbs-posterior constructor: New's first
+// argument needs a //dp:sensitivity annotation when it is a function, and
+// there is no sensitivity argument to cross-check against.
+package gibbs
+
+// Example is one raw record.
+type Example struct{ X []float64 }
+
+// Dataset is the raw sample.
+type Dataset struct{ Examples []Example }
+
+// EmpiricalRisk averages a 0/1 loss over the examples.
+func EmpiricalRisk(d *Dataset, u int) float64 {
+	var s float64
+	for _, e := range d.Examples {
+		if e.X[0] > float64(u) {
+			s++
+		}
+	}
+	return s / float64(len(d.Examples))
+}
+
+// New mirrors the real Gibbs constructor: loss first, no sensitivity
+// argument (the guarantee is 2λΔR̂, with ΔR̂ read from the annotation).
+func New(loss func(*Dataset, int) float64, thetas []float64, lambda float64) int {
+	return len(thetas)
+}
+
+// Unannotated is flagged even with no sensitivity argument to check.
+func Unannotated(lambda float64) int {
+	return New(func(d *Dataset, u int) float64 { return 0 }, []float64{0, 1}, lambda) // want "without a //dp:sensitivity annotation"
+}
+
+// Annotated uses the ASCII dq= spelling; the per-record shape matches
+// the empirical-risk body.
+func Annotated(lambda float64) int {
+	//dp:sensitivity dq=M/n empirical risks are per-record
+	loss := func(d *Dataset, u int) float64 {
+		return -EmpiricalRisk(d, u)
+	}
+	return New(loss, []float64{0, 1}, lambda)
+}

@@ -1,0 +1,71 @@
+package mechanism
+
+// Unannotated passes a bare literal with no annotation anywhere.
+func Unannotated(eps float64) int {
+	return NewExponential(func(d *Dataset, u int) float64 { return 0 }, 3, 1, eps) // want "without a //dp:sensitivity annotation"
+}
+
+// AnnotatedLocal binds an annotated counting query to a local; the
+// constructor's sensitivity argument 1 agrees with Δq=1.
+func AnnotatedLocal(eps float64) int {
+	//dp:sensitivity Δq=1 counting query
+	q := func(d *Dataset, u int) float64 {
+		var acc float64
+		for _, e := range d.Examples {
+			if e.X[0] > 0 {
+				acc++
+			}
+		}
+		return acc
+	}
+	return NewExponential(q, 3, 1, eps)
+}
+
+// CtorDisagrees annotates Δq=1 but tells the constructor 2.
+func CtorDisagrees(eps float64) int {
+	//dp:sensitivity Δq=1 counting query
+	q := func(d *Dataset, u int) float64 {
+		var acc float64
+		for _, e := range d.Examples {
+			if e.X[0] > 0.5 {
+				acc++
+			}
+		}
+		return acc
+	}
+	return NewExponential(q, 3, 2, eps) // want "disagrees with the quality function's"
+}
+
+// declaredQuality is annotated at its declaration; call sites passing it
+// by name resolve the annotation through the call graph.
+//
+//dp:sensitivity Δq=1 indicator spread
+func declaredQuality(d *Dataset, u int) float64 {
+	if len(d.Examples) > u {
+		return 1
+	}
+	return 0
+}
+
+// ByName passes the annotated declaration: clean.
+func ByName(eps float64) int {
+	return NewReportNoisyMax(declaredQuality, 4, 1, eps)
+}
+
+// unannotatedQuality has no annotation anywhere.
+func unannotatedQuality(d *Dataset, u int) float64 {
+	return float64(u)
+}
+
+// ByNameUnannotated is flagged at the argument.
+func ByNameUnannotated(eps float64) int {
+	return NewReportNoisyMax(unannotatedQuality, 4, 1, eps) // want "without a //dp:sensitivity annotation"
+}
+
+// Suppressed documents a known-vacuous quality and silences the check
+// with a reason; the finding is recorded as suppressed, not lost.
+func Suppressed(eps float64) int {
+	q := func(d *Dataset, u int) float64 { return float64(u) }
+	//dplint:ignore sensann fixture: candidate index is data-independent, sensitivity vacuous
+	return NewExponential(q, 3, 1, eps)
+}

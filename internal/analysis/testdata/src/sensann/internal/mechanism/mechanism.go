@@ -1,0 +1,27 @@
+// Package mechanism is a structural stub of the real exponential-
+// mechanism constructors: sensann recognizes NewExponential and
+// NewReportNoisyMax by name inside a package path ending in
+// internal/mechanism, requires the quality argument to carry a
+// //dp:sensitivity annotation, and cross-checks exact annotations
+// against the constructor's sensitivity argument.
+package mechanism
+
+// Example is one raw record.
+type Example struct{ X []float64 }
+
+// Dataset is the raw sample.
+type Dataset struct{ Examples []Example }
+
+// Len is the dataset's public size.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// NewExponential mirrors the real constructor's shape: quality function,
+// candidate count, sensitivity, epsilon.
+func NewExponential(quality func(*Dataset, int) float64, candidates int, sens, eps float64) int {
+	return candidates
+}
+
+// NewReportNoisyMax mirrors the one-shot variant with the same shape.
+func NewReportNoisyMax(quality func(*Dataset, int) float64, candidates int, sens, eps float64) int {
+	return candidates
+}

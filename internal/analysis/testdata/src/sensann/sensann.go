@@ -1,0 +1,142 @@
+// Package sensann exercises the body-verification half of the
+// sensitivity check: every //dp:sensitivity annotation whose function has
+// a recognizable form (constant returns, counting loop, empirical risk,
+// clamped average) is checked against the inferred shape, wherever the
+// function is declared. Constructor-site enforcement lives in the
+// internal/mechanism and internal/gibbs subpackages, whose paths the
+// check recognizes.
+package sensann
+
+import "math"
+
+// Example is one raw record.
+type Example struct {
+	X []float64
+	Y float64
+}
+
+// Dataset is the raw sample.
+type Dataset struct{ Examples []Example }
+
+// Len is the dataset's public size.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// EmpiricalRisk averages a 0/1 loss over the examples.
+func EmpiricalRisk(theta []float64, d *Dataset) float64 {
+	var s float64
+	for _, e := range d.Examples {
+		if e.Y*e.X[0]*theta[0] < 0 {
+			s++
+		}
+	}
+	return s / float64(len(d.Examples))
+}
+
+// Clamp clips x into [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ZeroOneScore is a 0/1 indicator: spread 1 matches the annotation.
+//
+//dp:sensitivity Δq=1 indicator spread
+func ZeroOneScore(e Example) float64 {
+	if e.Y > 0 {
+		return 1
+	}
+	return 0
+}
+
+// WideScore spreads over [0, 3] but claims Δq=1.
+//
+//dp:sensitivity Δq=1 wrong: the constant spread below is 3
+func WideScore(e Example) float64 { // want "contradicts the body"
+	if e.Y > 0 {
+		return 3
+	}
+	return 0
+}
+
+// BelowCount is a counting query returned through |·|: a replace-one
+// neighbor moves the count by at most 1.
+//
+//dp:sensitivity Δq=1 replace-one moves the below-count by at most 1
+func BelowCount(d *Dataset, t float64) float64 {
+	var acc float64
+	for _, e := range d.Examples {
+		if e.X[0] < 0.5 {
+			acc++
+		}
+	}
+	return math.Abs(acc - t)
+}
+
+// MislabeledCount is a plain count but claims a per-record (·/n) bound.
+//
+//dp:sensitivity Δq=2/n wrong: the body is a count, not an average
+func MislabeledCount(d *Dataset) float64 { // want "contradicts the body"
+	var acc float64
+	for _, e := range d.Examples {
+		if e.X[0] > 0 {
+			acc++
+		}
+	}
+	return acc
+}
+
+// ClippedMean clips each term into [-1, 1] and averages: width 2 over n.
+//
+//dp:sensitivity Δq=2/n clipped to a width-2 interval and averaged
+func ClippedMean(d *Dataset) float64 {
+	var s float64
+	for _, e := range d.Examples {
+		s += Clamp(e.X[0], -1, 1)
+	}
+	return s / float64(len(d.Examples))
+}
+
+// NegRisk negates an empirical risk of [0, M]-bounded terms: per-record
+// shape M/n, coefficient unverifiable (trusted).
+//
+//dp:sensitivity Δq=M/n an average of n terms in a width-M interval
+func NegRisk(theta []float64, d *Dataset) float64 {
+	return -EmpiricalRisk(theta, d)
+}
+
+// BadRisk claims a constant bound for a per-record body.
+//
+//dp:sensitivity Δq=1 wrong: an empirical risk is per-record
+func BadRisk(theta []float64, d *Dataset) float64 { // want "contradicts the body"
+	return EmpiricalRisk(theta, d)
+}
+
+// LocalQuality anchors an annotation on a := assignment instead of a
+// declaration; the 0/1 body is consistent.
+func LocalQuality() func(Example) float64 {
+	//dp:sensitivity Δq=1 indicator spread
+	q := func(e Example) float64 {
+		if e.Y > 0 {
+			return 1
+		}
+		return 0
+	}
+	return q
+}
+
+// Opaque has no recognizable form: the annotation is trusted as
+// documentation.
+//
+//dp:sensitivity Δq=smoothness-dependent reviewed by hand
+func Opaque(d *Dataset) float64 {
+	var s float64
+	for i, e := range d.Examples {
+		s += e.X[0] * float64(i%3)
+	}
+	return s * s
+}

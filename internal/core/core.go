@@ -48,6 +48,10 @@ type Config struct {
 	// Delta is the PAC-Bayes confidence parameter for the risk
 	// certificate (default 0.05 when zero).
 	Delta float64
+	// Acct optionally accumulates the privacy cost of every Fit (compose
+	// repeated fits on the same data with mechanism.Accountant's
+	// composition queries). Nil skips accounting.
+	Acct *mechanism.Accountant
 	// Parallel controls worker fan-out for every hot path of the learner
 	// (risk grids, posterior reductions, channel sums, capacity
 	// iteration). The zero value uses all CPUs; Workers == 1 forces
@@ -150,6 +154,7 @@ func (l *Learner) Fit(d *dataset.Dataset, g *rng.RNG) (*Fitted, error) {
 		return nil, err
 	}
 	idx := est.Sample(d, g)
+	l.cfg.Acct.Spend(est.Guarantee(d.Len()))
 	cert, err := l.certificate(est, d)
 	if err != nil {
 		return nil, err

@@ -221,7 +221,7 @@ func TestPrivateHistogramDensity(t *testing.T) {
 	g := rng.New(11)
 	mix := dataset.GaussianMixture{Means: []float64{-1, 1}, Sigmas: []float64{0.3, 0.3}, Weights: []float64{1, 1}}
 	d := mix.Generate(5000, g)
-	priv, err := PrivateHistogramDensity(d, 0, 40, -3, 3, 2, g)
+	priv, err := PrivateHistogramDensity(d, 0, 40, -3, 3, 2, nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestPrivateHistogramDensity(t *testing.T) {
 }
 
 func TestPrivateHistogramDensityDegenerate(t *testing.T) {
-	if _, err := PrivateHistogramDensity(&dataset.Dataset{}, 0, 4, 0, 1, 1, rng.New(1)); !errors.Is(err, ErrBadConfig) {
+	if _, err := PrivateHistogramDensity(&dataset.Dataset{}, 0, 4, 0, 1, 1, nil, rng.New(1)); !errors.Is(err, ErrBadConfig) {
 		t.Error("empty dataset")
 	}
 }
@@ -281,7 +281,7 @@ func TestGibbsHistogramDensity(t *testing.T) {
 	g := rng.New(13)
 	mix := dataset.GaussianMixture{Means: []float64{0}, Sigmas: []float64{0.5}, Weights: []float64{1}}
 	d := mix.Generate(3000, g)
-	dens, bins, err := GibbsHistogramDensity(d, 0, []int{5, 10, 20, 40, 80}, -3, 3, 10, 4, g)
+	dens, bins, err := GibbsHistogramDensity(d, 0, []int{5, 10, 20, 40, 80}, -3, 3, 10, 4, nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestGibbsHistogramDensity(t *testing.T) {
 	if math.Abs(integral-1) > 1e-6 {
 		t.Errorf("integral = %v", integral)
 	}
-	if _, _, err := GibbsHistogramDensity(d, 0, nil, -3, 3, 10, 1, g); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := GibbsHistogramDensity(d, 0, nil, -3, 3, 10, 1, nil, g); !errors.Is(err, ErrBadConfig) {
 		t.Error("no candidates")
 	}
 }
@@ -321,7 +321,7 @@ func TestDensityErrorDecreasesWithEpsilon(t *testing.T) {
 		var total float64
 		const reps = 40
 		for r := 0; r < reps; r++ {
-			priv, err := PrivateHistogramDensity(d, 0, 20, -4, 4, eps, g)
+			priv, err := PrivateHistogramDensity(d, 0, 20, -4, 4, eps, nil, g)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -55,8 +55,9 @@ func (d *DensityEstimate) L1Distance(other *DensityEstimate) (float64, error) {
 // over [lo, hi) with the given bins: Laplace noise (sensitivity 2, since
 // replacing a record moves two counts by one) is added to each bin count,
 // negatives are clamped to zero, and the result is normalized to a
-// density. The release is ε-DP by Theorem 2.1 plus post-processing.
-func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon float64, g *rng.RNG) (*DensityEstimate, error) {
+// density. The release is ε-DP by Theorem 2.1 plus post-processing; the
+// spent ε is registered with acct (nil to skip accounting).
+func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon float64, acct *mechanism.Accountant, g *rng.RNG) (*DensityEstimate, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
@@ -66,6 +67,7 @@ func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon fl
 		return nil, err
 	}
 	noisy := m.Release(d, g)
+	acct.Spend(m.Guarantee())
 	var total float64
 	for i, v := range noisy {
 		if v < 0 {
@@ -106,8 +108,9 @@ func NonPrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi float64)
 // densities (each a smoothed histogram with a different bin count) by the
 // exponential mechanism, scored by per-record average log-likelihood
 // clipped to [−clip, 0] — a Gibbs-posterior density estimator in the
-// spirit of the paper's Section 5. The release is ε-DP.
-func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, g *rng.RNG) (*DensityEstimate, int, error) {
+// spirit of the paper's Section 5. The release is ε-DP; the spent ε is
+// registered with acct (nil to skip accounting).
+func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, acct *mechanism.Accountant, g *rng.RNG) (*DensityEstimate, int, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, 0, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
@@ -138,6 +141,7 @@ func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, 
 	// conservative sensitivity (clip + ln2)/n · n = clip + ln2 over the
 	// SUM, i.e. (clip + ln 2)/n for the average times n records → use the
 	// sum form with sensitivity clip + ln2.
+	//dp:sensitivity Δq=(clip+ln2)/n (clipped average log-likelihood; see the derivation above)
 	quality := func(dd *dataset.Dataset, u int) float64 {
 		var k mathx.KahanSum
 		for _, e := range dd.Examples {
@@ -152,5 +156,6 @@ func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, 
 		return nil, 0, err
 	}
 	idx := em.Release(d, g)
+	acct.Spend(em.Guarantee())
 	return cands[idx], binChoices[idx], nil
 }

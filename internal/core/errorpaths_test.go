@@ -43,10 +43,10 @@ func TestDensityErrorPaths(t *testing.T) {
 	g := rng.New(3)
 	d := dataset.New([]dataset.Example{{X: []float64{0.5}}})
 	// Invalid epsilon propagates from the Laplace mechanism.
-	if _, err := PrivateHistogramDensity(d, 0, 4, 0, 1, -1, g); err == nil {
+	if _, err := PrivateHistogramDensity(d, 0, 4, 0, 1, -1, nil, g); err == nil {
 		t.Error("negative epsilon must error")
 	}
-	if _, err := PrivateHistogramDensity(nil, 0, 4, 0, 1, 1, g); !errors.Is(err, ErrBadConfig) {
+	if _, err := PrivateHistogramDensity(nil, 0, 4, 0, 1, 1, nil, g); !errors.Is(err, ErrBadConfig) {
 		t.Error("nil dataset must error")
 	}
 	if _, err := NonPrivateHistogramDensity(nil, 0, 4, 0, 1); !errors.Is(err, ErrBadConfig) {
@@ -56,10 +56,10 @@ func TestDensityErrorPaths(t *testing.T) {
 		t.Error("empty dataset must error")
 	}
 	// Gibbs density with bad clip.
-	if _, _, err := GibbsHistogramDensity(d, 0, []int{4}, 0, 1, 0, 1, g); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := GibbsHistogramDensity(d, 0, []int{4}, 0, 1, 0, 1, nil, g); !errors.Is(err, ErrBadConfig) {
 		t.Error("clip = 0 must error")
 	}
-	if _, _, err := GibbsHistogramDensity(nil, 0, []int{4}, 0, 1, 1, 1, g); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := GibbsHistogramDensity(nil, 0, []int{4}, 0, 1, 1, 1, nil, g); !errors.Is(err, ErrBadConfig) {
 		t.Error("nil dataset must error")
 	}
 }
@@ -71,7 +71,7 @@ func TestPrivateHistogramDensityAllNoisedAway(t *testing.T) {
 	d := dataset.New([]dataset.Example{{X: []float64{0.5}}})
 	sawUniform := false
 	for trial := 0; trial < 200; trial++ {
-		priv, err := PrivateHistogramDensity(d, 0, 4, 0, 1, 0.01, g)
+		priv, err := PrivateHistogramDensity(d, 0, 4, 0, 1, 0.01, nil, g)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -119,7 +119,7 @@ func TestDensityExtremeRanges(t *testing.T) {
 	g := rng.New(5)
 	d := dataset.New([]dataset.Example{{X: []float64{1e9}}, {X: []float64{-1e9}}})
 	// All data clamps to the boundary bins; result stays a density.
-	priv, err := PrivateHistogramDensity(d, 0, 4, 0, 1, 1, g)
+	priv, err := PrivateHistogramDensity(d, 0, 4, 0, 1, 1, nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,7 @@ func A6PermuteAndFlip(opts Options) (*Table, error) {
 	}
 	grid := mathx.Linspace(0, 1, 15)
 	n := 41
+	//dp:sensitivity Δq=1 (replace-one moves the below-count by at most 1; |·| is 1-Lipschitz)
 	quality := func(d *dataset.Dataset, u int) float64 {
 		c := grid[u]
 		var below float64

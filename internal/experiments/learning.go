@@ -218,7 +218,7 @@ func E10DensityEstimation(opts Options) (*Table, error) {
 		d := datasets[c.Row]
 		var lapL1, gibbsL1 mathx.Welford
 		for r := 0; r < reps; r++ {
-			priv, err := core.PrivateHistogramDensity(d, 0, bins, lo, hi, c.Eps, c.RNG)
+			priv, err := core.PrivateHistogramDensity(d, 0, bins, lo, hi, c.Eps, nil, c.RNG)
 			if err != nil {
 				return cellMeans{}, err
 			}
@@ -227,7 +227,7 @@ func E10DensityEstimation(opts Options) (*Table, error) {
 				return cellMeans{}, err
 			}
 			lapL1.Add(l1)
-			gd, _, err := core.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, c.Eps, c.RNG)
+			gd, _, err := core.GibbsHistogramDensity(d, 0, []int{8, 16, 32, 64}, lo, hi, 10, c.Eps, nil, c.RNG)
 			if err != nil {
 				return cellMeans{}, err
 			}

@@ -111,6 +111,7 @@ func A9LocalVsCentral(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			//dplint:ignore acctlint experiment harness: measures attack error against synthetic data; per-release budgets are the table's x-axis
 			noisy := lm.Release(d, g)
 			var total float64
 			for i, v := range noisy {

@@ -29,8 +29,9 @@ type Candidate struct {
 // The quality's replace-one sensitivity on a validation set of size m is
 // M/m, so the selection is exactly ε-DP with respect to the validation
 // set (the candidates themselves must have been trained on disjoint
-// data, or carry their own training-privacy budget).
-func PrivateSelect(cands []Candidate, loss Loss, validation *dataset.Dataset, epsilon float64, g *rng.RNG) (Candidate, error) {
+// data, or carry their own training-privacy budget). The spent ε is
+// registered with acct (nil to skip accounting).
+func PrivateSelect(cands []Candidate, loss Loss, validation *dataset.Dataset, epsilon float64, acct *mechanism.Accountant, g *rng.RNG) (Candidate, error) {
 	if len(cands) == 0 {
 		return Candidate{}, errors.New("learn: PrivateSelect needs candidates")
 	}
@@ -42,6 +43,7 @@ func PrivateSelect(cands []Candidate, loss Loss, validation *dataset.Dataset, ep
 		return Candidate{}, errors.New("learn: PrivateSelect needs a bounded loss")
 	}
 	sens := m / float64(validation.Len())
+	//dp:sensitivity Δq=M/n (an empirical risk averages n terms in [0, M]; one swap moves it by at most M/n)
 	quality := func(d *dataset.Dataset, u int) float64 {
 		return -EmpiricalRisk(loss, cands[u].Theta, d)
 	}
@@ -51,7 +53,9 @@ func PrivateSelect(cands []Candidate, loss Loss, validation *dataset.Dataset, ep
 	if err != nil {
 		return Candidate{}, fmt.Errorf("learn: PrivateSelect: %w", err)
 	}
-	return cands[em.Release(validation, g)], nil
+	selected := cands[em.Release(validation, g)]
+	acct.Spend(em.Guarantee())
+	return selected, nil
 }
 
 // KFoldSplit partitions indices 0..n−1 into k contiguous folds after a

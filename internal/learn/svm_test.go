@@ -159,8 +159,9 @@ func TestPrivateSelect(t *testing.T) {
 		{Name: "zero", Theta: []float64{0}},
 	}
 	picks := map[string]int{}
+	acct := &mechanism.Accountant{}
 	for i := 0; i < 200; i++ {
-		c, err := PrivateSelect(cands, ZeroOneLoss{}, val, 5, g)
+		c, err := PrivateSelect(cands, ZeroOneLoss{}, val, 5, acct, g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,19 +170,25 @@ func TestPrivateSelect(t *testing.T) {
 	if picks["good"] < 190 {
 		t.Errorf("good candidate picked only %d/200: %v", picks["good"], picks)
 	}
+	if acct.Count() != 200 {
+		t.Errorf("each selection must register a spend, got %d", acct.Count())
+	}
+	if got := acct.BasicComposition().Epsilon; math.Abs(got-200*5) > 1e-6 {
+		t.Errorf("basic composition = %v, want 1000", got)
+	}
 }
 
 func TestPrivateSelectValidation(t *testing.T) {
 	g := rng.New(11)
 	val := dataset.LogisticModel{Weights: []float64{1}}.Generate(10, g)
 	cands := []Candidate{{Name: "a", Theta: []float64{1}}}
-	if _, err := PrivateSelect(nil, ZeroOneLoss{}, val, 1, g); err == nil {
+	if _, err := PrivateSelect(nil, ZeroOneLoss{}, val, 1, nil, g); err == nil {
 		t.Error("no candidates")
 	}
-	if _, err := PrivateSelect(cands, ZeroOneLoss{}, &dataset.Dataset{}, 1, g); err == nil {
+	if _, err := PrivateSelect(cands, ZeroOneLoss{}, &dataset.Dataset{}, 1, nil, g); err == nil {
 		t.Error("empty validation")
 	}
-	if _, err := PrivateSelect(cands, SquaredLoss{}, val, 1, g); err == nil {
+	if _, err := PrivateSelect(cands, SquaredLoss{}, val, 1, nil, g); err == nil {
 		t.Error("unbounded loss")
 	}
 }

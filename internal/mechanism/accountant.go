@@ -3,26 +3,46 @@ package mechanism
 import (
 	"errors"
 	"math"
+	"sync"
 )
 
 // Accountant tracks the privacy cost of a sequence of mechanism
 // invocations on the same dataset and reports composed guarantees.
-// The zero value is an empty accountant ready to use.
+// The zero value is an empty accountant ready to use, and a nil
+// *Accountant is a valid sink that records nothing — release paths can
+// spend unconditionally and let the caller decide whether to account.
+// Spend and the composition queries are safe for concurrent use.
 type Accountant struct {
+	mu    sync.Mutex
 	spent []Guarantee
 }
 
-// Spend records one mechanism invocation.
+// Spend records one mechanism invocation. On a nil accountant it is a
+// no-op, so library code never needs to branch around accounting.
 func (a *Accountant) Spend(g Guarantee) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.spent = append(a.spent, g)
 }
 
 // Count returns the number of recorded invocations.
-func (a *Accountant) Count() int { return len(a.spent) }
+func (a *Accountant) Count() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.spent)
+}
 
 // BasicComposition returns the sequential-composition guarantee:
 // ε_total = Σ εᵢ, δ_total = Σ δᵢ.
 func (a *Accountant) BasicComposition() Guarantee {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var out Guarantee
 	for _, g := range a.spent {
 		out.Epsilon += g.Epsilon
@@ -41,6 +61,8 @@ func (a *Accountant) AdvancedComposition(deltaSlack float64) (Guarantee, error) 
 	if deltaSlack <= 0 || deltaSlack >= 1 {
 		return Guarantee{}, errors.New("mechanism: advanced composition needs slack in (0,1)")
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if len(a.spent) == 0 {
 		return Guarantee{Delta: deltaSlack}, nil
 	}
@@ -89,4 +111,8 @@ func ParallelComposition(gs []Guarantee) Guarantee {
 }
 
 // Reset clears the accountant.
-func (a *Accountant) Reset() { a.spent = a.spent[:0] }
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent = a.spent[:0]
+}

@@ -107,6 +107,7 @@ func PrivateMedian(j int, candidates []float64, epsilon float64) (*Exponential, 
 		return nil, nil, errors.New("mechanism: PrivateMedian needs candidates")
 	}
 	grid := append([]float64(nil), candidates...)
+	//dp:sensitivity Δq=1 (replace-one moves the below-count by at most 1; |·| is 1-Lipschitz)
 	quality := func(d *dataset.Dataset, u int) float64 {
 		c := grid[u]
 		var below float64
@@ -132,6 +133,7 @@ func PrivateMode(j int, values []float64, epsilon float64) (*Exponential, []floa
 		return nil, nil, errors.New("mechanism: PrivateMode needs candidate values")
 	}
 	vals := append([]float64(nil), values...)
+	//dp:sensitivity Δq=1 (replace-one changes the match count by at most 1)
 	quality := func(d *dataset.Dataset, u int) float64 {
 		var c float64
 		for _, e := range d.Examples {

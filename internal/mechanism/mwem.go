@@ -113,6 +113,7 @@ func (m *MWEM) Run(d *dataset.Dataset, g *rng.RNG) ([]float64, error) {
 	}
 	epsRound := m.Epsilon / float64(m.Rounds)
 	// Selection quality: n·|error| has replace-one sensitivity 1.
+	//dp:sensitivity Δq=1 (one swapped record moves each normalized count by 1/n, so n·|error| by at most 1)
 	quality := func(_ *dataset.Dataset, qi int) float64 {
 		return n * math.Abs(evaluate(m.Queries[qi], true_)-evaluate(m.Queries[qi], synth))
 	}

@@ -99,6 +99,7 @@ func PrivateQuantile(j int, p float64, candidates []float64, epsilon float64) (*
 		return nil, nil, errors.New("mechanism: PrivateQuantile needs candidates")
 	}
 	grid := append([]float64(nil), candidates...)
+	//dp:sensitivity Δq=1 (replace-one moves the below-count by at most 1; |·| is 1-Lipschitz)
 	quality := func(d *dataset.Dataset, u int) float64 {
 		c := grid[u]
 		var below float64
@@ -119,8 +120,9 @@ func PrivateQuantile(j int, p float64, candidates []float64, epsilon float64) (*
 // PrivateRange privately estimates an interval [lo, hi] containing the
 // central `coverage` mass of feature j (e.g. coverage = 0.9 gives the
 // 5th and 95th percentiles), by two PrivateQuantile selections, each with
-// half the budget. The release is ε-DP by basic composition.
-func PrivateRange(d *dataset.Dataset, j int, coverage float64, candidates []float64, epsilon float64, g *rng.RNG) (lo, hi float64, err error) {
+// half the budget. The release is ε-DP by basic composition; both halves
+// are registered with acct (nil to skip accounting).
+func PrivateRange(d *dataset.Dataset, j int, coverage float64, candidates []float64, epsilon float64, acct *Accountant, g *rng.RNG) (lo, hi float64, err error) {
 	if epsilon <= 0 || math.IsNaN(epsilon) {
 		return 0, 0, ErrInvalidEpsilon
 	}
@@ -137,7 +139,9 @@ func PrivateRange(d *dataset.Dataset, j int, coverage float64, candidates []floa
 		return 0, 0, err
 	}
 	lo = grid[mLo.Release(d, g)]
+	acct.Spend(mLo.Guarantee())
 	hi = grid[mHi.Release(d, g)]
+	acct.Spend(mHi.Guarantee())
 	if lo > hi {
 		lo, hi = hi, lo
 	}

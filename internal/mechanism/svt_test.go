@@ -189,9 +189,13 @@ func TestPrivateRange(t *testing.T) {
 		d.Append(dataset.Example{X: []float64{mathx.Clamp(g.Normal(0.5, 0.1), 0, 1)}})
 	}
 	grid := mathx.Linspace(0, 1, 51)
-	lo, hi, err := PrivateRange(d, 0, 0.9, grid, 10, g)
+	acct := &Accountant{}
+	lo, hi, err := PrivateRange(d, 0, 0.9, grid, 10, acct, g)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if acct.Count() != 2 {
+		t.Errorf("PrivateRange must account both quantile releases, got %d spends", acct.Count())
 	}
 	if lo >= hi {
 		t.Fatalf("range [%v, %v] degenerate", lo, hi)
@@ -200,7 +204,7 @@ func TestPrivateRange(t *testing.T) {
 	if lo < 0.2 || lo > 0.45 || hi < 0.55 || hi > 0.8 {
 		t.Errorf("range [%v, %v] far from [0.34, 0.66]", lo, hi)
 	}
-	if _, _, err := PrivateRange(d, 0, 1.5, grid, 1, g); err == nil {
+	if _, _, err := PrivateRange(d, 0, 1.5, grid, 1, nil, g); err == nil {
 		t.Error("coverage out of range must error")
 	}
 }
