@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json race cover bench experiments quick-experiments fmt fmt-check fuzz-smoke
+.PHONY: all build test vet lint lint-json race cover bench bench-json experiments quick-experiments fmt fmt-check fuzz-smoke
 
 all: build vet lint test
 
@@ -44,6 +44,14 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark artifacts: runs the parallel-engine and
+# mechanism benchmark suites and writes BENCH_parallel.json and
+# BENCH_mechanism.json (CI uploads them). Override BENCHTIME for real
+# measurements, e.g. `make bench-json BENCHTIME=2s`.
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) run ./cmd/dplearn-bench -benchtime $(BENCHTIME)
 
 # Regenerate every reproduction table at full size (EXPERIMENTS.md data).
 experiments:

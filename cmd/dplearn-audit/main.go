@@ -5,6 +5,12 @@
 // Usage:
 //
 //	dplearn-audit [-mechanism laplace|expmech|gibbs] [-eps 1.0] [-n 100] [-samples 200000] [-seed 1]
+//
+// Observability (all opt-in): -trace out.ndjson records an audit span
+// per run and prints a summary on exit, -metrics-addr serves /metrics
+// and /debug/vars, and -pprof adds /debug/pprof on the same endpoint —
+// useful because the Monte-Carlo sampler is the costliest loop in the
+// repository.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"repro/internal/learn"
 	"repro/internal/mathx"
 	"repro/internal/mechanism"
+	"repro/internal/obsglue"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -27,7 +35,20 @@ func main() {
 	n := flag.Int("n", 100, "dataset size")
 	samples := flag.Int("samples", 200_000, "Monte-Carlo samples (laplace only)")
 	seed := flag.Int64("seed", 1, "random seed")
+	var obsFlags obsglue.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	rt, err := obsglue.Start(obsFlags)
+	if err != nil {
+		fail(err)
+	}
+	if rt.Addr != "" {
+		fmt.Fprintf(os.Stderr, "dplearn-audit: metrics on http://%s/metrics\n", rt.Addr)
+	}
+	sp := rt.Obs.Span("audit")
+	sp.SetAttr("mechanism", *mech)
+	sp.SetAttr("n", *n)
 
 	g := rng.New(*seed)
 	switch *mech {
@@ -39,8 +60,8 @@ func main() {
 			fail(err)
 		}
 		pair := audit.WorstCaseBinaryPair(*n)
+		//dp:observer audit harness: samples the mechanism's output distribution to estimate realized eps, not a release path
 		res, err := audit.SampleContinuous(func(d *dataset.Dataset, h *rng.RNG) float64 {
-			//dplint:ignore acctlint audit harness: samples the mechanism's output distribution to estimate realized eps, not a release path
 			return m.Release(d, h)[0]
 		}, pair, *samples, 60, *samples/200, g)
 		if err != nil {
@@ -74,6 +95,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		est.Parallel = parallel.Options{Obs: rt.Obs}
 		model := dataset.LogisticModel{Weights: []float64{2}}
 		gen := func(h *rng.RNG) *dataset.Dataset { return model.Generate(*n, h) }
 		pairs := audit.RandomNeighborPairs(gen, 500, g)
@@ -82,6 +104,10 @@ func main() {
 			lambda, est.Guarantee(*n).Epsilon, got, len(pairs))
 	default:
 		fail(fmt.Errorf("unknown mechanism %q", *mech))
+	}
+	sp.End()
+	if err := rt.Close(os.Stderr); err != nil {
+		fail(err)
 	}
 }
 

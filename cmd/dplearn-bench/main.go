@@ -1,0 +1,90 @@
+// Command dplearn-bench runs the repository's benchmark suites and
+// writes machine-readable BENCH_<name>.json artifacts (parsed from the
+// standard `go test -bench` text by internal/obs.ParseBench). CI uploads
+// the artifacts so the perf trajectory of the deterministic parallel
+// engine and the mechanism family is diffable across commits.
+//
+// Usage:
+//
+//	dplearn-bench [-out .] [-benchtime 1x] [-suite parallel,mechanism]
+//
+// Each suite maps to one package and one artifact:
+//
+//	parallel  → ./internal/parallel  → BENCH_parallel.json
+//	mechanism → ./internal/mechanism → BENCH_mechanism.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// suites maps -suite names to the package each one benchmarks.
+var suites = map[string]string{
+	"parallel":  "./internal/parallel",
+	"mechanism": "./internal/mechanism",
+}
+
+// suiteOrder fixes the run order (map iteration is randomized).
+var suiteOrder = []string{"parallel", "mechanism"}
+
+func main() {
+	outDir := flag.String("out", ".", "directory for the BENCH_<suite>.json artifacts")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration, CI-friendly)")
+	suiteList := flag.String("suite", strings.Join(suiteOrder, ","), "comma-separated suites to run")
+	goBin := flag.String("go", "go", "go tool to invoke")
+	flag.Parse()
+
+	for _, name := range strings.Split(*suiteList, ",") {
+		name = strings.TrimSpace(name)
+		pkg, ok := suites[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown suite %q (have: %s)", name, strings.Join(suiteOrder, ", ")))
+		}
+		if err := runSuite(*goBin, name, pkg, *benchtime, *outDir); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runSuite runs one package's benchmarks and writes its JSON artifact.
+func runSuite(goBin, name, pkg, benchtime, outDir string) error {
+	cmd := exec.Command(goBin, "test", "-run", "^$", "-bench", ".", "-benchmem", "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("dplearn-bench: %s: %w", name, err)
+	}
+	rep, err := obs.ParseBench(strings.NewReader(string(out)))
+	if err != nil {
+		return fmt.Errorf("dplearn-bench: parse %s: %w", name, err)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("dplearn-bench: %s produced no benchmark lines", name)
+	}
+	path := filepath.Join(outDir, "BENCH_"+name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteBenchJSON(f); err != nil {
+		f.Close() //dplint:ignore errdrop the write error already aborts the artifact
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("dplearn-bench: wrote %s (%d result(s))\n", path, len(rep.Results))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dplearn-bench: %v\n", err)
+	os.Exit(1)
+}

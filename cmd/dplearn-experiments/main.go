@@ -8,6 +8,12 @@
 //
 // Without -run, every experiment runs in ID order. -quick shrinks the
 // workloads (the same mode the benchmarks use).
+//
+// Observability (all opt-in): -trace out.ndjson records per-cell sweep
+// spans and prints a summary on exit, -metrics-addr serves /metrics
+// (worker utilization, risk-cache hit rates) and /debug/vars, and -pprof
+// adds /debug/pprof on the same endpoint. Tables are bit-identical with
+// instrumentation on or off.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obsglue"
 )
 
 func main() {
@@ -26,9 +33,19 @@ func main() {
 	format := flag.String("format", "text", "output format: text, csv, or json")
 	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently")
 	workers := flag.Int("workers", 0, "worker fan-out inside each experiment's sweep (0 = all CPUs, 1 = serial; results are identical either way)")
+	var obsFlags obsglue.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	rt, err := obsglue.Start(obsFlags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if rt.Addr != "" {
+		fmt.Fprintf(os.Stderr, "dplearn-experiments: metrics on http://%s/metrics\n", rt.Addr)
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Obs: rt.Obs}
 	ids := experiments.IDs()
 	if *runIDs != "" {
 		ids = strings.Split(*runIDs, ",")
@@ -46,5 +63,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dplearn-experiments: render: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := rt.Close(os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -6,6 +6,12 @@
 // values ±1 (or use -labelmap "pos=1,neg=-1"). Example:
 //
 //	dplearn-train -csv data.csv -label 3 -eps 1.0 -grid 9 -box 2
+//
+// Observability (all opt-in): -trace out.ndjson writes a structured
+// trace whose ledger lines account every ε-spending release (the summary
+// and a ledger-vs-accountant cross-check print on exit), -metrics-addr
+// serves /metrics (Prometheus text) and /debug/vars, and -pprof adds
+// /debug/pprof on the same endpoint.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	dplearn "repro"
 	"repro/internal/dataset"
 	"repro/internal/learn"
+	"repro/internal/obsglue"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -30,7 +38,17 @@ func main() {
 	gridPts := flag.Int("grid", 9, "grid points per dimension")
 	box := flag.Float64("box", 2, "coefficient box half-width")
 	seed := flag.Int64("seed", 1, "random seed")
+	var obsFlags obsglue.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	rt, err := obsglue.Start(obsFlags)
+	if err != nil {
+		fatal(err)
+	}
+	if rt.Addr != "" {
+		fmt.Fprintf(os.Stderr, "dplearn-train: metrics on http://%s/metrics\n", rt.Addr)
+	}
 
 	if *csvPath == "" || *labelCol < 0 {
 		fmt.Fprintln(os.Stderr, "dplearn-train: -csv and -label are required")
@@ -67,12 +85,16 @@ func main() {
 	}
 	d.NormalizeRows()
 
+	var acct dplearn.Accountant
+	acct.SetObserver(rt.Sink())
 	grid := learn.NewGrid(-*box, *box, d.Dim(), *gridPts)
 	learner, err := dplearn.NewLearner(dplearn.Config{
-		Loss:    learn.ZeroOneLoss{},
-		Thetas:  grid.Thetas(),
-		Epsilon: *eps,
-		Delta:   *delta,
+		Loss:     learn.ZeroOneLoss{},
+		Thetas:   grid.Thetas(),
+		Epsilon:  *eps,
+		Delta:    *delta,
+		Acct:     &acct,
+		Parallel: parallel.Options{Obs: rt.Obs},
 	})
 	if err != nil {
 		fatal(err)
@@ -80,6 +102,9 @@ func main() {
 	g := dplearn.NewRNG(*seed)
 	fit, err := learner.Fit(d, g)
 	if err != nil {
+		fatal(err)
+	}
+	if err := rt.CrossCheck(&acct); err != nil {
 		fatal(err)
 	}
 
@@ -90,6 +115,9 @@ func main() {
 	fmt.Printf("privacy certificate (Theorem 4.1): %s at lambda=%.4g\n", c.Privacy, c.Lambda)
 	fmt.Printf("risk certificate (Theorem 3.1): true risk <= %.4f w.p. %.0f%%\n", c.RiskBound, 100*(1-c.Delta))
 	fmt.Printf("posterior stats: E[emp risk]=%.4f, KL=%.4f nats\n", c.ExpEmpRisk, c.KL)
+	if err := rt.Close(os.Stderr); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -8,12 +8,15 @@ package dplearn
 // and compares every released float by its exact bit pattern.
 
 import (
+	"bytes"
 	"math"
 	"runtime"
 	"testing"
 
 	"repro/internal/channel"
 	"repro/internal/learn"
+	"repro/internal/mechanism"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -51,6 +54,14 @@ func bitsEqual(a, b []uint64) bool {
 // and RNG, so runs are independent and comparable.
 func goldenPipeline(t *testing.T, workers int) goldenRun {
 	t.Helper()
+	return goldenPipelineOpts(t, parallel.Options{Workers: workers})
+}
+
+// goldenPipelineOpts is goldenPipeline with full fan-out options, so the
+// tracing test can attach an Observer and prove instrumentation never
+// changes a single released bit.
+func goldenPipelineOpts(t *testing.T, opts parallel.Options) goldenRun {
+	t.Helper()
 	n := 8
 	inputs, logPX := channel.CountSampleSpace(n, 0.5)
 	for _, d := range inputs {
@@ -64,7 +75,7 @@ func goldenPipeline(t *testing.T, workers int) goldenRun {
 		Loss:     loss,
 		Thetas:   grid,
 		Epsilon:  2,
-		Parallel: parallel.Options{Workers: workers},
+		Parallel: opts,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -167,5 +178,99 @@ func TestGoldenDeterminismRepeatedRuns(t *testing.T) {
 		float64Bits(warm.RiskBound, warm.ExpEmpRisk, warm.KL),
 	) {
 		t.Fatal("cached Certify differs from cold Certify")
+	}
+}
+
+// TestGoldenDeterminismWithTracing pins the observability half of the
+// determinism contract: running the full pipeline with a live Tracer,
+// metrics Registry, and LogicalClock attached must reproduce the exact
+// bits of the uninstrumented run — instrumentation observes, it never
+// perturbs. It also checks the trace actually recorded something, so the
+// test cannot pass vacuously with a disconnected observer.
+func TestGoldenDeterminismWithTracing(t *testing.T) {
+	ref := goldenPipeline(t, 4)
+	var buf bytes.Buffer
+	clock := &obs.LogicalClock{}
+	o := &obs.Observer{
+		Tracer:  obs.NewTracer(&buf, clock),
+		Metrics: obs.NewRegistry(),
+		Clock:   clock,
+	}
+	got := goldenPipelineOpts(t, parallel.Options{Workers: 4, Obs: o})
+	if got.fitIndex != ref.fitIndex || !bitsEqual(got.fitTheta, ref.fitTheta) ||
+		!bitsEqual(got.risks, ref.risks) || !bitsEqual(got.cert, ref.cert) ||
+		!bitsEqual(got.account, ref.account) {
+		t.Fatal("tracing changed released bits")
+	}
+	if buf.Len() == 0 {
+		t.Fatal("observer attached but trace is empty")
+	}
+	if err := o.Tracer.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+}
+
+// ledgerRun drives a batch of concurrent spends through a shared
+// accountant observed by a ledger, under the parallel engine with the
+// given worker count, and returns both sides' composed guarantees.
+func ledgerRun(workers int) (led *obs.Ledger, acct *mechanism.Accountant) {
+	acct = &mechanism.Accountant{}
+	led = obs.NewLedger(nil)
+	acct.SetObserver(func(r mechanism.SpendRecord) {
+		led.Record(obs.LedgerRecord{
+			Seq:         r.Seq,
+			Mechanism:   r.Meta.Mechanism,
+			Sensitivity: r.Meta.Sensitivity,
+			Epsilon:     r.Guarantee.Epsilon,
+			Delta:       r.Guarantee.Delta,
+			Outcomes:    r.Meta.Outcomes,
+			Duration:    r.Meta.Duration,
+			Span:        r.Meta.Span,
+		})
+	})
+	// 101 spends with unequal ε values: Kahan-summing them in different
+	// arrival orders WOULD give different low bits, so this detects any
+	// regression to arrival-order composition.
+	parallel.ForGrain(101, 1, parallel.Options{Workers: workers}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acct.SpendDetail(
+				mechanism.Guarantee{Epsilon: 1e-3 * float64(i%7+1), Delta: 1e-9 * float64(i%3)},
+				mechanism.SpendMeta{Mechanism: "laplace", Sensitivity: 1, Outcomes: 1},
+			)
+		}
+	})
+	return led, acct
+}
+
+// TestLedgerMatchesAccountantAcrossWorkers pins satellite invariants of
+// the privacy ledger: for every worker count, the ledger holds exactly
+// Accountant.Count() records, its canonical composed (ε, δ) equals
+// Accountant.BasicComposition bit-for-bit, and the composed value is
+// bit-identical between serial and 8-worker runs even though the spend
+// arrival order differs.
+func TestLedgerMatchesAccountantAcrossWorkers(t *testing.T) {
+	_, refAcct := ledgerRun(1)
+	refG := refAcct.BasicComposition()
+	for _, workers := range []int{1, 8} {
+		led, acct := ledgerRun(workers)
+		if led.Len() != acct.Count() {
+			t.Fatalf("workers=%d: ledger has %d records, accountant %d", workers, led.Len(), acct.Count())
+		}
+		le, ld := led.Composed()
+		g := acct.BasicComposition()
+		if !bitsEqual(float64Bits(le, ld), float64Bits(g.Epsilon, g.Delta)) {
+			t.Errorf("workers=%d: ledger composed (%.17g, %.17g) != accountant (%.17g, %.17g)",
+				workers, le, ld, g.Epsilon, g.Delta)
+		}
+		if !bitsEqual(float64Bits(g.Epsilon, g.Delta), float64Bits(refG.Epsilon, refG.Delta)) {
+			t.Errorf("workers=%d: composed guarantee bits differ from serial run", workers)
+		}
+		// Seq numbers must be a permutation-free total order 0..n−1: the
+		// records sorted by Seq carry each sequence number exactly once.
+		for i, r := range led.Records() {
+			if r.Seq != uint64(i) {
+				t.Fatalf("workers=%d: record %d has seq %d", workers, i, r.Seq)
+			}
+		}
 	}
 }

@@ -30,6 +30,12 @@ var AcctLint = register(&Analyzer{
 
 func runAcctLint(p *Pass) {
 	reach := p.Prog.Reachable()
+	observers, badObs := buildObserverIndex(p.Pkg)
+	for _, pos := range badObs {
+		if !p.IsTestFile(pos) {
+			p.Reportf(pos, "malformed observer directive: want //dp:observer <reason>")
+		}
+	}
 	for _, file := range p.Pkg.Files {
 		if p.IsTestFile(file.Pos()) {
 			continue
@@ -42,11 +48,14 @@ func runAcctLint(p *Pass) {
 			if recvHasGuarantee(p, fd) {
 				continue
 			}
+			if observers.isObserverScope(p.Pkg, fd) {
+				continue
+			}
 			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
 			if !ok || !reach[funcKey(obj)] {
 				continue
 			}
-			checkAccounting(p, fd)
+			checkAccounting(p, fd, observers)
 		}
 	}
 }
@@ -61,10 +70,15 @@ func recvHasGuarantee(p *Pass, fd *ast.FuncDecl) bool {
 }
 
 // checkAccounting matches the release sites of fd.Body against its spend
-// sites in source order and reports the violations.
-func checkAccounting(p *Pass, fd *ast.FuncDecl) {
+// sites in source order and reports the violations. Function literals
+// marked //dp:observer are skipped whole: their releases are
+// measurements of a mechanism's output distribution, not release paths.
+func checkAccounting(p *Pass, fd *ast.FuncDecl, observers observerIndex) {
 	var releases, spends []*ast.CallExpr
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && observers.isObserverScope(p.Pkg, lit) {
+			return false
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

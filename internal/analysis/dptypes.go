@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Structural recognition of the repository's DP vocabulary. The checks
@@ -73,10 +76,12 @@ func isReleaseCall(pkg *Package, call *ast.CallExpr) bool {
 
 // isSpendCall reports whether call registers a guarantee with an
 // accountant: a method named Spend whose single parameter has a named
-// type Guarantee.
+// type Guarantee, or a method named SpendDetail whose first parameter
+// does (the ledger-metadata variant — same accounting act, extra
+// observability payload).
 func isSpendCall(pkg *Package, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Spend" {
+	if !ok || (sel.Sel.Name != "Spend" && sel.Sel.Name != "SpendDetail") {
 		return false
 	}
 	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
@@ -84,10 +89,79 @@ func isSpendCall(pkg *Package, call *ast.CallExpr) bool {
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Params().Len() != 1 {
+	if !ok || sig.Params().Len() < 1 {
+		return false
+	}
+	if sel.Sel.Name == "Spend" && sig.Params().Len() != 1 {
 		return false
 	}
 	return namedName(sig.Params().At(0).Type()) == "Guarantee"
+}
+
+// observerPrefix introduces a function-level observer exemption:
+//
+//	//dp:observer <reason>
+//
+// placed on, or on the line above, a function declaration or function
+// literal. An observer function inspects a mechanism's releases without
+// making them part of a production release path: an audit harness that
+// samples the output distribution to estimate realized ε, a trace sink
+// replaying ledger records. acctlint and postproc skip observer scopes
+// as a unit — the releases they see are measurements, not spends — which
+// is a structural statement about the function's role, unlike a
+// //dplint:ignore line suppression that merely mutes one finding.
+const observerPrefix = "//dp:observer"
+
+// observerDirective is one parsed //dp:observer comment.
+type observerDirective struct {
+	reason string
+	pos    token.Pos
+}
+
+// observerIndex maps "<filename>:<line>" of a function's anchor line to
+// its directive. Like //dp:sensitivity, a directive on line L anchors a
+// function starting on L (trailing comment) or L+1 (comment above).
+type observerIndex map[string]*observerDirective
+
+// buildObserverIndex parses every //dp:observer directive in pkg.
+// Well-formed ones land in the index; directives that omit the
+// mandatory reason are returned for acctlint to report.
+func buildObserverIndex(pkg *Package) (observerIndex, []token.Pos) {
+	idx := make(observerIndex)
+	var bad []token.Pos
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, observerPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, observerPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //dp:observerXYZ is not a directive
+				}
+				if strings.TrimSpace(rest) == "" {
+					bad = append(bad, c.Pos())
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &observerDirective{reason: strings.TrimSpace(rest), pos: c.Pos()}
+				for _, l := range []int{pos.Line, pos.Line + 1} {
+					idx[fmt.Sprintf("%s:%d", pos.Filename, l)] = d
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// isObserverScope reports whether node — a *ast.FuncDecl or a
+// *ast.FuncLit — starts on a line anchored by a //dp:observer directive.
+func (idx observerIndex) isObserverScope(pkg *Package, node ast.Node) bool {
+	if len(idx) == 0 || node == nil {
+		return false
+	}
+	pos := pkg.Fset.Position(node.Pos())
+	return idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] != nil
 }
 
 // isRawDataType reports whether t holds raw (pre-release) sample data: a

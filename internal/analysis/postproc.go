@@ -28,13 +28,17 @@ var PostProc = register(&Analyzer{
 })
 
 func runPostProc(p *Pass) {
+	observers, _ := buildObserverIndex(p.Pkg) // malformed directives are acctlint's to report
 	for _, file := range p.Pkg.Files {
 		if p.IsTestFile(file.Pos()) {
 			continue
 		}
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				postProcScope(p, fd.Body)
+				if observers.isObserverScope(p.Pkg, fd) {
+					continue
+				}
+				postProcScope(p, fd.Body, observers)
 			}
 		}
 	}
@@ -44,10 +48,14 @@ func runPostProc(p *Pass) {
 // analyzed as scopes of their own (a closure handed to an audit harness
 // or a quality function runs in a different dynamic context than the
 // statements around it), and are excluded from the enclosing scope's
-// release/branch accounting.
-func postProcScope(p *Pass, body *ast.BlockStmt) {
+// release/branch accounting. Literals marked //dp:observer are skipped:
+// an observer's branches steer a measurement harness, not a release path.
+func postProcScope(p *Pass, body *ast.BlockStmt, observers observerIndex) {
 	for _, lit := range directFuncLits(body) {
-		postProcScope(p, lit.Body)
+		if observers.isObserverScope(p.Pkg, lit) {
+			continue
+		}
+		postProcScope(p, lit.Body, observers)
 	}
 
 	var firstRelease ast.Node

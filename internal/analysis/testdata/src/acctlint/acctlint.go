@@ -113,6 +113,50 @@ func SuppressedLeak(d *Dataset, g *RNG) float64 {
 	return m.Release(d, g)
 }
 
+// SpendDetail records one guarantee together with ledger metadata; the
+// check treats it as the same accounting act as Spend.
+func (a *Accountant) SpendDetail(g Guarantee, mechanism string) {
+	a.spent = append(a.spent, g)
+	_ = mechanism
+}
+
+// DetailAccounted pays through the metadata variant: clean.
+func DetailAccounted(d *Dataset, acct *Accountant, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	v := m.Release(d, g)
+	acct.SpendDetail(m.Guarantee(), "mech")
+	return v
+}
+
+//dp:observer fixture: estimates the mechanism's realized eps by resampling its output
+func AuditObserver(d *Dataset, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	var s float64
+	for i := 0; i < 64; i++ {
+		s += m.Release(d, g)
+	}
+	return s / 64
+}
+
+// ObserverClosure exempts only the marked literal; the function around
+// it is still checked (and is clean — it makes no release itself).
+func ObserverClosure(d *Dataset, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	//dp:observer fixture: sampling closure handed to a measurement harness
+	sample := func() float64 { return m.Release(d, g) }
+	return sample() + sample()
+}
+
+// NotAnObserver has a directive two lines up — out of anchor range, so
+// the exemption does not apply and the release stays flagged.
+//
+//dp:observer fixture: directive stranded above a blank line
+
+func NotAnObserver(d *Dataset, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	return m.Release(d, g) // want "un-accounted release"
+}
+
 // Composite is itself a mechanism (it bears Guarantee), so its internal
 // releases are priced by its own Guarantee and exempt from per-call
 // accounting — callers spend the composite price.

@@ -157,6 +157,33 @@ func ClosureScopes(d *Dataset, m *Mech, g *RNG) func() float64 {
 	}
 }
 
+//dp:observer fixture: bisects the raw data to localize where the realized eps peaks
+func ObserverBisect(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	if d.Examples[0].X[0] > 0.5 { // an observer may steer its measurement by the raw data
+		return out * 2
+	}
+	return out
+}
+
+// ObserverLitScope exempts only the marked literal; the enclosing
+// function's own post-release branches are still checked.
+func ObserverLitScope(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	//dp:observer fixture: probe closure branches on raw data while measuring
+	probe := func() float64 {
+		inner := m.Release(d, g)
+		if d.Examples[0].X[0] > 0 {
+			return inner
+		}
+		return 0
+	}
+	if d.Examples[0].X[0] > 0.5 { // want "branch on raw"
+		return probe()
+	}
+	return out
+}
+
 // SuppressedLeak keeps a deliberate raw-data branch behind a reasoned
 // directive.
 func SuppressedLeak(d *Dataset, m *Mech, g *RNG) float64 {

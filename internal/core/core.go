@@ -144,17 +144,31 @@ type Fitted struct {
 }
 
 // Fit privately selects a predictor from d by sampling the calibrated
-// Gibbs posterior, and returns it with its certificates.
+// Gibbs posterior, and returns it with its certificates. The release is
+// registered with the accountant as a full ledger record — mechanism
+// kind, ΔR̂ sensitivity, |Θ|, and clocked duration — and the whole fit
+// runs under a "fit" trace span when an observer is wired.
 func (l *Learner) Fit(d *dataset.Dataset, g *rng.RNG) (*Fitted, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
+	o := l.cfg.Parallel.Obs
+	sp := o.Span("fit")
+	sp.SetAttr("n", d.Len())
+	defer sp.End()
 	est, err := l.Estimator(d.Len())
 	if err != nil {
 		return nil, err
 	}
+	start := o.Now()
 	idx := est.Sample(d, g)
-	l.cfg.Acct.Spend(est.Guarantee(d.Len()))
+	l.cfg.Acct.SpendDetail(est.Guarantee(d.Len()), mechanism.SpendMeta{
+		Mechanism:   "gibbs",
+		Sensitivity: est.RiskSensitivity(d.Len()),
+		Outcomes:    len(l.cfg.Thetas),
+		Duration:    o.Now() - start,
+		Span:        sp.ID(),
+	})
 	cert, err := l.certificate(est, d)
 	if err != nil {
 		return nil, err
@@ -195,6 +209,9 @@ func (l *Learner) Certify(d *dataset.Dataset) (Certificate, error) {
 	if d == nil || d.Len() == 0 {
 		return Certificate{}, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
+	sp := l.cfg.Parallel.Obs.Span("certify")
+	sp.SetAttr("n", d.Len())
+	defer sp.End()
 	est, err := l.Estimator(d.Len())
 	if err != nil {
 		return Certificate{}, err

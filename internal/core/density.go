@@ -67,7 +67,11 @@ func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon fl
 		return nil, err
 	}
 	noisy := m.Release(d, g)
-	acct.Spend(m.Guarantee())
+	acct.SpendDetail(m.Guarantee(), mechanism.SpendMeta{
+		Mechanism:   "laplace",
+		Sensitivity: m.Query.L1Sensitivity,
+		Outcomes:    bins,
+	})
 	var total float64
 	for i, v := range noisy {
 		if v < 0 {
@@ -156,6 +160,10 @@ func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, 
 		return nil, 0, err
 	}
 	idx := em.Release(d, g)
-	acct.Spend(em.Guarantee())
+	acct.SpendDetail(em.Guarantee(), mechanism.SpendMeta{
+		Mechanism:   "expmech",
+		Sensitivity: sens,
+		Outcomes:    len(cands),
+	})
 	return cands[idx], binChoices[idx], nil
 }

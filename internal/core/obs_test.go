@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mechanism"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// TestRiskCacheHitRateThroughRegistry pins satellite behavior of the
+// risk-cache instrumentation: a cold Fit records misses, and the warm
+// Certify on the same data serves entirely from the cache, so the
+// hit-rate observed through the metrics registry must be positive while
+// the miss count stays flat.
+func TestRiskCacheHitRateThroughRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := classifierConfig(1)
+	cfg.Parallel = parallel.Options{Workers: 1, Obs: &obs.Observer{Metrics: reg}}
+	l, err := NewLearner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dataset.LogisticModel{Weights: []float64{1.5}}
+	d := model.Generate(64, rng.New(7))
+
+	hits := reg.Counter("dplearn_risk_cache_hits_total", "")
+	misses := reg.Counter("dplearn_risk_cache_misses_total", "")
+
+	if _, err := l.Fit(d, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The very first risk-grid evaluation must miss; the Fit's own later
+	// passes (sampling, then the certificate) may already hit.
+	coldMisses := misses.Value()
+	if coldMisses == 0 {
+		t.Fatal("cold Fit should record at least one cache miss")
+	}
+	coldHits := hits.Value()
+
+	if _, err := l.Certify(d); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Value() <= coldHits {
+		t.Fatalf("warm Certify hit rate must be > 0: hits %d -> %d", coldHits, hits.Value())
+	}
+	if misses.Value() != coldMisses {
+		t.Fatalf("warm Certify should not miss: %d -> %d", coldMisses, misses.Value())
+	}
+}
+
+// TestFitLedgersThroughAccountantObserver checks the release-site
+// threading: a Fit with an observed accountant produces exactly one
+// ledger record carrying the gibbs mechanism metadata, and the ledger's
+// composition matches the accountant's bit-for-bit.
+func TestFitLedgersThroughAccountantObserver(t *testing.T) {
+	var buf bytes.Buffer
+	clock := &obs.LogicalClock{}
+	tracer := obs.NewTracer(&buf, clock)
+	led := obs.NewLedger(tracer)
+	var acct mechanism.Accountant
+	acct.SetObserver(func(r mechanism.SpendRecord) {
+		led.Record(obs.LedgerRecord{
+			Seq:         r.Seq,
+			Mechanism:   r.Meta.Mechanism,
+			Sensitivity: r.Meta.Sensitivity,
+			Epsilon:     r.Guarantee.Epsilon,
+			Delta:       r.Guarantee.Delta,
+			Outcomes:    r.Meta.Outcomes,
+			Duration:    r.Meta.Duration,
+			Span:        r.Meta.Span,
+		})
+	})
+
+	cfg := classifierConfig(0.8)
+	cfg.Acct = &acct
+	cfg.Parallel = parallel.Options{Workers: 1, Obs: &obs.Observer{Tracer: tracer, Clock: clock}}
+	l, err := NewLearner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := dataset.LogisticModel{Weights: []float64{1.5}}
+	d := model.Generate(32, rng.New(9))
+	if _, err := l.Fit(d, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	if led.Len() != acct.Count() || led.Len() != 1 {
+		t.Fatalf("ledger %d records, accountant %d spends, want 1 each", led.Len(), acct.Count())
+	}
+	rec := led.Records()[0]
+	if rec.Mechanism != "gibbs" {
+		t.Fatalf("mechanism %q, want gibbs", rec.Mechanism)
+	}
+	if rec.Outcomes != len(cfg.Thetas) {
+		t.Fatalf("outcomes %d, want |Theta| = %d", rec.Outcomes, len(cfg.Thetas))
+	}
+	if rec.Sensitivity <= 0 || rec.Duration <= 0 || rec.Span == 0 {
+		t.Fatalf("metadata not threaded: %+v", rec)
+	}
+	e, del := led.Composed()
+	g := acct.BasicComposition()
+	//dplint:ignore floateq bit-exact ledger/accountant agreement is the property under test
+	if e != g.Epsilon || del != g.Delta {
+		t.Fatalf("ledger (%g,%g) != accountant (%g,%g)", e, del, g.Epsilon, g.Delta)
+	}
+	// And the spend landed inside a live trace span tree.
+	recs, err := obs.ReadLedgerNDJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0] != rec {
+		t.Fatalf("trace stream ledger mismatch: %+v", recs)
+	}
+}

@@ -89,7 +89,11 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 		return nil, err
 	}
 	count := countMech.Release(d, g)[0]
-	acct.Spend(countMech.Guarantee())
+	acct.SpendDetail(countMech.Guarantee(), mechanism.SpendMeta{
+		Mechanism:   "laplace",
+		Sensitivity: countMech.Query.L1Sensitivity,
+		Outcomes:    1,
+	})
 
 	// 2. Clamped mean.
 	meanQ := mechanism.BoundedMeanQuery(cfg.Feature, cfg.Lo, cfg.Hi, d.Len())
@@ -98,7 +102,11 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 		return nil, err
 	}
 	mean := meanMech.Release(d, g)[0]
-	acct.Spend(meanMech.Guarantee())
+	acct.SpendDetail(meanMech.Guarantee(), mechanism.SpendMeta{
+		Mechanism:   "laplace",
+		Sensitivity: meanMech.Query.L1Sensitivity,
+		Outcomes:    1,
+	})
 
 	// 3. Quantiles: the per-quantile budget is part/len(quantiles); each
 	// exponential mechanism's guarantee is 2·mechEps·Δq with Δq = 1.
@@ -110,7 +118,11 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 			return nil, err
 		}
 		quantiles[p] = grid[qm.Release(d, g)]
-		acct.Spend(qm.Guarantee())
+		acct.SpendDetail(qm.Guarantee(), mechanism.SpendMeta{
+			Mechanism:   "expmech",
+			Sensitivity: qm.Sensitivity,
+			Outcomes:    len(grid),
+		})
 	}
 
 	// 4. Histogram (normalized after noising; post-processing is free).
@@ -120,7 +132,11 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 		return nil, err
 	}
 	noisy := histMech.Release(d, g)
-	acct.Spend(histMech.Guarantee())
+	acct.SpendDetail(histMech.Guarantee(), mechanism.SpendMeta{
+		Mechanism:   "laplace",
+		Sensitivity: histMech.Query.L1Sensitivity,
+		Outcomes:    cfg.Bins,
+	})
 	var total float64
 	for i, v := range noisy {
 		if v < 0 {

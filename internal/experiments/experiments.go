@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -31,11 +32,15 @@ type Options struct {
 	// all CPUs, 1 = serial). Every setting produces identical tables;
 	// see SweepGrid.
 	Workers int
+	// Obs optionally instruments the sweeps (per-cell spans, worker
+	// utilization metrics). Instrumentation only observes — tables are
+	// bit-identical with it on or off. Nil disables observability.
+	Obs *obs.Observer
 }
 
 // parallel returns the fan-out options for sweep-based experiments.
 func (o Options) parallel() parallel.Options {
-	return parallel.Options{Workers: o.Workers}
+	return parallel.Options{Workers: o.Workers, Obs: o.Obs}
 }
 
 // Table is an experiment result in the shape of a paper table.

@@ -71,6 +71,8 @@ func E12Reconstruction(opts Options) (*Table, error) {
 // histogram at the same ε, on L1 distribution-estimation error — the
 // classic local-vs-central utility gap, measured on this library's own
 // mechanisms.
+//
+//dp:observer experiment harness: measures estimation error against synthetic data; per-release budgets are the table's x-axis
 func A9LocalVsCentral(opts Options) (*Table, error) {
 	g := rng.New(opts.Seed)
 	reps := 25
@@ -111,7 +113,6 @@ func A9LocalVsCentral(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			//dplint:ignore acctlint experiment harness: measures attack error against synthetic data; per-release budgets are the table's x-axis
 			noisy := lm.Release(d, g)
 			var total float64
 			for i, v := range noisy {

@@ -57,7 +57,11 @@ func SweepGrid[R any](grid Grid, g *rng.RNG, opts parallel.Options, body func(c 
 	errs := make([]error, len(cells))
 	parallel.ForGrain(len(cells), sweepGrain, opts, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
+			sp := opts.Obs.Span("sweep.cell")
+			sp.SetAttr("n", cells[k].N)
+			sp.SetAttr("eps", cells[k].Eps)
 			out[k], errs[k] = body(cells[k])
+			sp.End()
 		}
 	})
 	for _, err := range errs {

@@ -25,7 +25,7 @@ type RiskCache struct {
 	mu sync.Mutex
 	m  map[dataset.Fingerprint][]float64
 
-	hits, misses int
+	hits, misses, evictions int
 }
 
 // NewRiskCache returns an empty cache.
@@ -47,9 +47,9 @@ func (c *RiskCache) lookup(fp dataset.Fingerprint) []float64 {
 }
 
 // store records a risk vector for fp, evicting an arbitrary entry when
-// the cache is full. The stored slice is retained verbatim; callers hand
-// over ownership.
-func (c *RiskCache) store(fp dataset.Fingerprint, risks []float64) {
+// the cache is full, and reports whether an eviction happened. The
+// stored slice is retained verbatim; callers hand over ownership.
+func (c *RiskCache) store(fp dataset.Fingerprint, risks []float64) (evicted bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.m[fp]; !ok && len(c.m) >= cacheCapacity {
@@ -57,16 +57,19 @@ func (c *RiskCache) store(fp dataset.Fingerprint, risks []float64) {
 			delete(c.m, k)
 			break
 		}
+		c.evictions++
+		evicted = true
 	}
 	c.m[fp] = risks
+	return evicted
 }
 
-// Stats reports cumulative lookup hits and misses (for tests and
-// benchmarks).
-func (c *RiskCache) Stats() (hits, misses int) {
+// Stats reports cumulative lookup hits, misses, and evictions (for
+// tests, benchmarks, and the metrics registry).
+func (c *RiskCache) Stats() (hits, misses, evictions int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evictions
 }
 
 // Len returns the number of cached risk vectors.

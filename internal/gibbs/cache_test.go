@@ -42,9 +42,9 @@ func TestRiskCacheMemoizes(t *testing.T) {
 		}
 	}
 	_ = est.Risks(d2)
-	hits, misses := est.Cache.Stats()
-	if hits != 1 || misses != 2 {
-		t.Errorf("stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	hits, misses, evictions := est.Cache.Stats()
+	if hits != 1 || misses != 2 || evictions != 0 {
+		t.Errorf("stats = (%d hits, %d misses, %d evictions), want (1, 2, 0)", hits, misses, evictions)
 	}
 	if est.Cache.Len() != 2 {
 		t.Errorf("cache holds %d entries, want 2", est.Cache.Len())
@@ -77,6 +77,9 @@ func TestRiskCacheEvictsAtCapacity(t *testing.T) {
 	}
 	if got := est.Cache.Len(); got > cacheCapacity {
 		t.Fatalf("cache grew to %d entries, capacity %d", got, cacheCapacity)
+	}
+	if _, _, evictions := est.Cache.Stats(); evictions != 8 {
+		t.Fatalf("evictions = %d, want 8", evictions)
 	}
 }
 

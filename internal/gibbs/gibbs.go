@@ -81,23 +81,44 @@ func (e *Estimator) logPriorOrUniform() []float64 {
 // Risks returns the per-θ empirical risks on d, evaluated with the
 // estimator's fan-out options and memoized in Cache when one is set.
 // The returned slice is the caller's to keep (cached vectors are copied
-// out), and its values are bit-identical for every worker count.
+// out), and its values are bit-identical for every worker count. Cache
+// hits, misses, and evictions are counted on the wired metrics registry.
 func (e *Estimator) Risks(d *dataset.Dataset) []float64 {
 	if e.Cache == nil {
 		return learn.RiskVectorOpts(e.Loss, e.Thetas, d, e.Parallel)
 	}
+	reg := e.Parallel.Obs.Reg()
 	fp := d.Fingerprint()
 	if r := e.Cache.lookup(fp); r != nil {
+		reg.Counter("dplearn_risk_cache_hits_total",
+			"risk-vector cache lookups served from memory").Inc()
 		return append([]float64(nil), r...)
 	}
+	reg.Counter("dplearn_risk_cache_misses_total",
+		"risk-vector cache lookups that evaluated the risk grid").Inc()
 	r := learn.RiskVectorOpts(e.Loss, e.Thetas, d, e.Parallel)
-	e.Cache.store(fp, r)
+	if e.Cache.store(fp, r) {
+		reg.Counter("dplearn_risk_cache_evictions_total",
+			"risk vectors evicted from the full cache").Inc()
+	}
 	return append([]float64(nil), r...)
 }
 
 // LogPosterior returns the normalized Gibbs log-posterior on dataset d.
+// The posterior-normalization step (log-sum-exp over Θ) is timed on the
+// wired observer as the dplearn_gibbs_posterior_ticks histogram and a
+// gibbs.posterior span.
 func (e *Estimator) LogPosterior(d *dataset.Dataset) []float64 {
-	post, err := pacbayes.GibbsLogPosterior(e.logPriorOrUniform(), e.Risks(d), e.Lambda)
+	risks := e.Risks(d)
+	o := e.Parallel.Obs
+	sp := o.Span("gibbs.posterior")
+	start := o.Now()
+	post, err := pacbayes.GibbsLogPosterior(e.logPriorOrUniform(), risks, e.Lambda)
+	o.Reg().Histogram("dplearn_gibbs_posterior_ticks",
+		"posterior-normalization duration in clock ticks", posteriorTickBuckets).
+		Observe(float64(o.Now() - start))
+	sp.SetAttr("thetas", len(e.Thetas))
+	sp.End()
 	if err != nil {
 		// Only reachable with a degenerate (-Inf everywhere) prior, which
 		// New rejects implicitly through normalization in callers.
@@ -105,6 +126,10 @@ func (e *Estimator) LogPosterior(d *dataset.Dataset) []float64 {
 	}
 	return post
 }
+
+// posteriorTickBuckets spans sub-microsecond logical ticks up to
+// hundreds of milliseconds of wall time (clock-unit agnostic decades).
+var posteriorTickBuckets = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 
 // LogProbabilities implements the audit.DiscreteMechanism interface: the
 // mechanism's exact output distribution on d.

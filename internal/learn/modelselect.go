@@ -54,7 +54,11 @@ func PrivateSelect(cands []Candidate, loss Loss, validation *dataset.Dataset, ep
 		return Candidate{}, fmt.Errorf("learn: PrivateSelect: %w", err)
 	}
 	selected := cands[em.Release(validation, g)]
-	acct.Spend(em.Guarantee())
+	acct.SpendDetail(em.Guarantee(), mechanism.SpendMeta{
+		Mechanism:   "expmech",
+		Sensitivity: sens,
+		Outcomes:    len(cands),
+	})
 	return selected, nil
 }
 

@@ -97,7 +97,11 @@ func NoisyGD(d *dataset.Dataset, dim int, grad func(theta []float64, e dataset.E
 		if cfg.ProjectRadius > 0 {
 			ProjectL2(theta, cfg.ProjectRadius)
 		}
-		acct.Spend(mechanism.Guarantee{Epsilon: cfg.StepEpsilon, Delta: cfg.StepDelta})
+		acct.SpendDetail(mechanism.Guarantee{Epsilon: cfg.StepEpsilon, Delta: cfg.StepDelta}, mechanism.SpendMeta{
+			Mechanism:   "gaussian",
+			Sensitivity: sens,
+			Outcomes:    dim,
+		})
 	}
 	// Compose: basic vs advanced on the pure-ε part is inapplicable here
 	// (δ > 0), so compare basic against the advanced bound applied to the

@@ -3,8 +3,52 @@ package mechanism
 import (
 	"errors"
 	"math"
+	"sort"
+
 	"sync"
+
+	"repro/internal/mathx"
 )
+
+// SpendMeta carries the ledger metadata of one release: everything an
+// observer needs to turn a Spend into an auditable privacy-ledger
+// record beyond the Guarantee itself. All fields are optional; the
+// plain Spend path leaves them zero.
+type SpendMeta struct {
+	// Mechanism is the release's kind ("gibbs", "laplace", "expmech",
+	// "svt", ...), free-form but stable per call site.
+	Mechanism string
+	// Sensitivity is the released query's global sensitivity (Δq of
+	// Theorem 2.2, ΔR̂ of Theorem 4.1, Δf of Theorem 2.1).
+	Sensitivity float64
+	// Outcomes is the outcome domain size of the release: |Θ| for an
+	// exponential-mechanism draw, the output dimension for a numeric
+	// vector. 0 means unknown.
+	Outcomes int
+	// Duration is the release's duration in the run's clock units (0 =
+	// untimed). Deterministic runs use logical ticks, never wall time.
+	Duration int64
+	// Span is the trace-span id enclosing the release, if the run is
+	// traced.
+	Span uint64
+}
+
+// SpendRecord is one accounted release: the guarantee, its metadata,
+// and the accountant's monotonic sequence number. Seq is assigned under
+// the accountant's lock, so it is a total arrival order — the privacy
+// ledger sorts by it to present releases in audit order even when the
+// parallel engine's workers spend concurrently.
+type SpendRecord struct {
+	Seq       uint64
+	Guarantee Guarantee
+	Meta      SpendMeta
+}
+
+// SpendObserver receives every accounted release, synchronously and in
+// sequence order (the callback runs under the accountant's lock — keep
+// it cheap and never call back into the accountant). The obs package's
+// privacy ledger is the intended implementation.
+type SpendObserver func(SpendRecord)
 
 // Accountant tracks the privacy cost of a sequence of mechanism
 // invocations on the same dataset and reports composed guarantees.
@@ -13,19 +57,45 @@ import (
 // spend unconditionally and let the caller decide whether to account.
 // Spend and the composition queries are safe for concurrent use.
 type Accountant struct {
-	mu    sync.Mutex
-	spent []Guarantee
+	mu       sync.Mutex
+	spent    []SpendRecord
+	observer SpendObserver
 }
 
-// Spend records one mechanism invocation. On a nil accountant it is a
-// no-op, so library code never needs to branch around accounting.
-func (a *Accountant) Spend(g Guarantee) {
+// SetObserver installs the spend observer (nil to remove). On a nil
+// accountant it is a no-op. The observer sees every subsequent spend
+// with its sequence number; it is invoked under the accountant's lock
+// so records arrive in sequence order.
+func (a *Accountant) SetObserver(obs SpendObserver) {
 	if a == nil {
 		return
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.spent = append(a.spent, g)
+	a.observer = obs
+}
+
+// Spend records one mechanism invocation. On a nil accountant it is a
+// no-op, so library code never needs to branch around accounting.
+func (a *Accountant) Spend(g Guarantee) {
+	a.SpendDetail(g, SpendMeta{})
+}
+
+// SpendDetail records one mechanism invocation together with its ledger
+// metadata. It assigns the next monotonic sequence number under the
+// accountant's lock and forwards the full record to the observer, if
+// one is installed. On a nil accountant it is a no-op.
+func (a *Accountant) SpendDetail(g Guarantee, meta SpendMeta) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec := SpendRecord{Seq: uint64(len(a.spent)), Guarantee: g, Meta: meta}
+	a.spent = append(a.spent, rec)
+	if a.observer != nil {
+		a.observer(rec)
+	}
 }
 
 // Count returns the number of recorded invocations.
@@ -38,17 +108,56 @@ func (a *Accountant) Count() int {
 	return len(a.spent)
 }
 
-// BasicComposition returns the sequential-composition guarantee:
-// ε_total = Σ εᵢ, δ_total = Σ δᵢ.
-func (a *Accountant) BasicComposition() Guarantee {
+// Records returns a copy of the accounted releases in sequence order.
+func (a *Accountant) Records() []SpendRecord {
+	if a == nil {
+		return nil
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var out Guarantee
-	for _, g := range a.spent {
-		out.Epsilon += g.Epsilon
-		out.Delta += g.Delta
+	return append([]SpendRecord(nil), a.spent...)
+}
+
+// guarantees returns the spent guarantees (caller holds no lock).
+func (a *Accountant) guarantees() []Guarantee {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Guarantee, len(a.spent))
+	for i, r := range a.spent {
+		out[i] = r.Guarantee
 	}
 	return out
+}
+
+// BasicComposition returns the sequential-composition guarantee:
+// ε_total = Σ εᵢ, δ_total = Σ δᵢ.
+//
+// The sum runs in a canonical order — guarantees sorted ascending by
+// (ε, δ) — with Kahan compensation, so the composed guarantee is a pure
+// function of the *multiset* of spends. Floating-point addition is not
+// associative; without the canonical order, workers interleaving their
+// spends differently across runs (or across Workers settings of the
+// parallel engine) could change the composed ε's low bits, and the
+// runtime privacy ledger could never be golden-tested. The obs ledger's
+// ComposeBasic implements the identical algorithm, so ledger and
+// accountant agree bit-for-bit.
+func (a *Accountant) BasicComposition() Guarantee {
+	if a == nil {
+		return Guarantee{}
+	}
+	gs := a.guarantees()
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Epsilon != gs[j].Epsilon { //dplint:ignore floateq canonical-order comparison: exact value ordering is the point
+			return gs[i].Epsilon < gs[j].Epsilon
+		}
+		return gs[i].Delta < gs[j].Delta
+	})
+	var eps, del mathx.KahanSum
+	for _, g := range gs {
+		eps.Add(g.Epsilon)
+		del.Add(g.Delta)
+	}
+	return Guarantee{Epsilon: eps.Sum(), Delta: del.Sum()}
 }
 
 // AdvancedComposition returns the Dwork–Rothblum–Vadhan advanced
@@ -66,8 +175,9 @@ func (a *Accountant) AdvancedComposition(deltaSlack float64) (Guarantee, error) 
 	if len(a.spent) == 0 {
 		return Guarantee{Delta: deltaSlack}, nil
 	}
-	eps := a.spent[0].Epsilon
-	for _, g := range a.spent {
+	eps := a.spent[0].Guarantee.Epsilon
+	for _, r := range a.spent {
+		g := r.Guarantee
 		if g.Delta != 0 { //dplint:ignore floateq pure eps-DP is encoded as bitwise delta=0; no arithmetic ever perturbs it
 			return Guarantee{}, errors.New("mechanism: advanced composition implemented for pure ε-DP only")
 		}
@@ -110,8 +220,12 @@ func ParallelComposition(gs []Guarantee) Guarantee {
 	return out
 }
 
-// Reset clears the accountant.
+// Reset clears the accountant (the observer stays installed; sequence
+// numbers restart from zero).
 func (a *Accountant) Reset() {
+	if a == nil {
+		return
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.spent = a.spent[:0]

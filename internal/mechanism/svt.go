@@ -139,9 +139,17 @@ func PrivateRange(d *dataset.Dataset, j int, coverage float64, candidates []floa
 		return 0, 0, err
 	}
 	lo = grid[mLo.Release(d, g)]
-	acct.Spend(mLo.Guarantee())
+	acct.SpendDetail(mLo.Guarantee(), SpendMeta{
+		Mechanism:   "expmech",
+		Sensitivity: mLo.Sensitivity,
+		Outcomes:    len(grid),
+	})
 	hi = grid[mHi.Release(d, g)]
-	acct.Spend(mHi.Guarantee())
+	acct.SpendDetail(mHi.Guarantee(), SpendMeta{
+		Mechanism:   "expmech",
+		Sensitivity: mHi.Sensitivity,
+		Outcomes:    len(grid),
+	})
 	if lo > hi {
 		lo, hi = hi, lo
 	}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the single source of timestamps for the observability layer.
+// Instrumented code must never call time.Now directly: routing every
+// read through a Clock is what lets deterministic runs swap in a
+// LogicalClock and keep golden outputs bit-identical with tracing
+// enabled.
+type Clock interface {
+	// Now returns the current time in the clock's own unit —
+	// nanoseconds for WallClock, monotonic ticks for LogicalClock.
+	Now() int64
+}
+
+// WallClock reads the system clock (Unix nanoseconds). Use it in CLIs
+// and servers where humans read the durations.
+type WallClock struct{}
+
+// Now returns time.Now().UnixNano().
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// LogicalClock is a deterministic clock: each Now advances a shared
+// atomic counter by one tick. Durations then count clock *reads*, not
+// elapsed time — reproducible for a serial run, and never a source of
+// wall-clock nondeterminism in golden tests. The zero value is ready to
+// use.
+type LogicalClock struct {
+	t atomic.Int64
+}
+
+// Now advances the clock one tick and returns it.
+func (l *LogicalClock) Now() int64 { return l.t.Add(1) }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// NewServeMux builds the opt-in observability endpoint:
+//
+//	/metrics     — Prometheus text exposition of reg
+//	/debug/vars  — expvar (stdlib JSON variables, incl. a registry dump)
+//	/debug/pprof — the full net/http/pprof suite, when withPprof is set
+//
+// The pprof handlers are wired explicitly rather than through the
+// package's init-time registration on http.DefaultServeMux, so binaries
+// that do not pass -pprof never expose profiling.
+func NewServeMux(reg *Registry, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is abort the body.
+			return
+		}
+	})
+	publishExpvar(reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// expvarOnce guards the process-global expvar name. expvar.Publish
+// panics on duplicates, and tests build several muxes.
+var expvarOnce sync.Once
+
+// expvarReg is the registry currently exported under "dplearn_metrics";
+// guarded by expvarMu so late-constructed registries still show up.
+var (
+	expvarMu  sync.Mutex
+	expvarReg *Registry
+)
+
+func publishExpvar(reg *Registry) {
+	expvarMu.Lock()
+	expvarReg = reg
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("dplearn_metrics", expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarReg
+			expvarMu.Unlock()
+			return r.expvarSnapshot()
+		}))
+	})
+}
+
+// expvarSnapshot renders the registry as a JSON-friendly map:
+// family name -> {series label string -> value}.
+func (r *Registry) expvarSnapshot() map[string]map[string]any {
+	out := make(map[string]map[string]any)
+	for _, fam := range r.snapshotFamilies() {
+		m := make(map[string]any)
+		for _, s := range fam.sortedSeries() {
+			key := renderLabels(s.labels)
+			if key == "" {
+				key = "{}"
+			}
+			switch fam.kind {
+			case kindCounter:
+				m[key] = s.c.Value()
+			case kindGauge:
+				m[key] = s.g.Value()
+			default:
+				_, sum, count := s.h.Snapshot()
+				m[key] = map[string]any{"sum": sum, "count": count}
+			}
+		}
+		out[fam.name] = m
+	}
+	return out
+}
+
+// Serve starts the observability endpoint on addr in a background
+// goroutine and returns the bound listener address (useful with ":0")
+// and a shutdown func. The server lives for the duration of the run;
+// CLIs call the shutdown func on exit.
+func Serve(addr string, reg *Registry, withPprof bool) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: NewServeMux(reg, withPprof)}
+	go func() {
+		// ErrServerClosed on shutdown; anything else is lost by design —
+		// an observability endpoint must never take the workload down.
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// LedgerRecord is one line of the privacy ledger: the runtime account of
+// a single differentially-private release. It is the dynamic mirror of a
+// mechanism.SpendRecord — the ledger stays decoupled from the mechanism
+// package so that obs remains a pure-stdlib leaf; the accountant's
+// observer hook copies the fields across.
+type LedgerRecord struct {
+	// Seq is the accountant's monotonic sequence number: the arrival
+	// order of the spend under the accountant's lock.
+	Seq uint64 `json:"seq"`
+	// Mechanism is the release's kind ("gibbs", "laplace", ...).
+	Mechanism string `json:"mechanism,omitempty"`
+	// Sensitivity is the query's global sensitivity (Δq or ΔR̂).
+	Sensitivity float64 `json:"sensitivity,omitempty"`
+	// Epsilon and Delta are the (ε, δ) guarantee spent by the release.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta,omitempty"`
+	// Outcomes is the release's outcome domain size (|Θ| for a Gibbs
+	// draw, the output dimension for a Laplace vector), 0 if unknown.
+	Outcomes int `json:"outcomes,omitempty"`
+	// Duration is the release's duration in clock units (ns under
+	// WallClock, ticks under LogicalClock), 0 if untimed.
+	Duration int64 `json:"duration,omitempty"`
+	// Span is the id of the trace span enclosing the release, if any.
+	Span uint64 `json:"span,omitempty"`
+}
+
+// ledgerLine is LedgerRecord with the NDJSON type discriminator.
+type ledgerLine struct {
+	Type string `json:"type"`
+	LedgerRecord
+}
+
+// Ledger accumulates the privacy ledger of one run. It is safe for
+// concurrent use; a nil *Ledger is a valid no-op sink. When a Tracer is
+// attached, every record is additionally emitted as a "ledger" NDJSON
+// line into the trace stream, interleaved with spans.
+type Ledger struct {
+	mu     sync.Mutex
+	recs   []LedgerRecord
+	tracer *Tracer
+}
+
+// NewLedger returns an empty ledger. tracer may be nil; when set, each
+// Record is also written to the trace as an NDJSON "ledger" line.
+func NewLedger(tracer *Tracer) *Ledger {
+	return &Ledger{tracer: tracer}
+}
+
+// Record appends one release to the ledger (nil-safe).
+func (l *Ledger) Record(r LedgerRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.recs = append(l.recs, r)
+	tr := l.tracer
+	l.mu.Unlock()
+	if tr != nil {
+		tr.emit(ledgerLine{Type: "ledger", LedgerRecord: r})
+	}
+}
+
+// Len returns the number of recorded releases (nil-safe).
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Records returns a copy of the ledger sorted by sequence number — the
+// audit order of the releases.
+func (l *Ledger) Records() []LedgerRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := append([]LedgerRecord(nil), l.recs...)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Composed returns the basic sequential composition (Σεᵢ, Σδᵢ) of the
+// ledger via ComposeBasic, which sums in a canonical value order so the
+// result is bit-identical to mechanism.Accountant.BasicComposition on
+// the same multiset of guarantees, for every arrival order and worker
+// count.
+func (l *Ledger) Composed() (epsilon, delta float64) {
+	recs := l.Records()
+	eps := make([]float64, len(recs))
+	del := make([]float64, len(recs))
+	for i, r := range recs {
+		eps[i], del[i] = r.Epsilon, r.Delta
+	}
+	return ComposeBasic(eps, del)
+}
+
+// ComposeBasic is the canonical basic-composition sum shared (by exact
+// algorithm, not by import) with mechanism.Accountant.BasicComposition:
+// the (ε, δ) pairs are sorted ascending by ε then δ, and each component
+// is summed with Neumaier-compensated (Kahan) addition. The canonical
+// order makes the composed guarantee a pure function of the *multiset*
+// of spends — reproducible when concurrent workers interleave their
+// spends differently across runs or worker counts.
+func ComposeBasic(eps, del []float64) (epsilon, delta float64) {
+	idx := make([]int, len(eps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if eps[ia] != eps[ib] { //dplint:ignore floateq canonical-order tie test: exact value comparison is the point
+			return eps[ia] < eps[ib]
+		}
+		return del[ia] < del[ib]
+	})
+	var se, ce, sd, cd float64
+	for _, i := range idx {
+		se, ce = kahanAdd(se, ce, eps[i])
+		sd, cd = kahanAdd(sd, cd, del[i])
+	}
+	return se + ce, sd + cd
+}
+
+// kahanAdd is one Neumaier-compensated accumulation step, mirroring
+// mathx.KahanSum.Add exactly (same branch, same operation order) so the
+// ledger's sums reproduce the accountant's bit-for-bit.
+func kahanAdd(sum, c, x float64) (newSum, newC float64) {
+	t := sum + x
+	if math.Abs(sum) >= math.Abs(x) {
+		c += (sum - t) + x
+	} else {
+		c += (x - t) + sum
+	}
+	return t, c
+}
+
+// WriteNDJSON writes the ledger (in sequence order) as NDJSON "ledger"
+// lines — the same shape the Tracer interleaves into a trace stream.
+func (l *Ledger) WriteNDJSON(w io.Writer) error {
+	for _, r := range l.Records() {
+		b, err := json.Marshal(ledgerLine{Type: "ledger", LedgerRecord: r})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLedgerNDJSON extracts the ledger records from an NDJSON stream,
+// skipping span and event lines, and returns them sorted by sequence
+// number. Lines that are not valid JSON objects are an error — the
+// ledger is an audit artifact, so a corrupt line must not be dropped
+// silently.
+func ReadLedgerNDJSON(r io.Reader) ([]LedgerRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []LedgerRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec ledgerLine
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if rec.Type == "ledger" {
+			out = append(out, rec.LedgerRecord)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}

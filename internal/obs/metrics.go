@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a process-local metrics registry: counters, gauges, and
+// fixed-bucket histograms, each identified by a metric family name plus
+// an optional, fixed label set. Get-or-create accessors make call sites
+// self-registering; exposition (prometheus.go) renders families in
+// sorted name order and series in sorted label order, so the /metrics
+// payload is stable and golden-testable.
+//
+// Registry is safe for concurrent use. The get-or-create path takes a
+// mutex, so hot loops should resolve their instruments once and hold
+// the returned pointer; Counter/Gauge/Histogram updates themselves are
+// lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// metricKind discriminates the family types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name with its help text and labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram families only
+	series  map[string]*series
+}
+
+// series is one labeled instrument within a family.
+type series struct {
+	labels []labelPair
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type labelPair struct{ k, v string }
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey canonicalizes a label set (sorted by key) into a map key.
+func labelKey(pairs []labelPair) string {
+	var b strings.Builder
+	for _, p := range pairs {
+		b.WriteString(p.k)
+		b.WriteByte('\x00')
+		b.WriteString(p.v)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// parseLabels validates and sorts a k1, v1, k2, v2, ... variadic list.
+func parseLabels(labels []string) []labelPair {
+	if len(labels)%2 != 0 {
+		panic("obs: labels must come in key/value pairs")
+	}
+	pairs := make([]labelPair, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if labels[i] == "" {
+			panic("obs: empty label key")
+		}
+		pairs = append(pairs, labelPair{k: labels[i], v: labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	return pairs
+}
+
+// getOrCreate resolves the series for (name, labels), creating family
+// and series as needed. Re-registering a name with a different kind is
+// a programming error and panics.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, buckets []float64, labels []string) *series {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	pairs := parseLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, buckets: buckets, series: make(map[string]*series)}
+		r.families[name] = fam
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, fam.kind))
+	}
+	key := labelKey(pairs)
+	s, ok := fam.series[key]
+	if !ok {
+		s = &series{labels: pairs}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(fam.buckets)
+		}
+		fam.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the monotonically increasing counter for (name,
+// labels), creating it on first use. labels are key/value pairs:
+// r.Counter("dplearn_risk_cache_hits_total", "…", "cache", "risks").
+// On a nil registry it returns a nil (no-op) counter, so instrumented
+// code never branches on whether metrics are wired.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use
+// (nil registry → nil no-op gauge).
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram returns the fixed-bucket histogram for (name, labels). The
+// bucket upper bounds must be sorted ascending; they are fixed by the
+// first registration of the family and shared by all its series (the
+// Prometheus histogram contract). A nil registry returns a nil (no-op)
+// histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets must be sorted ascending")
+		}
+	}
+	return r.getOrCreate(name, help, kindHistogram, buckets, labels).h
+}
+
+// Counter is a lock-free monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one (nil-safe).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (nil-safe; negative n panics — counters only go up).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (nil-safe).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (nil-safe).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta via compare-and-swap (nil-safe).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (nil-safe).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: counts of observations at most
+// each upper bound, plus a running sum and total count. Observation is
+// lock-free (atomic per-bucket adds).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus the +Inf overflow slot
+	sum    Gauge
+	total  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample (nil-safe).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot returns the cumulative bucket counts (one per bound, then
+// +Inf), the sum, and the total count.
+func (h *Histogram) Snapshot() (cumulative []uint64, sum float64, count uint64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	cumulative = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cumulative[i] = run
+	}
+	return cumulative, h.sum.Value(), h.total.Load()
+}
+
+// snapshotFamilies returns a stable-ordered copy of the registry for
+// exposition: families sorted by name, series sorted by label key.
+func (r *Registry) snapshotFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns f's series in canonical label order.
+func (f *family) sortedSeries() []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	return out
+}

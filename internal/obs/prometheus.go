@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE header per family, then
+// one line per series, families in sorted name order and series in
+// sorted label order. Histograms render cumulative le-buckets (ending
+// with le="+Inf"), a _sum, and a _count, per the format contract.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.snapshotFamilies() {
+		if fam.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, s := range fam.sortedSeries() {
+			if err := writeSeries(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, fam *family, s *series) error {
+	switch fam.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, renderLabels(s.labels), s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(s.labels), formatValue(s.g.Value()))
+		return err
+	default:
+		cum, sum, count := s.h.Snapshot()
+		for i, bound := range fam.buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				fam.name, renderLabels(withLE(s.labels, formatValue(bound))), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			fam.name, renderLabels(withLE(s.labels, "+Inf")), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(s.labels), formatValue(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(s.labels), count)
+		return err
+	}
+}
+
+// withLE returns pairs plus a trailing le label, never aliasing the
+// series' own slice.
+func withLE(pairs []labelPair, le string) []labelPair {
+	out := make([]labelPair, len(pairs), len(pairs)+1)
+	copy(out, pairs)
+	return append(out, labelPair{k: "le", v: le})
+}
+
+// renderLabels renders {k="v",...}, or "" for an unlabeled series. The
+// caller passes labels already in canonical order; the le label is
+// appended last, matching common exposition practice.
+func renderLabels(pairs []labelPair) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline in a
+// label value.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

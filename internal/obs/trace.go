@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Tracer writes a structured trace as NDJSON: one JSON object per line,
+// each carrying a "type" discriminator ("span", "event", or "ledger").
+// Spans form a tree through parent IDs; typed events attach to spans.
+// A nil *Tracer is a valid no-op sink.
+//
+// Tracer is safe for concurrent use. Records are written when a span
+// ends (not when it starts), so a trace file lists spans in completion
+// order; readers reconstruct the tree from the id/parent fields.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock Clock
+	ids   atomic.Uint64
+	err   error
+}
+
+// NewTracer returns a tracer writing NDJSON records to w, stamping them
+// with clock (nil defaults to WallClock). Write errors are sticky and
+// reported by Err, so hot paths never handle I/O failures inline.
+func NewTracer(w io.Writer, clock Clock) *Tracer {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Tracer{w: w, clock: clock}
+}
+
+// Err returns the first write or encoding error the tracer has hit.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// emit marshals one record to a single NDJSON line.
+func (t *Tracer) emit(rec any) {
+	b, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(append(b, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Span is one timed operation in the trace tree. All methods are
+// nil-safe, so instrumented code calls them unconditionally.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  int64
+	mu     sync.Mutex
+	attrs  map[string]any
+	ended  bool
+}
+
+// spanRecord is the NDJSON shape of a completed span.
+type spanRecord struct {
+	Type   string         `json:"type"`
+	ID     uint64         `json:"id"`
+	Parent uint64         `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  int64          `json:"start"`
+	End    int64          `json:"end"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// eventRecord is the NDJSON shape of a typed event.
+type eventRecord struct {
+	Type   string         `json:"type"`
+	Span   uint64         `json:"span,omitempty"`
+	TS     int64          `json:"ts"`
+	Kind   string         `json:"kind"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// StartSpan opens a root span (nil-safe).
+func (t *Tracer) StartSpan(name string) *Span {
+	return t.startSpan(name, 0)
+}
+
+func (t *Tracer) startSpan(name string, parent uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		id:     t.ids.Add(1),
+		parent: parent,
+		name:   name,
+		start:  t.clock.Now(),
+	}
+}
+
+// Child opens a sub-span of s (nil-safe: a nil parent yields nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.startSpan(name, s.id)
+}
+
+// ID returns the span's trace-unique id (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr attaches a key/value attribute, rendered into the span record
+// at End (nil-safe).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+}
+
+// Event emits a typed event attached to s immediately (nil-safe).
+func (s *Span) Event(kind string, fields map[string]any) {
+	if s == nil {
+		return
+	}
+	s.tracer.emit(eventRecord{
+		Type:   "event",
+		Span:   s.id,
+		TS:     s.tracer.clock.Now(),
+		Kind:   kind,
+		Fields: fields,
+	})
+}
+
+// End closes the span and writes its record. A second End is a no-op,
+// as is End on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.tracer.emit(spanRecord{
+		Type:   "span",
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		End:    s.tracer.clock.Now(),
+		Attrs:  attrs,
+	})
+}

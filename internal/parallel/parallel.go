@@ -33,10 +33,12 @@ package parallel
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // Options configures worker fan-out for a computation. The zero value
@@ -48,6 +50,15 @@ type Options struct {
 	// Workers is the maximum number of concurrent workers. 0 means
 	// GOMAXPROCS; 1 means serial; negative values are treated as 0.
 	Workers int
+	// Obs optionally receives engine telemetry: run and chunk counts,
+	// and per-worker chunk claims (utilization under work stealing).
+	// Because Options is the one knob every hot path threads through
+	// (core.Config.Parallel → gibbs, channel, sweeps), setting Obs here
+	// instruments the whole pipeline. Instrumentation only observes — it
+	// never changes chunk geometry, reduction order, or scheduling — so
+	// results stay bit-identical with or without an Observer (see the
+	// determinism contract above; the golden test pins this).
+	Obs *obs.Observer
 }
 
 // Resolve returns the effective worker count for a problem of size n:
@@ -139,16 +150,18 @@ func ForGrain(n, grain int, opts Options, body func(lo, hi int)) {
 			hi := min(lo+size, n)
 			body(lo, hi)
 		}
+		recordRun(opts.Obs, "serial", []int64{int64(chunks)})
 		return
 	}
 	if workers > chunks {
 		workers = chunks
 	}
+	claims := make([]int64, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			for {
 				c := int(next.Add(1)) - 1
@@ -158,10 +171,38 @@ func ForGrain(n, grain int, opts Options, body func(lo, hi int)) {
 				lo := c * size
 				hi := min(lo+size, n)
 				body(lo, hi)
+				claims[slot]++
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	recordRun(opts.Obs, "parallel", claims)
+}
+
+// recordRun publishes one engine run's telemetry: the execution mode,
+// the total chunk count, and per-worker-slot chunk claims. Workers claim
+// chunks from a shared counter, so the per-slot claim distribution is
+// exactly the engine's utilization profile — a starved slot shows up as
+// a lagging dplearn_parallel_worker_chunks_total series.
+func recordRun(o *obs.Observer, mode string, claims []int64) {
+	reg := o.Reg()
+	if reg == nil {
+		return
+	}
+	var total uint64
+	for _, c := range claims {
+		total += uint64(c)
+	}
+	reg.Counter("dplearn_parallel_runs_total",
+		"parallel-engine runs by execution mode", "mode", mode).Inc()
+	reg.Counter("dplearn_parallel_chunks_total",
+		"index chunks processed by the parallel engine").Add(total)
+	for w, c := range claims {
+		if c > 0 {
+			reg.Counter("dplearn_parallel_worker_chunks_total",
+				"chunks claimed per worker slot (utilization)", "worker", strconv.Itoa(w)).Add(uint64(c))
+		}
+	}
 }
 
 // Map fills and returns out[i] = f(i) for i in [0, n). Each slot is an
