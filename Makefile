@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json race cover bench bench-json experiments quick-experiments fmt fmt-check fuzz-smoke
+.PHONY: all build test vet lint lint-json race cover bench bench-json experiments quick-experiments fmt fmt-check fuzz-smoke chaos
 
 all: build vet lint test
 
@@ -38,6 +38,16 @@ fuzz-smoke:
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogAddExp$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogSumExp$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogNormalize$$' -fuzztime $(FUZZTIME)
+
+# Chaos battery: deterministic fault injection (worker panics, budget
+# denials, NaN risks, checkpoint-write failures) plus the robustness
+# test surfaces it leans on, all under the race detector. The fault
+# schedule is a pure function of (seed, class, key), so a failure here
+# reproduces exactly with the same seed.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/faults
+	$(GO) test -race ./internal/faults ./internal/checkpoint ./internal/parallel ./internal/mechanism
+	$(GO) test -race -run 'TestSweep|TestGoldenDeterminismCheckpointResume|TestBudgetedLedgerMatchesAccountant' ./internal/experiments .
 
 cover:
 	$(GO) test -cover ./...

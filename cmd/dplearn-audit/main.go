@@ -11,9 +11,15 @@
 // and /debug/vars, and -pprof adds /debug/pprof on the same endpoint —
 // useful because the Monte-Carlo sampler is the costliest loop in the
 // repository.
+// -timeout bounds the run; ^C cancels the Monte-Carlo sampler (between
+// sample batches) or the exact auditor (between neighbor pairs) and
+// exits non-zero after flushing the trace. A canceled audit reports no
+// partial ε̂ — a truncated sample would silently understate the loss.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +41,7 @@ func main() {
 	n := flag.Int("n", 100, "dataset size")
 	samples := flag.Int("samples", 200_000, "Monte-Carlo samples (laplace only)")
 	seed := flag.Int64("seed", 1, "random seed")
+	timeout := flag.Duration("timeout", 0, "abort the audit after this duration (0 = no limit)")
 	var obsFlags obsglue.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -43,6 +50,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
 	if rt.Addr != "" {
 		fmt.Fprintf(os.Stderr, "dplearn-audit: metrics on http://%s/metrics\n", rt.Addr)
 	}
@@ -61,7 +70,7 @@ func main() {
 		}
 		pair := audit.WorstCaseBinaryPair(*n)
 		//dp:observer audit harness: samples the mechanism's output distribution to estimate realized eps, not a release path
-		res, err := audit.SampleContinuous(func(d *dataset.Dataset, h *rng.RNG) float64 {
+		res, err := audit.SampleContinuousCtx(ctx, func(d *dataset.Dataset, h *rng.RNG) float64 {
 			return m.Release(d, h)[0]
 		}, pair, *samples, 60, *samples/200, g)
 		if err != nil {
@@ -85,7 +94,10 @@ func main() {
 			return d
 		}
 		pairs := audit.RandomNeighborPairs(gen, 500, g)
-		got := audit.ExactAudit(m, pairs)
+		got, err := audit.ExactAuditCtx(ctx, m, pairs)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("exponential mechanism (private median): claimed eps=%.4g, exact audited eps=%.4g over %d pairs\n",
 			m.Guarantee().Epsilon, got, len(pairs))
 	case "gibbs":
@@ -99,7 +111,10 @@ func main() {
 		model := dataset.LogisticModel{Weights: []float64{2}}
 		gen := func(h *rng.RNG) *dataset.Dataset { return model.Generate(*n, h) }
 		pairs := audit.RandomNeighborPairs(gen, 500, g)
-		got := audit.ExactAudit(est, pairs)
+		got, err := audit.ExactAuditCtx(ctx, est, pairs)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("gibbs estimator (0-1 loss, lambda=%.4g): claimed eps=%.4g, exact audited eps=%.4g over %d pairs\n",
 			lambda, est.Guarantee(*n).Epsilon, got, len(pairs))
 	default:
@@ -112,6 +127,10 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "dplearn-audit: %v\n", err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dplearn-audit: interrupted: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "dplearn-audit: %v\n", err)
+	}
 	os.Exit(1)
 }

@@ -12,9 +12,15 @@
 //
 //	parallel  → ./internal/parallel  → BENCH_parallel.json
 //	mechanism → ./internal/mechanism → BENCH_mechanism.json
+//
+// -timeout bounds the whole run; ^C or the deadline kills the in-flight
+// `go test` child, no partial artifact is written for the interrupted
+// suite, and the process exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obsglue"
 )
 
 // suites maps -suite names to the package each one benchmarks.
@@ -39,7 +46,11 @@ func main() {
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (1x = one iteration, CI-friendly)")
 	suiteList := flag.String("suite", strings.Join(suiteOrder, ","), "comma-separated suites to run")
 	goBin := flag.String("go", "go", "go tool to invoke")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
 
 	for _, name := range strings.Split(*suiteList, ",") {
 		name = strings.TrimSpace(name)
@@ -47,26 +58,31 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown suite %q (have: %s)", name, strings.Join(suiteOrder, ", ")))
 		}
-		if err := runSuite(*goBin, name, pkg, *benchtime, *outDir); err != nil {
+		if err := runSuite(ctx, *goBin, name, pkg, *benchtime, *outDir); err != nil {
 			fatal(err)
 		}
 	}
 }
 
 // runSuite runs one package's benchmarks and writes its JSON artifact.
-func runSuite(goBin, name, pkg, benchtime, outDir string) error {
-	cmd := exec.Command(goBin, "test", "-run", "^$", "-bench", ".", "-benchmem", "-benchtime", benchtime, pkg)
+// The child inherits ctx, so cancellation kills it and the suite's
+// artifact is never written from a truncated benchmark log.
+func runSuite(ctx context.Context, goBin, name, pkg, benchtime, outDir string) error {
+	cmd := exec.CommandContext(ctx, goBin, "test", "-run", "^$", "-bench", ".", "-benchmem", "-benchtime", benchtime, pkg)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return fmt.Errorf("dplearn-bench: %s: %w", name, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%s: %w", name, cerr)
+		}
+		return fmt.Errorf("%s: %w", name, err)
 	}
 	rep, err := obs.ParseBench(strings.NewReader(string(out)))
 	if err != nil {
-		return fmt.Errorf("dplearn-bench: parse %s: %w", name, err)
+		return fmt.Errorf("parse %s: %w", name, err)
 	}
 	if len(rep.Results) == 0 {
-		return fmt.Errorf("dplearn-bench: %s produced no benchmark lines", name)
+		return fmt.Errorf("%s produced no benchmark lines", name)
 	}
 	path := filepath.Join(outDir, "BENCH_"+name+".json")
 	f, err := os.Create(path)
@@ -84,7 +100,13 @@ func runSuite(goBin, name, pkg, benchtime, outDir string) error {
 	return nil
 }
 
+// fatal prints the error and exits non-zero; a canceled run gets a
+// distinct interruption message so scripts can tell ^C from failure.
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dplearn-bench: %v\n", err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dplearn-bench: interrupted: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "dplearn-bench: %v\n", err)
+	}
 	os.Exit(1)
 }

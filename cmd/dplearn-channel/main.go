@@ -6,9 +6,14 @@
 // Usage:
 //
 //	dplearn-channel [-n 10] [-p 0.5] [-thetas 5] [-eps 0.1,0.5,2] [-matrix]
+//
+// -timeout bounds the run; ^C cancels the channel construction and the
+// Blahut–Arimoto capacity iteration between chunks and exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -21,6 +26,8 @@ import (
 	"repro/internal/gibbs"
 	"repro/internal/infotheory"
 	"repro/internal/mathx"
+	"repro/internal/obsglue"
+	"repro/internal/parallel"
 )
 
 // meanLoss is the bounded mean-estimation loss (θ − x)² on binary records.
@@ -39,7 +46,11 @@ func main() {
 	points := flag.Int("thetas", 5, "number of candidate predictors on [0,1]")
 	epsList := flag.String("eps", "0.1,0.5,2", "comma-separated per-record privacy levels")
 	showMatrix := flag.Bool("matrix", false, "print the full channel matrix")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
 
 	inputs, logPX := channel.CountSampleSpace(*n, *p)
 	axis := mathx.Linspace(0, 1, *points)
@@ -52,29 +63,24 @@ func main() {
 	for _, tok := range strings.Split(*epsList, ",") {
 		eps, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dplearn-channel: bad eps %q: %v\n", tok, err)
-			os.Exit(1)
+			fail(fmt.Errorf("bad eps %q: %w", tok, err))
 		}
 		lambda := gibbs.LambdaForEpsilon(eps, meanLoss{}, *n)
 		est, err := gibbs.New(meanLoss{}, thetas, nil, lambda)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dplearn-channel: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
-		ch, err := channel.FromMechanism(inputs, logPX, est)
+		ch, err := channel.FromMechanismCtx(ctx, inputs, logPX, est, parallel.Options{})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dplearn-channel: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		mi, err := ch.MutualInformation()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dplearn-channel: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
-		capacity, err := ch.Capacity(1e-9, 50000)
+		capacity, err := ch.CapacityCtx(ctx, 1e-9, 50000)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dplearn-channel: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		cap2 := channel.DPLeakageCapNats(eps, *n)
 		fmt.Printf("eps/record=%.3g  lambda=%.4g  I(Z;theta)=%.4g bits  capacity=%.4g bits  eps*n cap=%.4g bits\n",
@@ -91,4 +97,15 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// fail prints the error and exits non-zero; a canceled run gets a
+// distinct interruption message so scripts can tell ^C from failure.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dplearn-channel: interrupted: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "dplearn-channel: %v\n", err)
+	}
+	os.Exit(1)
 }

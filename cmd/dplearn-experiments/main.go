@@ -14,14 +14,26 @@
 // (worker utilization, risk-cache hit rates) and /debug/vars, and -pprof
 // adds /debug/pprof on the same endpoint. Tables are bit-identical with
 // instrumentation on or off.
+//
+// Robustness: -timeout bounds the run and ^C drains gracefully (claimed
+// sweep cells finish, the ledger flushes, the process exits non-zero).
+// -checkpoint DIR persists each completed sweep cell to
+// DIR/<ID>.ndjson; rerunning with -resume skips the recorded cells and
+// produces bit-identical tables. Checkpointed runs execute the
+// experiments sequentially (one log per experiment), so -parallel
+// applies only without -checkpoint.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/obsglue"
 )
@@ -31,21 +43,29 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed for reproducibility")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	format := flag.String("format", "text", "output format: text, csv, or json")
-	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently")
+	parallel := flag.Int("parallel", 1, "number of experiments to run concurrently (ignored with -checkpoint)")
 	workers := flag.Int("workers", 0, "worker fan-out inside each experiment's sweep (0 = all CPUs, 1 = serial; results are identical either way)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	ckDir := flag.String("checkpoint", "", "persist completed sweep cells to this directory (one NDJSON log per experiment)")
+	resume := flag.Bool("resume", false, "skip sweep cells already recorded in -checkpoint logs")
 	var obsFlags obsglue.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	rt, err := obsglue.Start(obsFlags)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", err)
-		os.Exit(1)
+		fatal(nil, err)
 	}
 	if rt.Addr != "" {
 		fmt.Fprintf(os.Stderr, "dplearn-experiments: metrics on http://%s/metrics\n", rt.Addr)
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Obs: rt.Obs}
+	if *resume && *ckDir == "" {
+		fatal(rt, errors.New("-resume requires -checkpoint"))
+	}
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers, Obs: rt.Obs, Ctx: ctx}
 	ids := experiments.IDs()
 	if *runIDs != "" {
 		ids = strings.Split(*runIDs, ",")
@@ -53,19 +73,77 @@ func main() {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
 	}
-	tables, err := experiments.RunMany(ids, opts, *parallel)
+	var tables []*experiments.Table
+	if *ckDir != "" {
+		tables, err = runCheckpointed(ids, opts, *ckDir, *resume)
+	} else {
+		tables, err = experiments.RunMany(ids, opts, *parallel)
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", err)
-		os.Exit(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Graceful drain: completed cells are checkpointed (when
+			// -checkpoint is on) and the ledger flushes on the way out.
+			fmt.Fprintf(os.Stderr, "dplearn-experiments: interrupted: %v\n", err)
+			if *ckDir != "" {
+				fmt.Fprintf(os.Stderr, "dplearn-experiments: rerun with -checkpoint %s -resume to continue\n", *ckDir)
+			}
+			if cerr := rt.Close(os.Stderr); cerr != nil {
+				fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", cerr)
+			}
+			os.Exit(1)
+		}
+		fatal(rt, err)
 	}
 	for _, t := range tables {
+		if t == nil {
+			continue
+		}
 		if err := t.RenderAs(os.Stdout, experiments.Format(*format)); err != nil {
-			fmt.Fprintf(os.Stderr, "dplearn-experiments: render: %v\n", err)
-			os.Exit(1)
+			fatal(rt, fmt.Errorf("render: %w", err))
 		}
 	}
 	if err := rt.Close(os.Stderr); err != nil {
-		fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", err)
-		os.Exit(1)
+		fatal(nil, err)
 	}
+}
+
+// runCheckpointed executes the experiments sequentially, giving each its
+// own cell log under dir. Logs must not be shared: experiments derive
+// their sweep-cell seeds from the same root seed, so two experiments'
+// (cell, seed) keys can collide and cross-poison a shared log.
+func runCheckpointed(ids []string, opts experiments.Options, dir string, resume bool) ([]*experiments.Table, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	tables := make([]*experiments.Table, len(ids))
+	for i, id := range ids {
+		ck, err := checkpoint.Open(filepath.Join(dir, id+".ndjson"), resume)
+		if err != nil {
+			return tables, fmt.Errorf("%s: checkpoint: %w", id, err)
+		}
+		if resume && ck.Len() > 0 {
+			fmt.Fprintf(os.Stderr, "dplearn-experiments: %s: resuming past %d checkpointed cell(s)\n", id, ck.Len())
+		}
+		o := opts
+		o.Checkpoint = ck
+		t, err := experiments.Run(id, o)
+		if cerr := ck.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return tables, fmt.Errorf("%s: %w", id, err)
+		}
+		tables[i] = t
+	}
+	return tables, nil
+}
+
+// fatal flushes the ledger (best effort) before exiting non-zero, so
+// even a failed run leaves auditable books.
+func fatal(rt *obsglue.Runtime, err error) {
+	fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", err)
+	if cerr := rt.Close(os.Stderr); cerr != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-experiments: %v\n", cerr)
+	}
+	os.Exit(1)
 }

@@ -16,16 +16,24 @@
 //	-warn a,b,c     downgrade the named checks to warning severity
 //	-no-tests       skip _test.go files entirely
 //	-list           list registered checks and exit
+//	-timeout d      abort the run after this duration (0 = no limit)
+//
+// ^C or the -timeout deadline cancels the analysis between passes; an
+// interrupted run exits 2 without reporting a partial (and therefore
+// misleadingly clean) finding list.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/obsglue"
 )
 
 func main() {
@@ -57,9 +65,13 @@ func run(args []string) int {
 	warnFlag := fs.String("warn", "", "comma-separated check ids downgraded to warnings")
 	noTests := fs.Bool("no-tests", false, "skip _test.go files")
 	list := fs.Bool("list", false, "list registered checks and exit")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -97,8 +109,12 @@ func run(args []string) int {
 	failures := 0
 	if *jsonOut {
 		// NDJSON keeps suppressed findings visible; text mode hides them.
+		diags, err := analysis.RunAllCtx(ctx, pkgs, checks)
+		if err != nil {
+			return interrupted(err)
+		}
 		enc := json.NewEncoder(os.Stdout)
-		for _, d := range analysis.RunAll(pkgs, checks) {
+		for _, d := range diags {
 			if err := enc.Encode(jsonDiag{
 				Check:          d.Check,
 				Severity:       d.Severity.String(),
@@ -117,7 +133,10 @@ func run(args []string) int {
 			}
 		}
 	} else {
-		diags := analysis.Run(pkgs, checks)
+		diags, err := analysis.RunCtx(ctx, pkgs, checks)
+		if err != nil {
+			return interrupted(err)
+		}
 		for _, d := range diags {
 			fmt.Fprintln(os.Stdout, d.String())
 			if d.Severity == analysis.Error {
@@ -132,6 +151,18 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// interrupted reports a canceled analysis and picks the driver-error
+// exit code: an interrupted run must not exit 0, because its (discarded)
+// finding list would read as lint-clean.
+func interrupted(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "dplearn-lint: interrupted:", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+	}
+	return 2
 }
 
 // selectChecks resolves -checks and -warn into the analyzer set to run,

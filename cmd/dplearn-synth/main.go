@@ -5,9 +5,15 @@
 // Usage:
 //
 //	dplearn-synth [-n 5000] [-domain 16] [-rounds 8] [-eps 1] [-seed 1]
+//
+// -timeout bounds the run; ^C cancels MWEM at the next round boundary
+// (completed rounds have already spent their per-round budget) and
+// exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +21,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/mechanism"
+	"repro/internal/obsglue"
 	"repro/internal/rng"
 )
 
@@ -24,7 +31,11 @@ func main() {
 	rounds := flag.Int("rounds", 8, "MWEM rounds T")
 	eps := flag.Float64("eps", 1.0, "total privacy budget")
 	seed := flag.Int64("seed", 1, "random seed")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
 
 	g := rng.New(*seed)
 	// Synthetic "age-like" skewed integer data.
@@ -42,14 +53,12 @@ func main() {
 	queries := mechanism.IntervalQueries(*domain)
 	m, err := mechanism.NewMWEM(*domain, queries, *rounds, *eps)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dplearn-synth: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	truth := m.Histogram(d)
-	synth, err := m.Run(d, g)
+	synth, err := m.RunCtx(ctx, d, g)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dplearn-synth: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	uniform := make([]float64, *domain)
 	for v := range uniform {
@@ -67,4 +76,15 @@ func main() {
 	}
 	fmt.Printf("\nmax interval-query error: mwem=%.4f, uniform baseline=%.4f\n",
 		m.MaxQueryError(synth, truth), m.MaxQueryError(uniform, truth))
+}
+
+// fail prints the error and exits non-zero; a canceled run gets a
+// distinct interruption message so scripts can tell ^C from failure.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dplearn-synth: interrupted: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "dplearn-synth: %v\n", err)
+	}
+	os.Exit(1)
 }

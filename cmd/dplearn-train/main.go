@@ -12,9 +12,18 @@
 // and a ledger-vs-accountant cross-check print on exit), -metrics-addr
 // serves /metrics (Prometheus text) and /debug/vars, and -pprof adds
 // /debug/pprof on the same endpoint.
+//
+// Robustness: -timeout bounds the run and ^C drains gracefully (claimed
+// work finishes, the ledger flushes, the process exits non-zero).
+// -budget caps the total ε the accountant may spend across -fits
+// repeated fits; -degrade picks what happens when the cap cannot admit
+// another release (refuse the fit, re-release the cached predictor for
+// free, or widen the posterior to the remaining budget).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,13 +47,17 @@ func main() {
 	gridPts := flag.Int("grid", 9, "grid points per dimension")
 	box := flag.Float64("box", 2, "coefficient box half-width")
 	seed := flag.Int64("seed", 1, "random seed")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	budget := flag.Float64("budget", 0, "total ε the accountant may spend across all fits (0 = unlimited)")
+	degrade := flag.String("degrade", "refuse", "what to do when -budget cannot admit a fit: refuse, fallback, or widen")
+	fits := flag.Int("fits", 1, "number of repeated fits (each spends ε against -budget)")
 	var obsFlags obsglue.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	rt, err := obsglue.Start(obsFlags)
 	if err != nil {
-		fatal(err)
+		fatal(nil, err)
 	}
 	if rt.Addr != "" {
 		fmt.Fprintf(os.Stderr, "dplearn-train: metrics on http://%s/metrics\n", rt.Addr)
@@ -61,18 +74,18 @@ func main() {
 		for _, pair := range strings.Split(*labelMap, ",") {
 			kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
 			if len(kv) != 2 {
-				fatal(fmt.Errorf("bad -labelmap entry %q", pair))
+				fatal(rt, fmt.Errorf("bad -labelmap entry %q", pair))
 			}
 			v, err := strconv.ParseFloat(kv[1], 64)
 			if err != nil {
-				fatal(err)
+				fatal(rt, err)
 			}
 			lm[kv[0]] = v
 		}
 	}
 	f, err := os.Open(*csvPath)
 	if err != nil {
-		fatal(err)
+		fatal(rt, err)
 	}
 	defer f.Close() //dplint:ignore errdrop read-only file: a close error after successful reads cannot lose data
 	d, err := dataset.FromCSV(f, dataset.CSVOptions{
@@ -81,12 +94,24 @@ func main() {
 		LabelMap:    lm,
 	})
 	if err != nil {
-		fatal(err)
+		fatal(rt, err)
 	}
 	d.NormalizeRows()
 
+	policy, err := dplearn.ParseDegradePolicy(*degrade)
+	if err != nil {
+		fatal(rt, err)
+	}
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
+
 	var acct dplearn.Accountant
 	acct.SetObserver(rt.Sink())
+	if *budget > 0 {
+		if err := acct.SetBudget(dplearn.Guarantee{Epsilon: *budget}); err != nil {
+			fatal(rt, err)
+		}
+	}
 	grid := learn.NewGrid(-*box, *box, d.Dim(), *gridPts)
 	learner, err := dplearn.NewLearner(dplearn.Config{
 		Loss:     learn.ZeroOneLoss{},
@@ -94,33 +119,63 @@ func main() {
 		Epsilon:  *eps,
 		Delta:    *delta,
 		Acct:     &acct,
+		Degrade:  policy,
 		Parallel: parallel.Options{Obs: rt.Obs},
 	})
 	if err != nil {
-		fatal(err)
+		fatal(rt, err)
 	}
 	g := dplearn.NewRNG(*seed)
-	fit, err := learner.Fit(d, g)
-	if err != nil {
-		fatal(err)
-	}
-	if err := rt.CrossCheck(&acct); err != nil {
-		fatal(err)
-	}
 
 	fmt.Printf("loaded %d examples with %d features from %s\n", d.Len(), d.Dim(), *csvPath)
-	fmt.Printf("predictor: %v\n", fit.Theta)
-	fmt.Printf("training 0-1 error: %.4f\n", learn.ClassificationError(fit.Theta, d))
-	c := fit.Certificate
-	fmt.Printf("privacy certificate (Theorem 4.1): %s at lambda=%.4g\n", c.Privacy, c.Lambda)
-	fmt.Printf("risk certificate (Theorem 3.1): true risk <= %.4f w.p. %.0f%%\n", c.RiskBound, 100*(1-c.Delta))
-	fmt.Printf("posterior stats: E[emp risk]=%.4f, KL=%.4f nats\n", c.ExpEmpRisk, c.KL)
+	for i := 0; i < *fits; i++ {
+		fit, err := learner.FitCtx(ctx, d, g)
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// Graceful drain: the books are balanced; flush them and leave
+			// with a non-zero status so scripts see the interruption.
+			fmt.Fprintf(os.Stderr, "dplearn-train: fit %d/%d interrupted: %v\n", i+1, *fits, err)
+			if cerr := rt.Close(os.Stderr); cerr != nil {
+				fmt.Fprintf(os.Stderr, "dplearn-train: %v\n", cerr)
+			}
+			os.Exit(1)
+		case errors.Is(err, dplearn.ErrBudgetExhausted):
+			fatal(rt, fmt.Errorf("fit %d/%d refused: %w (retry with -degrade fallback|widen or a larger -budget)", i+1, *fits, err))
+		default:
+			fatal(rt, err)
+		}
+		if *fits > 1 {
+			fmt.Printf("--- fit %d/%d ---\n", i+1, *fits)
+		}
+		if fit.Degraded {
+			fmt.Printf("degraded: budget could not admit eps=%g; applied policy %s\n", *eps, fit.Policy)
+		}
+		fmt.Printf("predictor: %v\n", fit.Theta)
+		fmt.Printf("training 0-1 error: %.4f\n", learn.ClassificationError(fit.Theta, d))
+		c := fit.Certificate
+		fmt.Printf("privacy certificate (Theorem 4.1): %s at lambda=%.4g\n", c.Privacy, c.Lambda)
+		fmt.Printf("risk certificate (Theorem 3.1): true risk <= %.4f w.p. %.0f%%\n", c.RiskBound, 100*(1-c.Delta))
+		fmt.Printf("posterior stats: E[emp risk]=%.4f, KL=%.4f nats\n", c.ExpEmpRisk, c.KL)
+	}
+	if err := rt.CrossCheck(&acct); err != nil {
+		fatal(rt, err)
+	}
+	if *budget > 0 {
+		spent := acct.BasicComposition()
+		fmt.Printf("budget: spent eps=%.4g of %.4g across %d accounted release(s)\n", spent.Epsilon, *budget, acct.Count())
+	}
 	if err := rt.Close(os.Stderr); err != nil {
-		fatal(err)
+		fatal(nil, err)
 	}
 }
 
-func fatal(err error) {
+// fatal flushes the ledger (best effort) before exiting non-zero, so
+// even a failed run leaves auditable books.
+func fatal(rt *obsglue.Runtime, err error) {
 	fmt.Fprintf(os.Stderr, "dplearn-train: %v\n", err)
+	if cerr := rt.Close(os.Stderr); cerr != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-train: %v\n", cerr)
+	}
 	os.Exit(1)
 }

@@ -10,10 +10,13 @@ package dplearn
 import (
 	"bytes"
 	"math"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"repro/internal/channel"
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
 	"repro/internal/learn"
 	"repro/internal/mechanism"
 	"repro/internal/obs"
@@ -267,6 +270,133 @@ func TestLedgerMatchesAccountantAcrossWorkers(t *testing.T) {
 		}
 		// Seq numbers must be a permutation-free total order 0..n−1: the
 		// records sorted by Seq carry each sequence number exactly once.
+		for i, r := range led.Records() {
+			if r.Seq != uint64(i) {
+				t.Fatalf("workers=%d: record %d has seq %d", workers, i, r.Seq)
+			}
+		}
+	}
+}
+
+// renderTable flattens a table to bytes for bit-level comparison.
+func renderTable(t *testing.T, tab *experiments.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenDeterminismCheckpointResume extends the determinism contract
+// to the checkpoint/resume path: an experiment run with a checkpoint
+// log, then resumed from that log (recomputing nothing), must reproduce
+// the plain run's table byte-for-byte — even when the resumed run uses a
+// different worker count than the run that wrote the log.
+func TestGoldenDeterminismCheckpointResume(t *testing.T) {
+	opts := experiments.Options{Seed: 42, Quick: true, Workers: 1}
+	ref, err := experiments.Run("E10", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := renderTable(t, ref)
+
+	path := filepath.Join(t.TempDir(), "E10.ndjson")
+	ck, err := checkpoint.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckOpts := opts
+	ckOpts.Checkpoint = ck
+	first, err := experiments.Run("E10", ckOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := ck.Len()
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cells == 0 {
+		t.Fatal("checkpointed run recorded no cells")
+	}
+	if !bytes.Equal(renderTable(t, first), refBytes) {
+		t.Fatal("checkpointed run's table differs from the plain run")
+	}
+
+	ck2, err := checkpoint.Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close() //dplint:ignore errdrop read-mostly resume log in a test; Put errors are checked where they happen
+	resumed := opts
+	resumed.Workers = 8
+	resumed.Checkpoint = ck2
+	second, err := experiments.Run("E10", resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Len() != cells {
+		t.Fatalf("resume recomputed cells: log grew from %d to %d entries", cells, ck2.Len())
+	}
+	if !bytes.Equal(renderTable(t, second), refBytes) {
+		t.Fatal("resumed run's table differs from the plain run")
+	}
+}
+
+// budgetedLedgerRun drives concurrent two-phase spends against a
+// budget-capped accountant under the parallel engine: each worker
+// reserves, commits what the budget admits, and releases the rest.
+func budgetedLedgerRun(workers int) (led *obs.Ledger, acct *mechanism.Accountant) {
+	acct = &mechanism.Accountant{}
+	if err := acct.SetBudget(mechanism.Guarantee{Epsilon: 0.05}); err != nil {
+		panic(err)
+	}
+	led = obs.NewLedger(nil)
+	acct.SetObserver(func(r mechanism.SpendRecord) {
+		led.Record(obs.LedgerRecord{Seq: r.Seq, Mechanism: r.Meta.Mechanism,
+			Epsilon: r.Guarantee.Epsilon, Delta: r.Guarantee.Delta})
+	})
+	parallel.ForGrain(101, 1, parallel.Options{Workers: workers}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			res, err := acct.Reserve(mechanism.Guarantee{Epsilon: 1e-3 * float64(i%7+1)})
+			if err != nil {
+				continue // denied: the budget is the arbiter, not the schedule
+			}
+			res.Commit(mechanism.SpendMeta{Mechanism: "laplace", Sensitivity: 1, Outcomes: 1})
+			res.Release() // no-op after Commit (the defer idiom)
+		}
+	})
+	return led, acct
+}
+
+// TestBudgetedLedgerMatchesAccountant pins the budget-enforcement
+// half of the ledger contract: with a cap that denies most of the
+// concurrent reservations, every committed spend still lands in the
+// ledger, the composed (ε, δ) matches Accountant.BasicComposition
+// bit-for-bit, stays within the budget, and no reservation leaks.
+// Which spends are admitted may differ between worker counts (admission
+// is arrival-order under contention) — the invariants may not.
+func TestBudgetedLedgerMatchesAccountant(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		led, acct := budgetedLedgerRun(workers)
+		if led.Len() != acct.Count() {
+			t.Fatalf("workers=%d: ledger has %d records, accountant %d", workers, led.Len(), acct.Count())
+		}
+		if acct.Count() == 0 {
+			t.Fatalf("workers=%d: budget admitted nothing", workers)
+		}
+		if acct.Reserved() != 0 {
+			t.Fatalf("workers=%d: %d reservation(s) leaked", workers, acct.Reserved())
+		}
+		le, ld := led.Composed()
+		g := acct.BasicComposition()
+		if !bitsEqual(float64Bits(le, ld), float64Bits(g.Epsilon, g.Delta)) {
+			t.Errorf("workers=%d: ledger composed (%.17g, %.17g) != accountant (%.17g, %.17g)",
+				workers, le, ld, g.Epsilon, g.Delta)
+		}
+		if g.Epsilon > 0.05 {
+			t.Errorf("workers=%d: composed ε=%.17g exceeds the 0.05 budget", workers, g.Epsilon)
+		}
 		for i, r := range led.Records() {
 			if r.Seq != uint64(i) {
 				t.Fatalf("workers=%d: record %d has seq %d", workers, i, r.Seq)

@@ -84,8 +84,36 @@ type Dataset = dataset.Dataset
 // Example re-exports a single record Z = (X, Y).
 type Example = dataset.Example
 
+// Guarantee is a differential-privacy price tag (ε, δ). See
+// mechanism.Guarantee.
+type Guarantee = mechanism.Guarantee
+
+// DegradePolicy selects what Fit does when the accountant's budget
+// cannot admit the planned release. See core.DegradePolicy.
+type DegradePolicy = core.DegradePolicy
+
+// The degrade policies: refuse the fit, re-release the cached
+// predictor, or widen the posterior to the remaining budget.
+const (
+	DegradeRefuse   = core.DegradeRefuse
+	DegradeFallback = core.DegradeFallback
+	DegradeWiden    = core.DegradeWiden
+)
+
+// ParseDegradePolicy parses the CLI spelling of a DegradePolicy
+// (refuse|fallback|widen). See core.ParseDegradePolicy.
+func ParseDegradePolicy(s string) (DegradePolicy, error) { return core.ParseDegradePolicy(s) }
+
 // ErrBadConfig is returned for invalid learner configuration.
 var ErrBadConfig = core.ErrBadConfig
+
+// ErrBudgetExhausted reports a release denied by the accountant's
+// budget. See mechanism.ErrBudgetExhausted.
+var ErrBudgetExhausted = mechanism.ErrBudgetExhausted
+
+// ErrNonFiniteInput reports NaN/Inf dataset values or risks, rejected
+// before any ε is spent. See core.ErrNonFiniteInput.
+var ErrNonFiniteInput = core.ErrNonFiniteInput
 
 // NewLearner validates a Config and returns a Learner.
 func NewLearner(cfg Config) (*Learner, error) { return core.NewLearner(cfg) }

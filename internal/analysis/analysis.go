@@ -22,6 +22,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -154,23 +155,50 @@ func ByName(name string) *Analyzer {
 // diagnostics sorted by position. Malformed or reason-less directives are
 // reported under the meta check id "dplint".
 func Run(pkgs []*Package, checks []*Analyzer) []Diagnostic {
+	out, _ := RunCtx(context.Background(), pkgs, checks)
+	return out
+}
+
+// RunCtx is Run with cancellation (see RunAllCtx for the contract).
+func RunCtx(ctx context.Context, pkgs []*Package, checks []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAllCtx(ctx, pkgs, checks)
+	if err != nil {
+		return nil, err
+	}
 	var out []Diagnostic
-	for _, d := range RunAll(pkgs, checks) {
+	for _, d := range all {
 		if !d.Suppressed {
 			out = append(out, d)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RunAll is Run without the suppression filter: findings silenced by a
 // //dplint:ignore directive are returned with Suppressed set and the
 // directive's reason attached, instead of being dropped.
 func RunAll(pkgs []*Package, checks []*Analyzer) []Diagnostic {
+	diags, _ := RunAllCtx(context.Background(), pkgs, checks)
+	return diags
+}
+
+// RunAllCtx is RunAll with cancellation: ctx is checked once per
+// (package, analyzer) pair, so a ^C'd or timed-out lint run stops
+// between passes instead of mid-walk. On cancellation the diagnostics
+// gathered so far are discarded (a partial report would read as a
+// clean bill for the unvisited packages) and the wrapped ctx error is
+// returned. A run that completes is identical to RunAll.
+func RunAllCtx(ctx context.Context, pkgs []*Package, checks []*Analyzer) ([]Diagnostic, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	prog := NewProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range checks {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("analysis: canceled before %s on %s: %w", a.Name, pkg.Path, err)
+			}
 			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Prog: prog, diags: &diags}
 			a.Run(pass)
 		}
@@ -200,5 +228,5 @@ func RunAll(pkgs []*Package, checks []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return out
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -320,5 +322,42 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("%d finding(s); fix them or add //dplint:ignore <check> <reason>", len(diags))
+	}
+}
+
+// TestRunCtxCancellation pins the driver's interruption contract: a
+// canceled context aborts between passes with a wrapped ctx error and no
+// partial diagnostics (a truncated list would read as lint-clean for
+// the unvisited packages), while an open context matches Run exactly.
+func TestRunCtxCancellation(t *testing.T) {
+	dir := writeFixtureModule(t, map[string]string{
+		"p.go": `package p
+
+// Eq compares exactly so the fixture has one deterministic finding.
+func Eq(a, b float64) bool { return a == b }
+`,
+	})
+	pkgs := loadFixtureModule(t, dir)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	diags, err := RunAllCtx(canceled, pkgs, []*Analyzer{FloatEq})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if diags != nil {
+		t.Fatalf("canceled run must discard diagnostics, got %v", diags)
+	}
+	if diags, err := RunCtx(canceled, pkgs, []*Analyzer{FloatEq}); !errors.Is(err, context.Canceled) || diags != nil {
+		t.Fatalf("RunCtx: want (nil, context.Canceled), got (%v, %v)", diags, err)
+	}
+
+	got, err := RunCtx(context.Background(), pkgs, []*Analyzer{FloatEq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Run(pkgs, []*Analyzer{FloatEq})
+	if len(got) != 1 || len(want) != 1 || got[0].String() != want[0].String() {
+		t.Fatalf("completed RunCtx diverged from Run: got %v, want %v", got, want)
 	}
 }

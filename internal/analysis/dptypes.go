@@ -59,15 +59,19 @@ func methodRecv(pkg *Package, call *ast.CallExpr) (ast.Expr, types.Type) {
 
 // isReleaseCall reports whether call releases DP-protected output: a
 // Release method on a Guarantee-bearing type, or a posterior Sample /
-// SampleTheta on a Guarantee-bearing type (the Gibbs estimator's release
-// operation, Theorem 4.1).
+// SampleTheta (and their context-aware SampleCtx / SampleThetaCtx
+// variants) on a Guarantee-bearing type (the Gibbs estimator's release
+// operation, Theorem 4.1). A Reservation's Release is NOT a DP release:
+// reservations bear no Guarantee method, so the receiver test excludes
+// them structurally.
 func isReleaseCall(pkg *Package, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	name := sel.Sel.Name
-	if name != "Release" && name != "Sample" && name != "SampleTheta" {
+	switch sel.Sel.Name {
+	case "Release", "Sample", "SampleTheta", "SampleCtx", "SampleThetaCtx":
+	default:
 		return false
 	}
 	_, recv := methodRecv(pkg, call)
@@ -78,10 +82,21 @@ func isReleaseCall(pkg *Package, call *ast.CallExpr) bool {
 // accountant: a method named Spend whose single parameter has a named
 // type Guarantee, or a method named SpendDetail whose first parameter
 // does (the ledger-metadata variant — same accounting act, extra
-// observability payload).
+// observability payload), or a method named Commit on a Reservation
+// (the second half of the two-phase Reserve/Commit protocol: the
+// guarantee was admitted at Reserve time, and Commit is the act that
+// turns the hold into a ledger record — so Reserve+Commit jointly
+// satisfy the must-spend rule).
 func isSpendCall(pkg *Package, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Spend" && sel.Sel.Name != "SpendDetail") {
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name == "Commit" {
+		_, recv := methodRecv(pkg, call)
+		return recv != nil && namedName(recv) == "Reservation"
+	}
+	if sel.Sel.Name != "Spend" && sel.Sel.Name != "SpendDetail" {
 		return false
 	}
 	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)

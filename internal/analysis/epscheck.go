@@ -16,7 +16,9 @@ import (
 // entry points are the trust boundary, so each must either guard ε itself
 // (a comparison against it, math.IsNaN, or math.IsInf) or hand it straight
 // to a validating function (a name containing "valid", "check", or "must",
-// or a New*/Make* constructor that can return an error).
+// a New*/Make* constructor that can return an error, or an *Err-suffixed
+// error-returning variant — the Go convention for "same computation,
+// typed validation error instead of a panic").
 var EpsCheck = register(&Analyzer{
 	Name:     "epscheck",
 	Doc:      "exported function takes an epsilon parameter but never validates it",
@@ -104,7 +106,8 @@ func epsilonValidated(p *Pass, body *ast.BlockStmt, eps types.Object) bool {
 			validator := lower == "isnan" || lower == "isinf" ||
 				strings.Contains(lower, "valid") || strings.Contains(lower, "check") ||
 				strings.Contains(lower, "must") ||
-				strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Make")
+				strings.HasPrefix(name, "New") || strings.HasPrefix(name, "Make") ||
+				strings.HasSuffix(name, "Err")
 			if !validator {
 				return true
 			}

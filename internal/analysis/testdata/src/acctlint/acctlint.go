@@ -157,6 +157,84 @@ func NotAnObserver(d *Dataset, g *RNG) float64 {
 	return m.Release(d, g) // want "un-accounted release"
 }
 
+// Reservation is a held budget claim: the first half of the two-phase
+// spend protocol. It deliberately bears no Guarantee method, so its own
+// Release is NOT a DP release site.
+type Reservation struct {
+	a *Accountant
+	g Guarantee
+}
+
+// Reserve admits a guarantee against the budget and returns the hold.
+func (a *Accountant) Reserve(g Guarantee) *Reservation {
+	return &Reservation{a: a, g: g}
+}
+
+// Commit turns the hold into a recorded spend — the accounting act.
+func (r *Reservation) Commit(meta string) {
+	r.a.spent = append(r.a.spent, r.g)
+	_ = meta
+}
+
+// Release abandons the hold, returning the headroom uncharged.
+func (r *Reservation) Release() {}
+
+// TwoPhaseAccounted pays through the two-phase protocol: Reserve admits
+// the guarantee before the release and Commit records it after, jointly
+// satisfying the must-spend rule. The deferred Reservation.Release is
+// not a DP release (no Guarantee on the receiver).
+func TwoPhaseAccounted(d *Dataset, acct *Accountant, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	res := acct.Reserve(m.Guarantee())
+	defer res.Release()
+	v := m.Release(d, g)
+	res.Commit("mech")
+	return v
+}
+
+// ReservedNeverCommitted holds budget but abandons the hold without
+// committing: the release goes unrecorded, so it still leaks.
+func ReservedNeverCommitted(d *Dataset, acct *Accountant, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	res := acct.Reserve(m.Guarantee())
+	defer res.Release()
+	return m.Release(d, g) // want "un-accounted release"
+}
+
+// CommitInBranch commits only under a flag: some executions release
+// without recording the spend, exactly like a branched Spend.
+func CommitInBranch(d *Dataset, acct *Accountant, ok bool, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	res := acct.Reserve(m.Guarantee())
+	defer res.Release()
+	v := m.Release(d, g)
+	if ok {
+		res.Commit("mech") // want "conditionally-accounted release"
+	}
+	return v
+}
+
+// SampleCtx is the context-aware posterior draw: still a DP release on
+// a Guarantee-bearing receiver.
+func (m *Mech) SampleCtx(ctx any, d *Dataset, g *RNG) int { return 0 }
+
+// CtxLeak draws through the context-aware variant without paying.
+func CtxLeak(d *Dataset, g *RNG) int {
+	m := &Mech{Epsilon: 1}
+	return m.SampleCtx(nil, d, g) // want "un-accounted release"
+}
+
+// CtxTwoPhase draws through SampleCtx under the two-phase protocol:
+// clean.
+func CtxTwoPhase(d *Dataset, acct *Accountant, g *RNG) int {
+	m := &Mech{Epsilon: 1}
+	res := acct.Reserve(m.Guarantee())
+	defer res.Release()
+	i := m.SampleCtx(nil, d, g)
+	res.Commit("gibbs")
+	return i
+}
+
 // Composite is itself a mechanism (it bears Guarantee), so its internal
 // releases are priced by its own Guarantee and exempt from per-call
 // accounting — callers spend the composite price.

@@ -72,6 +72,25 @@ func ReleaseViaConstructor(value, epsilon float64) (float64, error) {
 	return value / m.eps, nil
 }
 
+// SpendEpsErr is the error-returning validating variant.
+func SpendEpsErr(value, eps float64) (float64, error) {
+	if eps <= 0 {
+		return 0, ErrBadEpsilon
+	}
+	return value / eps, nil
+}
+
+// ReleaseViaErrVariant is a panic-wrapper forwarding ε to its *Err
+// variant, which is trusted to validate — the two-function convention
+// used by calibration helpers.
+func ReleaseViaErrVariant(value, epsilon float64) float64 {
+	v, err := SpendEpsErr(value, epsilon)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // unexportedSpend is below the trust boundary: callers inside the package
 // are expected to have validated already.
 func unexportedSpend(value, epsilon float64) float64 {

@@ -18,6 +18,7 @@
 package audit
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -63,13 +64,13 @@ type DiscreteMechanism interface {
 }
 
 // ExactAudit computes the exact realized privacy loss of a discrete
-// mechanism over a set of neighbor pairs, returning the maximum.
+// mechanism over a set of neighbor pairs, returning the maximum. It is
+// ExactAuditCtx without cancellation.
 func ExactAudit(m DiscreteMechanism, pairs []NeighborPair) float64 {
-	var eps float64
-	for _, p := range pairs {
-		if e := ExactEpsilon(m.LogProbabilities(p.D), m.LogProbabilities(p.DPrime)); e > eps {
-			eps = e
-		}
+	eps, err := ExactAuditCtx(context.Background(), m, pairs)
+	if err != nil {
+		// Background is never canceled; ExactAuditCtx has no other errors.
+		panic(err)
 	}
 	return eps
 }
@@ -125,16 +126,13 @@ type SampledResult struct {
 // either side are skipped (their ratio estimates are too noisy to be
 // evidence). It returns ErrNoMass if no bin qualifies.
 func SampleContinuous(release func(*dataset.Dataset, *rng.RNG) float64, pair NeighborPair, samples, bins, minCount int, g *rng.RNG) (SampledResult, error) {
-	if samples <= 0 || bins <= 0 {
-		panic("audit: SampleContinuous requires positive samples and bins")
-	}
-	outD := make([]float64, samples)
-	outP := make([]float64, samples)
-	for i := 0; i < samples; i++ {
-		outD[i] = release(pair.D, g)
-		outP[i] = release(pair.DPrime, g)
-	}
-	lo, hi := outD[0], outD[0]
+	return SampleContinuousCtx(context.Background(), release, pair, samples, bins, minCount, g)
+}
+
+// commonRange returns the min/max over both sample sets, widened by one
+// when every sample is the identical value so binning stays defined.
+func commonRange(outD, outP []float64) (lo, hi float64) {
+	lo, hi = outD[0], outD[0]
 	for _, v := range outD {
 		lo, hi = math.Min(lo, v), math.Max(hi, v)
 	}
@@ -144,67 +142,32 @@ func SampleContinuous(release func(*dataset.Dataset, *rng.RNG) float64, pair Nei
 	if lo == hi { //dplint:ignore floateq degenerate-range collapse: equal only when every sample is the identical value
 		hi = lo + 1
 	}
-	countD := make([]int, bins)
-	countP := make([]int, bins)
-	binOf := func(v float64) int {
-		idx := int(math.Floor((v - lo) / (hi - lo) * float64(bins)))
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= bins {
-			idx = bins - 1
-		}
-		return idx
+	return lo, hi
+}
+
+// binIndex maps v into one of bins equal-width buckets over [lo, hi),
+// clamping the boundary values into the edge buckets.
+func binIndex(v, lo, hi float64, bins int) int {
+	idx := int(math.Floor((v - lo) / (hi - lo) * float64(bins)))
+	if idx < 0 {
+		idx = 0
 	}
-	for i := 0; i < samples; i++ {
-		countD[binOf(outD[i])]++
-		countP[binOf(outP[i])]++
+	if idx >= bins {
+		idx = bins - 1
 	}
-	res := SampledResult{Samples: samples}
-	for b := 0; b < bins; b++ {
-		if countD[b] < minCount || countP[b] < minCount {
-			continue
-		}
-		res.EventsCompared++
-		ratio := math.Abs(math.Log(float64(countD[b])) - math.Log(float64(countP[b])))
-		if ratio > res.EmpiricalEpsilon {
-			res.EmpiricalEpsilon = ratio
-		}
-	}
-	if res.EventsCompared == 0 {
-		return res, ErrNoMass
-	}
-	return res, nil
+	return idx
+}
+
+// logRatioAbs is the empirical privacy loss of one event: |log a − log b|.
+func logRatioAbs(a, b int) float64 {
+	return math.Abs(math.Log(float64(a)) - math.Log(float64(b)))
 }
 
 // SampleDiscrete audits a mechanism with a finite output range by
 // sampling. Outcomes with fewer than minCount draws on either side are
 // skipped. It returns ErrNoMass if no outcome qualifies.
 func SampleDiscrete(release func(*dataset.Dataset, *rng.RNG) int, numOutcomes int, pair NeighborPair, samples, minCount int, g *rng.RNG) (SampledResult, error) {
-	if samples <= 0 || numOutcomes <= 0 {
-		panic("audit: SampleDiscrete requires positive samples and outcomes")
-	}
-	countD := make([]int, numOutcomes)
-	countP := make([]int, numOutcomes)
-	for i := 0; i < samples; i++ {
-		countD[release(pair.D, g)]++
-		countP[release(pair.DPrime, g)]++
-	}
-	res := SampledResult{Samples: samples}
-	for u := 0; u < numOutcomes; u++ {
-		if countD[u] < minCount || countP[u] < minCount {
-			continue
-		}
-		res.EventsCompared++
-		ratio := math.Abs(math.Log(float64(countD[u])) - math.Log(float64(countP[u])))
-		if ratio > res.EmpiricalEpsilon {
-			res.EmpiricalEpsilon = ratio
-		}
-	}
-	if res.EventsCompared == 0 {
-		return res, ErrNoMass
-	}
-	return res, nil
+	return SampleDiscreteCtx(context.Background(), release, numOutcomes, pair, samples, minCount, g)
 }
 
 // LaplaceAnalyticEpsilon returns the exact realized privacy loss of the

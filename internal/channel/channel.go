@@ -14,6 +14,7 @@
 package channel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -68,6 +69,15 @@ func FromMechanism(inputs []*dataset.Dataset, logPX []float64, m DiscreteMechani
 // The enumerated rows are identical for every worker count: each row is
 // an independent pure function of its input point.
 func FromMechanismOpts(inputs []*dataset.Dataset, logPX []float64, m DiscreteMechanism, opts parallel.Options) (*Channel, error) {
+	return FromMechanismCtx(context.Background(), inputs, logPX, m, opts)
+}
+
+// FromMechanismCtx is FromMechanismOpts with cancellation and panic
+// isolation: the enumeration honors ctx at the engine's chunk-claim
+// boundaries, and a panic inside the mechanism's posterior surfaces as a
+// *parallel.WorkerError instead of crashing the process. A completed
+// enumeration is bit-identical to FromMechanismOpts.
+func FromMechanismCtx(ctx context.Context, inputs []*dataset.Dataset, logPX []float64, m DiscreteMechanism, opts parallel.Options) (*Channel, error) {
 	if len(inputs) == 0 || len(inputs) != len(logPX) || m == nil {
 		return nil, ErrBadChannel
 	}
@@ -76,11 +86,13 @@ func FromMechanismOpts(inputs []*dataset.Dataset, logPX []float64, m DiscreteMec
 		return nil, ErrBadChannel
 	}
 	rows := make([][]float64, len(inputs))
-	parallel.ForGrain(len(inputs), rowGrain, opts, func(lo, hi int) {
+	if err := parallel.ForGrainCtx(ctx, len(inputs), rowGrain, opts, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rows[i] = m.LogProbabilities(inputs[i])
 		}
-	})
+	}); err != nil {
+		return nil, fmt.Errorf("channel: enumerating mechanism rows: %w", err)
+	}
 	width := len(rows[0])
 	for i, r := range rows {
 		if len(r) != width {
@@ -233,7 +245,15 @@ func (c *Channel) ExpectedKLToPrior(logPrior []float64) (float64, error) {
 // distributions of the MI) via Blahut–Arimoto, in nats. The iteration's
 // inner sums fan out under the channel's parallel options.
 func (c *Channel) Capacity(tol float64, maxIter int) (float64, error) {
-	cap_, _, err := infotheory.BlahutArimotoOpts(c.linearRows(), tol, maxIter, c.Parallel)
+	return c.CapacityCtx(context.Background(), tol, maxIter)
+}
+
+// CapacityCtx is Capacity with cancellation: ctx is checked once per
+// Blahut–Arimoto iteration, so long capacity computations drain
+// gracefully on SIGINT/timeout. A converged run is bit-identical to
+// Capacity.
+func (c *Channel) CapacityCtx(ctx context.Context, tol float64, maxIter int) (float64, error) {
+	cap_, _, err := infotheory.BlahutArimotoCtx(ctx, c.linearRows(), tol, maxIter, c.Parallel)
 	return cap_, err
 }
 

@@ -1,0 +1,174 @@
+// Package checkpoint persists per-cell sweep results as an append-only
+// NDJSON log so an interrupted experiment can resume without repeating
+// finished work.
+//
+// Each entry is one line: {"cell":k,"seed":s,"result":...}. The key is
+// the pair (cell index, RNG split-seed fingerprint): the seed is a
+// deterministic function of (sweep seed, cell index), so a stale log —
+// from a different seed, grid, or experiment — simply misses on lookup
+// and the cell is recomputed. Results round-trip through encoding/json,
+// which renders float64 with the shortest form that parses back to the
+// identical bits, so a resumed sweep's merged output is bit-identical
+// to an uninterrupted run.
+//
+// Crash tolerance: entries are written with a single Write syscall per
+// line, so a killed process loses at most the line in flight. Open with
+// resume=true skips any torn or corrupt trailing lines instead of
+// failing, and the interrupted cells rerun.
+//
+// All methods are safe for concurrent use and nil-safe: a nil *Log
+// never matches on Lookup and discards Puts, so sweep code needs no
+// checkpoint-enabled branch.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrWrite reports a failure to persist a checkpoint entry. Sweeps
+// surface it per-cell: the computed result is still returned in memory,
+// but the run cannot promise resumability for that cell.
+var ErrWrite = errors.New("checkpoint: write failed")
+
+// entry is one NDJSON line.
+type entry struct {
+	Cell   int             `json:"cell"`
+	Seed   int64           `json:"seed"`
+	Result json.RawMessage `json:"result"`
+}
+
+// key identifies an entry: the cell index plus its RNG fingerprint.
+type key struct {
+	cell int
+	seed int64
+}
+
+// Log is an open checkpoint file.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	done map[key]json.RawMessage
+}
+
+// Open creates (or, with resume, reopens) the checkpoint log at path.
+// With resume=false an existing file is truncated: the run starts
+// fresh. With resume=true existing well-formed entries become lookup
+// hits; torn or corrupt lines — the signature of a killed writer — are
+// skipped, not fatal.
+func Open(path string, resume bool) (*Log, error) {
+	flags := os.O_CREATE | os.O_RDWR
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, done: make(map[key]json.RawMessage)}
+	if resume {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		for sc.Scan() {
+			var e entry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				continue // torn tail or corruption: recompute that cell
+			}
+			l.done[key{cell: e.Cell, seed: e.Seed}] = e.Result
+		}
+		if err := sc.Err(); err != nil {
+			_ = f.Close() // the read/seek error supersedes
+			return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+		}
+		// Leave the offset at EOF so appended entries follow the survivors,
+		// and terminate a torn final line so the next entry starts fresh
+		// instead of concatenating onto the partial bytes.
+		end, err := f.Seek(0, 2)
+		if err != nil {
+			_ = f.Close() // the read/seek error supersedes
+			return nil, fmt.Errorf("checkpoint: seek %s: %w", path, err)
+		}
+		if end > 0 {
+			last := make([]byte, 1)
+			if _, err := f.ReadAt(last, end-1); err != nil {
+				_ = f.Close() // the read/seek error supersedes
+				return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+			}
+			if last[0] != '\n' {
+				if _, err := f.Write([]byte("\n")); err != nil {
+					_ = f.Close() // the read/seek error supersedes
+					return nil, fmt.Errorf("checkpoint: repair %s: %w", path, err)
+				}
+			}
+		}
+	}
+	return l, nil
+}
+
+// Path returns the log's file path ("" on a nil log).
+func (l *Log) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// Len returns the number of recorded entries.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.done)
+}
+
+// Lookup returns the saved result for (cell, seed), if any.
+func (l *Log) Lookup(cell int, seed int64) (json.RawMessage, bool) {
+	if l == nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	raw, ok := l.done[key{cell: cell, seed: seed}]
+	return raw, ok
+}
+
+// Put persists the result for (cell, seed): one marshaled NDJSON line,
+// one Write syscall. Marshal or I/O failures wrap ErrWrite.
+func (l *Log) Put(cell int, seed int64, result any) error {
+	if l == nil {
+		return nil
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("%w: marshal cell %d: %v", ErrWrite, cell, err)
+	}
+	line, err := json.Marshal(entry{Cell: cell, Seed: seed, Result: raw})
+	if err != nil {
+		return fmt.Errorf("%w: marshal cell %d: %v", ErrWrite, cell, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("%w: cell %d: %v", ErrWrite, cell, err)
+	}
+	l.done[key{cell: cell, seed: seed}] = raw
+	return nil
+}
+
+// Close releases the underlying file. Lookup keeps working on the
+// in-memory index; Put fails after Close.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -16,11 +16,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
-	"repro/internal/channel"
 	"repro/internal/dataset"
 	"repro/internal/gibbs"
 	"repro/internal/learn"
@@ -58,17 +59,25 @@ type Config struct {
 	// serial execution. Every setting produces bit-identical results —
 	// see package parallel for the determinism contract.
 	Parallel parallel.Options
+	// Degrade selects what Fit does when Acct's budget cannot admit the
+	// planned release (see DegradePolicy). The zero value refuses.
+	// Irrelevant unless Acct has a budget set.
+	Degrade DegradePolicy
 }
 
-// Learner is a configured private learner. It is immutable and safe for
-// concurrent use with per-goroutine RNGs. Internally it memoizes risk
-// vectors by dataset fingerprint, so Fit, Certify, and
-// AccountInformation on the same data evaluate the O(|Θ|·n) risk grid
-// once; the cache is safe for concurrent use and does not change any
-// result.
+// Learner is a configured private learner. Its configuration is
+// immutable and it is safe for concurrent use with per-goroutine RNGs.
+// Internally it memoizes risk vectors by dataset fingerprint, so Fit,
+// Certify, and AccountInformation on the same data evaluate the
+// O(|Θ|·n) risk grid once, and it remembers the most recent successful
+// fit so DegradeFallback can re-release it when the budget runs out;
+// both caches are mutex-guarded and change no result.
 type Learner struct {
 	cfg   Config
 	cache *gibbs.RiskCache
+
+	mu      sync.Mutex
+	lastFit *Fitted
 }
 
 // NewLearner validates the configuration.
@@ -141,52 +150,31 @@ type Fitted struct {
 	Index int
 	// Certificate carries the privacy and risk guarantees.
 	Certificate Certificate
+	// Degraded reports that the budget could not admit the configured
+	// release and Policy was applied instead: a cached re-release
+	// (DegradeFallback, no new ε spent) or a widened posterior
+	// (DegradeWiden, the remaining ε spent).
+	Degraded bool
+	// Policy is the degradation policy the learner was configured with.
+	Policy DegradePolicy
 }
 
 // Fit privately selects a predictor from d by sampling the calibrated
 // Gibbs posterior, and returns it with its certificates. The release is
 // registered with the accountant as a full ledger record — mechanism
 // kind, ΔR̂ sensitivity, |Θ|, and clocked duration — and the whole fit
-// runs under a "fit" trace span when an observer is wired.
+// runs under a "fit" trace span when an observer is wired. Fit is
+// FitCtx under context.Background(): dataset and risk values are
+// validated finite before any ε is spent, and the spend goes through
+// the accountant's two-phase Reserve/Commit protocol, honoring a
+// configured budget and DegradePolicy.
 func (l *Learner) Fit(d *dataset.Dataset, g *rng.RNG) (*Fitted, error) {
-	if d == nil || d.Len() == 0 {
-		return nil, fmt.Errorf("%w: empty dataset", ErrBadConfig)
-	}
-	o := l.cfg.Parallel.Obs
-	sp := o.Span("fit")
-	sp.SetAttr("n", d.Len())
-	defer sp.End()
-	est, err := l.Estimator(d.Len())
-	if err != nil {
-		return nil, err
-	}
-	start := o.Now()
-	idx := est.Sample(d, g)
-	l.cfg.Acct.SpendDetail(est.Guarantee(d.Len()), mechanism.SpendMeta{
-		Mechanism:   "gibbs",
-		Sensitivity: est.RiskSensitivity(d.Len()),
-		Outcomes:    len(l.cfg.Thetas),
-		Duration:    o.Now() - start,
-		Span:        sp.ID(),
-	})
-	cert, err := l.certificate(est, d)
-	if err != nil {
-		return nil, err
-	}
-	return &Fitted{
-		Theta:       append([]float64(nil), l.cfg.Thetas[idx]...),
-		Index:       idx,
-		Certificate: cert,
-	}, nil
+	return l.FitCtx(context.Background(), d, g)
 }
 
-// certificate evaluates the privacy and PAC-Bayes certificates of the
-// estimator on d.
-func (l *Learner) certificate(est *gibbs.Estimator, d *dataset.Dataset) (Certificate, error) {
-	st, err := est.Stats(d)
-	if err != nil {
-		return Certificate{}, err
-	}
+// certificateFromStats assembles the certificate from computed
+// PAC-Bayes statistics.
+func (l *Learner) certificateFromStats(est *gibbs.Estimator, d *dataset.Dataset, st pacbayes.PosteriorStats) (Certificate, error) {
 	m := l.cfg.Loss.Bound()
 	// Catoni's bound works on [0,1] losses; rescale.
 	bound01, err := pacbayes.CatoniBound(st.ExpEmpRisk/m, st.KL, est.Lambda*m, d.Len(), l.cfg.Delta)
@@ -206,17 +194,7 @@ func (l *Learner) certificate(est *gibbs.Estimator, d *dataset.Dataset) (Certifi
 // Certify evaluates the certificates without sampling (no privacy is
 // spent by computing the certificate alone, since it is not released).
 func (l *Learner) Certify(d *dataset.Dataset) (Certificate, error) {
-	if d == nil || d.Len() == 0 {
-		return Certificate{}, fmt.Errorf("%w: empty dataset", ErrBadConfig)
-	}
-	sp := l.cfg.Parallel.Obs.Span("certify")
-	sp.SetAttr("n", d.Len())
-	defer sp.End()
-	est, err := l.Estimator(d.Len())
-	if err != nil {
-		return Certificate{}, err
-	}
-	return l.certificate(est, d)
+	return l.CertifyCtx(context.Background(), d)
 }
 
 // InformationAccount computes the exact Figure-1 channel of this learner
@@ -237,43 +215,5 @@ type InformationAccount struct {
 // AccountInformation enumerates the learner's channel over the given
 // sample-space points (all of size n) with log input masses logPX.
 func (l *Learner) AccountInformation(inputs []*dataset.Dataset, logPX []float64) (*InformationAccount, error) {
-	if len(inputs) == 0 {
-		return nil, fmt.Errorf("%w: empty sample space", ErrBadConfig)
-	}
-	n := inputs[0].Len()
-	for _, d := range inputs {
-		if d.Len() != n {
-			return nil, fmt.Errorf("%w: sample-space points must share a size", ErrBadConfig)
-		}
-	}
-	est, err := l.Estimator(n)
-	if err != nil {
-		return nil, err
-	}
-	ch, err := channel.FromMechanismOpts(inputs, logPX, est, l.cfg.Parallel)
-	if err != nil {
-		return nil, err
-	}
-	mi, err := ch.MutualInformation()
-	if err != nil {
-		return nil, err
-	}
-	capacity, err := ch.Capacity(1e-9, 50000)
-	if err != nil {
-		return nil, err
-	}
-	risks := make([][]float64, len(inputs))
-	for i, d := range inputs {
-		risks[i] = est.Risks(d)
-	}
-	expRisk, err := ch.ExpectedValue(risks)
-	if err != nil {
-		return nil, err
-	}
-	return &InformationAccount{
-		MutualInformation: mi,
-		Capacity:          capacity,
-		DPCap:             channel.DPLeakageCapNats(est.Guarantee(n).Epsilon, n),
-		ExpectedRisk:      expRisk,
-	}, nil
+	return l.AccountInformationCtx(context.Background(), inputs, logPX)
 }

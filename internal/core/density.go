@@ -66,8 +66,13 @@ func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon fl
 	if err != nil {
 		return nil, err
 	}
+	res, err := acct.Reserve(m.Guarantee())
+	if err != nil {
+		return nil, fmt.Errorf("core: histogram density release not admitted: %w", err)
+	}
+	defer res.Release()
 	noisy := m.Release(d, g)
-	acct.SpendDetail(m.Guarantee(), mechanism.SpendMeta{
+	res.Commit(mechanism.SpendMeta{
 		Mechanism:   "laplace",
 		Sensitivity: m.Query.L1Sensitivity,
 		Outcomes:    bins,
@@ -159,8 +164,13 @@ func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, 
 	if err != nil {
 		return nil, 0, err
 	}
+	res, err := acct.Reserve(em.Guarantee())
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: Gibbs density release not admitted: %w", err)
+	}
+	defer res.Release()
 	idx := em.Release(d, g)
-	acct.SpendDetail(em.Guarantee(), mechanism.SpendMeta{
+	res.Commit(mechanism.SpendMeta{
 		Mechanism:   "expmech",
 		Sensitivity: sens,
 		Outcomes:    len(cands),

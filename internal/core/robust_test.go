@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mechanism"
+	"repro/internal/rng"
+)
+
+// budgetedLearner builds a classifier learner whose per-fit guarantee is
+// exactly cfgEps, with the given accountant attached.
+func budgetedLearner(t *testing.T, cfgEps float64, acct *mechanism.Accountant, policy DegradePolicy) (*Learner, *dataset.Dataset, *rng.RNG) {
+	t.Helper()
+	g := rng.New(7)
+	model := dataset.LogisticModel{Weights: []float64{3}, Bias: 0}
+	d := model.Generate(100, g)
+	cfg := classifierConfig(cfgEps)
+	cfg.Acct = acct
+	cfg.Degrade = policy
+	l, err := NewLearner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, d, g
+}
+
+// TestFitRejectsNonFiniteData pins the facade validation: NaN/Inf data
+// fails typed, before any ε is spent.
+func TestFitRejectsNonFiniteData(t *testing.T) {
+	var acct mechanism.Accountant
+	l, d, g := budgetedLearner(t, 1, &acct, DegradeRefuse)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		dd := d.Clone()
+		dd.Examples[3].X[0] = bad
+		if _, err := l.Fit(dd, g); !errors.Is(err, ErrNonFiniteInput) {
+			t.Fatalf("feature %v: want ErrNonFiniteInput, got %v", bad, err)
+		}
+		dd = d.Clone()
+		dd.Examples[5].Y = bad
+		if _, err := l.Fit(dd, g); !errors.Is(err, ErrNonFiniteInput) {
+			t.Fatalf("label %v: want ErrNonFiniteInput, got %v", bad, err)
+		}
+	}
+	if acct.Count() != 0 || acct.Reserved() != 0 {
+		t.Fatalf("ε charged for rejected input: Count=%d Reserved=%d", acct.Count(), acct.Reserved())
+	}
+}
+
+// TestFitRefusePolicy pins budget enforcement under the default policy:
+// the run stops before the over-budget release, typed, with nothing
+// extra charged.
+func TestFitRefusePolicy(t *testing.T) {
+	var acct mechanism.Accountant
+	l, d, g := budgetedLearner(t, 1, &acct, DegradeRefuse)
+	if err := acct.SetBudget(fitGuarantee(t, l, d)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Fit(d, g); err != nil {
+		t.Fatalf("first fit must fit in budget: %v", err)
+	}
+	if _, err := l.Fit(d, g); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("second fit: want ErrBudgetExhausted, got %v", err)
+	}
+	if acct.Count() != 1 || acct.Reserved() != 0 {
+		t.Fatalf("over-budget fit charged: Count=%d Reserved=%d", acct.Count(), acct.Reserved())
+	}
+}
+
+// fitGuarantee returns the learner's exact per-fit guarantee on d, so
+// tests can size budgets to admit exactly one release.
+func fitGuarantee(t *testing.T, l *Learner, d *dataset.Dataset) mechanism.Guarantee {
+	t.Helper()
+	est, err := l.Estimator(d.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est.Guarantee(d.Len())
+}
+
+// TestFitFallbackPolicy pins DegradeFallback: the budget-refused fit
+// re-releases the cached predictor (same θ, flagged Degraded) with no
+// new ledger charge.
+func TestFitFallbackPolicy(t *testing.T) {
+	var acct mechanism.Accountant
+	l, d, g := budgetedLearner(t, 1, &acct, DegradeFallback)
+	if err := acct.SetBudget(fitGuarantee(t, l, d)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := l.Fit(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Degraded {
+		t.Fatal("first fit must not be degraded")
+	}
+	second, err := l.Fit(d, g)
+	if err != nil {
+		t.Fatalf("fallback fit: %v", err)
+	}
+	if !second.Degraded || second.Policy != DegradeFallback {
+		t.Fatalf("fallback fit not flagged: %+v", second)
+	}
+	if second.Index != first.Index {
+		t.Fatalf("fallback released a different predictor: %d vs %d", second.Index, first.Index)
+	}
+	if acct.Count() != 1 {
+		t.Fatalf("fallback charged the ledger: Count=%d", acct.Count())
+	}
+	// Returned copy must not alias the cache.
+	second.Theta[0] = 999
+	third, err := l.Fit(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Theta[0] == 999 {
+		t.Fatal("fallback fit aliases the cached predictor")
+	}
+}
+
+// TestFitFallbackWithoutCache pins that fallback with nothing cached
+// degrades to a typed refusal.
+func TestFitFallbackWithoutCache(t *testing.T) {
+	var acct mechanism.Accountant
+	l, d, g := budgetedLearner(t, 1, &acct, DegradeFallback)
+	if err := acct.SetBudget(mechanism.Guarantee{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Fit(d, g); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+}
+
+// TestFitWidenPolicy pins DegradeWiden: the refused fit recalibrates to
+// the remaining budget, spends exactly it (bit-for-bit on the ledger),
+// and a third fit with zero remaining is refused.
+func TestFitWidenPolicy(t *testing.T) {
+	var acct mechanism.Accountant
+	l, d, g := budgetedLearner(t, 2, &acct, DegradeWiden)
+	full := fitGuarantee(t, l, d)
+	budget := mechanism.Guarantee{Epsilon: 1.5 * full.Epsilon}
+	if err := acct.SetBudget(budget); err != nil {
+		t.Fatal(err)
+	}
+	first, err := l.Fit(d, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Degraded {
+		t.Fatal("first fit must not be degraded")
+	}
+	second, err := l.Fit(d, g)
+	if err != nil {
+		t.Fatalf("widened fit: %v", err)
+	}
+	if !second.Degraded || second.Policy != DegradeWiden {
+		t.Fatalf("widened fit not flagged: %+v", second)
+	}
+	recs := acct.Records()
+	if len(recs) != 2 {
+		t.Fatalf("want 2 ledger records, got %d", len(recs))
+	}
+	wantRem := budget.Epsilon - full.Epsilon
+	if math.Float64bits(recs[1].Guarantee.Epsilon) != math.Float64bits(wantRem) {
+		t.Fatalf("widened spend ε = %v, want exactly the remainder %v", recs[1].Guarantee.Epsilon, wantRem)
+	}
+	// The widened posterior is weaker: smaller λ.
+	if second.Certificate.Lambda >= first.Certificate.Lambda {
+		t.Fatalf("widened λ %v not below configured λ %v", second.Certificate.Lambda, first.Certificate.Lambda)
+	}
+	if _, err := l.Fit(d, g); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("third fit with zero remaining: want ErrBudgetExhausted, got %v", err)
+	}
+	composed := acct.BasicComposition()
+	if composed.Epsilon > budget.Epsilon {
+		t.Fatalf("composed ε %v exceeds budget %v", composed.Epsilon, budget.Epsilon)
+	}
+}
+
+// TestFitCtxCanceled pins that a canceled fit spends nothing and leaves
+// no outstanding reservation.
+func TestFitCtxCanceled(t *testing.T) {
+	var acct mechanism.Accountant
+	l, d, g := budgetedLearner(t, 1, &acct, DegradeRefuse)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.FitCtx(ctx, d, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if acct.Count() != 0 || acct.Reserved() != 0 {
+		t.Fatalf("canceled fit charged: Count=%d Reserved=%d", acct.Count(), acct.Reserved())
+	}
+	if _, err := l.CertifyCtx(ctx, d); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CertifyCtx: want context.Canceled, got %v", err)
+	}
+}
+
+// TestParseDegradePolicy covers the CLI spellings.
+func TestParseDegradePolicy(t *testing.T) {
+	for in, want := range map[string]DegradePolicy{
+		"":         DegradeRefuse,
+		"refuse":   DegradeRefuse,
+		"Fallback": DegradeFallback,
+		" widen ":  DegradeWiden,
+	} {
+		got, err := ParseDegradePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseDegradePolicy("explode"); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown policy must be ErrBadConfig, got %v", err)
+	}
+	if DegradePolicy(42).String() == "" {
+		t.Error("String on unknown policy")
+	}
+}

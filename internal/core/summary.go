@@ -88,8 +88,12 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 	if err != nil {
 		return nil, err
 	}
+	countRes, err := acct.Reserve(countMech.Guarantee())
+	if err != nil {
+		return nil, err
+	}
 	count := countMech.Release(d, g)[0]
-	acct.SpendDetail(countMech.Guarantee(), mechanism.SpendMeta{
+	countRes.Commit(mechanism.SpendMeta{
 		Mechanism:   "laplace",
 		Sensitivity: countMech.Query.L1Sensitivity,
 		Outcomes:    1,
@@ -101,8 +105,12 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 	if err != nil {
 		return nil, err
 	}
+	meanRes, err := acct.Reserve(meanMech.Guarantee())
+	if err != nil {
+		return nil, err
+	}
 	mean := meanMech.Release(d, g)[0]
-	acct.SpendDetail(meanMech.Guarantee(), mechanism.SpendMeta{
+	meanRes.Commit(mechanism.SpendMeta{
 		Mechanism:   "laplace",
 		Sensitivity: meanMech.Query.L1Sensitivity,
 		Outcomes:    1,
@@ -117,8 +125,12 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 		if err != nil {
 			return nil, err
 		}
+		qRes, err := acct.Reserve(qm.Guarantee())
+		if err != nil {
+			return nil, err
+		}
 		quantiles[p] = grid[qm.Release(d, g)]
-		acct.SpendDetail(qm.Guarantee(), mechanism.SpendMeta{
+		qRes.Commit(mechanism.SpendMeta{
 			Mechanism:   "expmech",
 			Sensitivity: qm.Sensitivity,
 			Outcomes:    len(grid),
@@ -131,8 +143,12 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 	if err != nil {
 		return nil, err
 	}
+	histRes, err := acct.Reserve(histMech.Guarantee())
+	if err != nil {
+		return nil, err
+	}
 	noisy := histMech.Release(d, g)
-	acct.SpendDetail(histMech.Guarantee(), mechanism.SpendMeta{
+	histRes.Commit(mechanism.SpendMeta{
 		Mechanism:   "laplace",
 		Sensitivity: histMech.Query.L1Sensitivity,
 		Outcomes:    cfg.Bins,

@@ -11,12 +11,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -36,11 +38,33 @@ type Options struct {
 	// utilization metrics). Instrumentation only observes — tables are
 	// bit-identical with it on or off. Nil disables observability.
 	Obs *obs.Observer
+	// Ctx, when non-nil, lets deadlines and SIGINT cancel sweep-based
+	// experiments between cells (claimed cells always complete, so a
+	// checkpoint log never records torn results). Nil means no
+	// cancellation.
+	Ctx context.Context
+	// Checkpoint, when non-nil, persists each completed sweep cell and
+	// resumes past cells already recorded — see SweepGridCtx. Tables are
+	// bit-identical with it on, off, or interrupted and resumed.
+	Checkpoint *checkpoint.Log
 }
 
 // parallel returns the fan-out options for sweep-based experiments.
 func (o Options) parallel() parallel.Options {
 	return parallel.Options{Workers: o.Workers, Obs: o.Obs}
+}
+
+// ctx returns the run context, defaulting to context.Background().
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// sweep returns the SweepGridCtx configuration for this run.
+func (o Options) sweep() SweepConfig {
+	return SweepConfig{Parallel: o.parallel(), Checkpoint: o.Checkpoint}
 }
 
 // Table is an experiment result in the shape of a paper table.

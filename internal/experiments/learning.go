@@ -48,8 +48,9 @@ func E7BaselineComparison(opts Options) (*Table, error) {
 		}
 		ermErrs[i] = learn.ClassificationError(erm, test)
 	}
-	type cellMeans struct{ gibbs, out, obj float64 }
-	results, err := SweepGrid(grid, g, opts.parallel(), func(c Cell) (cellMeans, error) {
+	// Fields are exported so checkpointed cells round-trip through JSON.
+	type cellMeans struct{ Gibbs, Out, Obj float64 }
+	results, err := SweepGridCtx(opts.ctx(), grid, g, opts.sweep(), func(c Cell) (cellMeans, error) {
 		// Cells fan out at the sweep level, so each learner runs serial
 		// inside its cell (nested fan-out would oversubscribe).
 		learner, err := core.NewLearner(core.Config{
@@ -80,7 +81,7 @@ func E7BaselineComparison(opts Options) (*Table, error) {
 			}
 			objErr.Add(learn.ClassificationError(thObj, test))
 		}
-		return cellMeans{gibbs: gibbsErr.Mean(), out: outErr.Mean(), obj: objErr.Mean()}, nil
+		return cellMeans{Gibbs: gibbsErr.Mean(), Out: outErr.Mean(), Obj: objErr.Mean()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -91,13 +92,13 @@ func E7BaselineComparison(opts Options) (*Table, error) {
 		// Shape check: every private learner approaches non-private ERM
 		// at the largest (n, ε) cell.
 		if i == len(grid.Ns)-1 && j == len(grid.Epss)-1 {
-			for _, e := range []float64{res.gibbs, res.obj} {
+			for _, e := range []float64{res.Gibbs, res.Obj} {
 				if e > ermErrs[i]+0.1 {
 					shapeOK = false
 				}
 			}
 		}
-		t.AddRow(fmt.Sprint(grid.Ns[i]), f(grid.Epss[j]), f(ermErrs[i]), f(res.gibbs), f(res.out), f(res.obj))
+		t.AddRow(fmt.Sprint(grid.Ns[i]), f(grid.Epss[j]), f(ermErrs[i]), f(res.Gibbs), f(res.Out), f(res.Obj))
 	}
 	t.AddNote("bayes error of the generating model ≈ %s", f(bayes))
 	t.AddNote("expected shape: all private methods improve with n and eps, approaching non-private ERM; gibbs and objective perturbation dominate output perturbation at small eps (Chaudhuri et al. shape)")
@@ -134,7 +135,7 @@ func E9PrivateRegression(opts Options) (*Table, error) {
 		ermIdx, _ := learn.ERMFinite(loss, coefGrid.Thetas(), trains[i])
 		ermRisks[i] = model.TrueRisk(coefGrid.At(ermIdx), 0)
 	}
-	results, err := SweepGrid(grid, g, opts.parallel(), func(c Cell) (float64, error) {
+	results, err := SweepGridCtx(opts.ctx(), grid, g, opts.sweep(), func(c Cell) (float64, error) {
 		learner, err := core.NewLearner(core.Config{
 			Loss:     loss,
 			Thetas:   coefGrid.Thetas(),
@@ -213,8 +214,9 @@ func E10DensityEstimation(opts Options) (*Table, error) {
 			return nil, err
 		}
 	}
-	type cellMeans struct{ lap, gibbs float64 }
-	results, err := SweepGrid(grid, g, opts.parallel(), func(c Cell) (cellMeans, error) {
+	// Fields are exported so checkpointed cells round-trip through JSON.
+	type cellMeans struct{ Lap, Gibbs float64 }
+	results, err := SweepGridCtx(opts.ctx(), grid, g, opts.sweep(), func(c Cell) (cellMeans, error) {
 		d := datasets[c.Row]
 		var lapL1, gibbsL1 mathx.Welford
 		for r := 0; r < reps; r++ {
@@ -244,16 +246,16 @@ func E10DensityEstimation(opts Options) (*Table, error) {
 			}
 			gibbsL1.Add(l1g)
 		}
-		return cellMeans{lap: lapL1.Mean(), gibbs: gibbsL1.Mean()}, nil
+		return cellMeans{Lap: lapL1.Mean(), Gibbs: gibbsL1.Mean()}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for k, res := range results {
 		i, j := k/len(grid.Epss), k%len(grid.Epss)
-		t.AddRow(fmt.Sprint(grid.Ns[i]), f(grid.Epss[j]), f(res.lap), f(res.gibbs), f(nonPrivL1[i]))
+		t.AddRow(fmt.Sprint(grid.Ns[i]), f(grid.Epss[j]), f(res.Lap), f(res.Gibbs), f(nonPrivL1[i]))
 	}
-	improves := results[len(results)-1].lap < results[0].lap
+	improves := results[len(results)-1].Lap < results[0].Lap
 	t.AddNote("expected shape: both private estimators' L1 error decreases in n and eps, approaching the non-private histogram's error")
 	t.AddNote("error at largest (n,eps) below smallest: %v", improves)
 	return t, nil

@@ -1,6 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/checkpoint"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -27,47 +33,93 @@ type Cell struct {
 	// in cell-index order before any cell runs. It must not be shared
 	// with other cells.
 	RNG *rng.RNG
+	// Seed is RNG's seed fingerprint (see rng.SplitSeed) — the key a
+	// checkpointed sweep stores results under.
+	Seed int64
 }
 
 // sweepGrain keeps one grid cell per chunk: each cell is a full batch of
 // Monte-Carlo fits, far past the fan-out amortization knee.
 const sweepGrain = 1
 
+// SweepConfig configures a SweepGridCtx run.
+type SweepConfig struct {
+	// Parallel controls the cell fan-out (see package parallel).
+	Parallel parallel.Options
+	// Checkpoint, when non-nil, persists each completed cell and skips
+	// cells already recorded under the same (index, seed) key — the
+	// resume path after an interrupted sweep. Nil disables
+	// checkpointing with no behavioral difference.
+	Checkpoint *checkpoint.Log
+}
+
 // SweepGrid evaluates body at every (n, ε) grid point, fanning the cells
 // out across opts workers, and returns the results in row-major cell
-// order (n outer, ε inner — the order the tables print).
+// order (n outer, ε inner — the order the tables print). It is
+// SweepGridCtx without cancellation or checkpointing.
+func SweepGrid[R any](grid Grid, g *rng.RNG, opts parallel.Options, body func(c Cell) (R, error)) ([]R, error) {
+	return SweepGridCtx(context.Background(), grid, g, SweepConfig{Parallel: opts}, body)
+}
+
+// SweepGridCtx evaluates body at every (n, ε) grid point under ctx.
 //
-// Determinism: every cell's RNG is split from g in cell-index order
+// Determinism: every cell's seed is split from g in cell-index order
 // BEFORE the fan-out starts, so the stream a cell sees depends only on
-// (seed, cell index) — never on worker count or scheduling. Combined
-// with package parallel's fixed chunk geometry this makes a sweep's
-// tables byte-identical for every Workers setting.
+// (sweep seed, cell index) — never on worker count, scheduling, or how
+// many cells a resumed run skipped. Combined with package parallel's
+// fixed chunk geometry this makes a completed sweep's tables
+// byte-identical for every Workers setting, with or without an
+// interruption in between: checkpointed results round-trip through
+// JSON bit-exactly (see package checkpoint).
+//
+// Failure handling: cell errors do not abort the sweep — every other
+// cell still runs (and checkpoints), so a resume retries only the
+// failures. All cell errors are aggregated with errors.Join in
+// deterministic cell-index order, each wrapped with its coordinates; a
+// cancellation or worker fault from the engine is appended last.
 //
 // body runs concurrently with itself; it must only touch its Cell and
-// read-only captured state. If any cell fails, the first error in cell
-// order is returned.
-func SweepGrid[R any](grid Grid, g *rng.RNG, opts parallel.Options, body func(c Cell) (R, error)) ([]R, error) {
+// read-only captured state.
+func SweepGridCtx[R any](ctx context.Context, grid Grid, g *rng.RNG, cfg SweepConfig, body func(c Cell) (R, error)) ([]R, error) {
 	cells := make([]Cell, 0, grid.Cells())
 	for i, n := range grid.Ns {
 		for j, eps := range grid.Epss {
-			cells = append(cells, Cell{Row: i, Col: j, N: n, Eps: eps, RNG: g.Split()})
+			seed := g.SplitSeed()
+			cells = append(cells, Cell{Row: i, Col: j, N: n, Eps: eps, RNG: rng.New(seed), Seed: seed})
 		}
 	}
 	out := make([]R, len(cells))
-	errs := make([]error, len(cells))
-	parallel.ForGrain(len(cells), sweepGrain, opts, func(lo, hi int) {
+	cellErrs := make([]error, len(cells))
+	engineErr := parallel.ForGrainCtx(ctx, len(cells), sweepGrain, cfg.Parallel, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
-			sp := opts.Obs.Span("sweep.cell")
+			if raw, ok := cfg.Checkpoint.Lookup(k, cells[k].Seed); ok {
+				if err := json.Unmarshal(raw, &out[k]); err == nil {
+					continue
+				}
+				// Undecodable entry (result shape changed): recompute.
+				out[k] = *new(R)
+			}
+			sp := cfg.Parallel.Obs.Span("sweep.cell")
 			sp.SetAttr("n", cells[k].N)
 			sp.SetAttr("eps", cells[k].Eps)
-			out[k], errs[k] = body(cells[k])
+			out[k], cellErrs[k] = body(cells[k])
+			if cellErrs[k] == nil {
+				cellErrs[k] = cfg.Checkpoint.Put(k, cells[k].Seed, out[k])
+			}
 			sp.End()
 		}
 	})
-	for _, err := range errs {
+	var errs []error
+	for k, err := range cellErrs {
 		if err != nil {
-			return nil, err
+			errs = append(errs, fmt.Errorf("sweep: cell %d (n=%d, eps=%g): %w", k, cells[k].N, cells[k].Eps, err))
 		}
+	}
+	if engineErr != nil {
+		errs = append(errs, engineErr)
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return out, nil
 }

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// testRNG returns a fresh sweep RNG with a fixed seed, so every call
+// replays the identical split chain.
+func testRNG(t *testing.T) *rng.RNG {
+	t.Helper()
+	return rng.New(99)
+}
+
+// sweepBody is a deterministic cell function with enough float structure
+// to catch any round-trip loss: the result depends on the cell's private
+// RNG stream.
+func sweepBody(c Cell) (float64, error) {
+	return c.RNG.Float64() / (1 + c.Eps*float64(c.N)), nil
+}
+
+var sweepTestGrid = Grid{Ns: []int{10, 20, 30}, Epss: []float64{0.1, 0.5, 2}}
+
+// TestSweepGridCtxMatchesSweepGrid pins that the ctx/checkpoint variant
+// is the same computation: bit-identical results for every Workers
+// setting, with and without a checkpoint log attached.
+func TestSweepGridCtxMatchesSweepGrid(t *testing.T) {
+	want, err := SweepGrid(sweepTestGrid, testRNG(t), parallel.Options{Workers: 1}, sweepBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		ck, err := checkpoint.Open(filepath.Join(t.TempDir(), "ck"), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SweepGridCtx(context.Background(), sweepTestGrid, testRNG(t),
+			SweepConfig{Parallel: parallel.Options{Workers: workers}, Checkpoint: ck}, sweepBody)
+		ck.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+				t.Fatalf("workers=%d cell %d: %v != %v", workers, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestSweepCheckpointResume pins the resume contract: a second run over
+// a complete log recomputes nothing and returns bit-identical results.
+func TestSweepCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	ck, err := checkpoint.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SweepGridCtx(context.Background(), sweepTestGrid, testRNG(t),
+		SweepConfig{Parallel: parallel.Options{Workers: 3}, Checkpoint: ck}, sweepBody)
+	ck.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := checkpoint.Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	var calls atomic.Int64
+	got, err := SweepGridCtx(context.Background(), sweepTestGrid, testRNG(t),
+		SweepConfig{Parallel: parallel.Options{Workers: 3}, Checkpoint: ck2},
+		func(c Cell) (float64, error) {
+			calls.Add(1)
+			return sweepBody(c)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("resume recomputed %d cells", n)
+	}
+	for k := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("cell %d: resumed %v != original %v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestSweepInterruptedResume pins the headline robustness property: a
+// sweep canceled partway through, then resumed, merges to the
+// bit-identical table an uninterrupted run produces — and only the
+// missing cells rerun.
+func TestSweepInterruptedResume(t *testing.T) {
+	want, err := SweepGrid(sweepTestGrid, testRNG(t), parallel.Options{Workers: 1}, sweepBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck")
+	ck, err := checkpoint.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	_, err = SweepGridCtx(ctx, sweepTestGrid, testRNG(t),
+		SweepConfig{Parallel: parallel.Options{Workers: 1}, Checkpoint: ck},
+		func(c Cell) (float64, error) {
+			if ran.Add(1) == 4 {
+				cancel() // interrupt after four cells: claimed cells complete
+			}
+			return sweepBody(c)
+		})
+	ck.Close()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep: want context.Canceled, got %v", err)
+	}
+	done := ran.Load()
+	if done >= int64(sweepTestGrid.Cells()) {
+		t.Fatalf("cancellation did not interrupt: all %d cells ran", done)
+	}
+	ck2, err := checkpoint.Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	var resumed atomic.Int64
+	got, err := SweepGridCtx(context.Background(), sweepTestGrid, testRNG(t),
+		SweepConfig{Parallel: parallel.Options{Workers: 1}, Checkpoint: ck2},
+		func(c Cell) (float64, error) {
+			resumed.Add(1)
+			return sweepBody(c)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done+resumed.Load() != int64(sweepTestGrid.Cells()) {
+		t.Fatalf("resume reran finished cells: %d before + %d after != %d",
+			done, resumed.Load(), sweepTestGrid.Cells())
+	}
+	for k := range want {
+		if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+			t.Fatalf("cell %d: merged %v != uninterrupted %v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestSweepStaleCheckpointMisses pins the seed fingerprint: a log from a
+// different sweep seed never satisfies a lookup, so wrong results cannot
+// be resumed into the wrong run.
+func TestSweepStaleCheckpointMisses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	ck, err := checkpoint.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{Parallel: parallel.Options{Workers: 1}, Checkpoint: ck}
+	if _, err := SweepGridCtx(context.Background(), sweepTestGrid, testRNG(t), cfg, sweepBody); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	ck2, err := checkpoint.Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	var calls atomic.Int64
+	otherSeed := testRNG(t)
+	otherSeed.Float64() // desync the split chain
+	if _, err := SweepGridCtx(context.Background(), sweepTestGrid, otherSeed,
+		SweepConfig{Parallel: parallel.Options{Workers: 1}, Checkpoint: ck2},
+		func(c Cell) (float64, error) {
+			calls.Add(1)
+			return sweepBody(c)
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != int64(sweepTestGrid.Cells()) {
+		t.Fatalf("stale log satisfied %d lookups", int64(sweepTestGrid.Cells())-n)
+	}
+}
+
+// TestSweepErrorAggregation pins satellite behavior: every failing cell
+// is reported (errors.Join, cell-index order), healthy cells still
+// compute, and the message carries the cell coordinates.
+func TestSweepErrorAggregation(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := SweepGridCtx(context.Background(), sweepTestGrid, testRNG(t),
+		SweepConfig{Parallel: parallel.Options{Workers: 2}},
+		func(c Cell) (float64, error) {
+			ran.Add(1)
+			if c.Row == 1 {
+				return 0, fmt.Errorf("cell (%d,%d): %w", c.Row, c.Col, boom)
+			}
+			return sweepBody(c)
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if ran.Load() != int64(sweepTestGrid.Cells()) {
+		t.Fatalf("failing cells aborted the sweep: only %d cells ran", ran.Load())
+	}
+	msg := err.Error()
+	for _, want := range []string{"sweep: cell 3 (n=20, eps=0.1)", "sweep: cell 4 (n=20, eps=0.5)", "sweep: cell 5 (n=20, eps=2)"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("aggregated error missing %q:\n%s", want, msg)
+		}
+	}
+	if i3, i4 := strings.Index(msg, "cell 3"), strings.Index(msg, "cell 4"); i3 > i4 {
+		t.Fatalf("errors not in cell order:\n%s", msg)
+	}
+}

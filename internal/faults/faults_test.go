@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestScheduleDeterministic pins the replay contract: verdicts are a
+// pure function of (seed, class, key).
+func TestScheduleDeterministic(t *testing.T) {
+	a := NewSchedule(7, map[Class]float64{WorkerPanic: 0.3, NaNRisk: 0.1})
+	b := NewSchedule(7, map[Class]float64{WorkerPanic: 0.3, NaNRisk: 0.1})
+	for key := 0; key < 1000; key++ {
+		for _, c := range Classes {
+			if a.Hit(c, key) != b.Hit(c, key) {
+				t.Fatalf("verdict for (%s, %d) not reproducible", c, key)
+			}
+		}
+	}
+}
+
+// TestScheduleOrderIndependent pins the concurrency contract: probing in
+// a different order cannot change any verdict (no internal stream).
+func TestScheduleOrderIndependent(t *testing.T) {
+	s := NewSchedule(11, map[Class]float64{BudgetDeny: 0.25})
+	forward := make([]bool, 500)
+	for k := range forward {
+		forward[k] = s.Hit(BudgetDeny, k)
+	}
+	g := rng.New(3)
+	for _, k := range g.Perm(len(forward)) {
+		if s.Hit(BudgetDeny, k) != forward[k] {
+			t.Fatalf("verdict for key %d changed with probe order", k)
+		}
+	}
+}
+
+// TestScheduleRates pins the rate envelope: 0 never fires, 1 always
+// fires, fractional rates fire roughly in proportion, and different
+// seeds disagree.
+func TestScheduleRates(t *testing.T) {
+	const n = 20000
+	never := NewSchedule(1, map[Class]float64{WorkerPanic: 0})
+	always := NewSchedule(1, map[Class]float64{WorkerPanic: 1})
+	half := NewSchedule(1, map[Class]float64{WorkerPanic: 0.5})
+	other := NewSchedule(2, map[Class]float64{WorkerPanic: 0.5})
+	hits, diff := 0, 0
+	for k := 0; k < n; k++ {
+		if never.Hit(WorkerPanic, k) {
+			t.Fatal("rate 0 fired")
+		}
+		if !always.Hit(WorkerPanic, k) {
+			t.Fatal("rate 1 missed")
+		}
+		if half.Hit(WorkerPanic, k) {
+			hits++
+		}
+		if half.Hit(WorkerPanic, k) != other.Hit(WorkerPanic, k) {
+			diff++
+		}
+	}
+	if hits < n*4/10 || hits > n*6/10 {
+		t.Fatalf("rate 0.5 fired %d/%d times", hits, n)
+	}
+	if diff == 0 {
+		t.Fatal("distinct seeds produced identical plans")
+	}
+	// A class absent from the rate map never fires.
+	if half.Hit(NaNRisk, 0) {
+		t.Fatal("unconfigured class fired")
+	}
+}
+
+// TestScheduleNilSafe pins that a nil schedule is inert.
+func TestScheduleNilSafe(t *testing.T) {
+	var s *Schedule
+	if s.Hit(WorkerPanic, 0) || s.Err(NaNRisk, 1) != nil {
+		t.Fatal("nil schedule fired")
+	}
+	s.Panic(WorkerPanic, 0) // must not panic
+}
+
+// TestScheduleTypedError pins that injected failures are identifiable.
+func TestScheduleTypedError(t *testing.T) {
+	s := NewSchedule(5, map[Class]float64{CheckpointWrite: 1})
+	if err := s.Err(CheckpointWrite, 9); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := s.Err(WorkerPanic, 9); err != nil {
+		t.Fatalf("unconfigured class errored: %v", err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Panic did not panic")
+		} else if err, ok := r.(error); !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v is not a typed injected error", r)
+		}
+	}()
+	s.Panic(CheckpointWrite, 9)
+}

@@ -15,6 +15,7 @@
 package gibbs
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -84,24 +85,13 @@ func (e *Estimator) logPriorOrUniform() []float64 {
 // out), and its values are bit-identical for every worker count. Cache
 // hits, misses, and evictions are counted on the wired metrics registry.
 func (e *Estimator) Risks(d *dataset.Dataset) []float64 {
-	if e.Cache == nil {
-		return learn.RiskVectorOpts(e.Loss, e.Thetas, d, e.Parallel)
+	r, err := e.RisksCtx(context.Background(), d)
+	if err != nil {
+		// Background contexts never cancel; the only possible error is a
+		// recovered worker panic, re-raised to keep the plain contract.
+		panic(err)
 	}
-	reg := e.Parallel.Obs.Reg()
-	fp := d.Fingerprint()
-	if r := e.Cache.lookup(fp); r != nil {
-		reg.Counter("dplearn_risk_cache_hits_total",
-			"risk-vector cache lookups served from memory").Inc()
-		return append([]float64(nil), r...)
-	}
-	reg.Counter("dplearn_risk_cache_misses_total",
-		"risk-vector cache lookups that evaluated the risk grid").Inc()
-	r := learn.RiskVectorOpts(e.Loss, e.Thetas, d, e.Parallel)
-	if e.Cache.store(fp, r) {
-		reg.Counter("dplearn_risk_cache_evictions_total",
-			"risk vectors evicted from the full cache").Inc()
-	}
-	return append([]float64(nil), r...)
+	return r
 }
 
 // LogPosterior returns the normalized Gibbs log-posterior on dataset d.
@@ -109,20 +99,13 @@ func (e *Estimator) Risks(d *dataset.Dataset) []float64 {
 // wired observer as the dplearn_gibbs_posterior_ticks histogram and a
 // gibbs.posterior span.
 func (e *Estimator) LogPosterior(d *dataset.Dataset) []float64 {
-	risks := e.Risks(d)
-	o := e.Parallel.Obs
-	sp := o.Span("gibbs.posterior")
-	start := o.Now()
-	post, err := pacbayes.GibbsLogPosterior(e.logPriorOrUniform(), risks, e.Lambda)
-	o.Reg().Histogram("dplearn_gibbs_posterior_ticks",
-		"posterior-normalization duration in clock ticks", posteriorTickBuckets).
-		Observe(float64(o.Now() - start))
-	sp.SetAttr("thetas", len(e.Thetas))
-	sp.End()
+	post, err := e.LogPosteriorCtx(context.Background(), d)
 	if err != nil {
 		// Only reachable with a degenerate (-Inf everywhere) prior, which
-		// New rejects implicitly through normalization in callers.
-		panic("gibbs: degenerate posterior: " + err.Error())
+		// New rejects implicitly through normalization in callers. The
+		// panic value wraps ErrDegeneratePosterior, so a recovering
+		// caller can still classify it.
+		panic(err)
 	}
 	return post
 }
@@ -228,16 +211,15 @@ func (e *Estimator) UtilityBound(beta float64) float64 {
 // LambdaForEpsilon returns the inverse temperature λ that makes the Gibbs
 // estimator exactly ε-DP for a [0, M]-bounded loss on samples of size n
 // (inverting Theorem 4.1): λ = ε·n/(2M). It panics on non-positive
-// arguments or an unbounded loss.
+// arguments (wrapping ErrBadConfig) or an unbounded loss (wrapping
+// ErrUnboundedLoss); use LambdaForEpsilonErr to receive the typed error
+// instead.
 func LambdaForEpsilon(epsilon float64, loss learn.Loss, n int) float64 {
-	if epsilon <= 0 || n <= 0 {
-		panic("gibbs: LambdaForEpsilon requires epsilon > 0 and n > 0")
+	lambda, err := LambdaForEpsilonErr(epsilon, loss, n)
+	if err != nil {
+		panic(err)
 	}
-	m := loss.Bound()
-	if math.IsInf(m, 1) || m <= 0 {
-		panic("gibbs: LambdaForEpsilon requires a bounded loss")
-	}
-	return epsilon * float64(n) / (2 * m)
+	return lambda
 }
 
 // EpsilonForLambda returns the Theorem 4.1 privacy level of the Gibbs

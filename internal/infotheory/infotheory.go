@@ -12,6 +12,7 @@
 package infotheory
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -384,6 +385,18 @@ func BlahutArimoto(w [][]float64, tol float64, maxIter int) (capacity float64, p
 // element-wise, so the iterate sequence — and hence the capacity — is
 // bit-identical for every worker count.
 func BlahutArimotoOpts(w [][]float64, tol float64, maxIter int, opts parallel.Options) (capacity float64, px []float64, err error) {
+	return BlahutArimotoCtx(context.Background(), w, tol, maxIter, opts)
+}
+
+// BlahutArimotoCtx is BlahutArimotoOpts with cancellation: the context
+// is checked once per iteration (and inside the fan-out at chunk-claim
+// boundaries), so a capacity computation over a huge channel can be
+// interrupted between iterations. The iterate sequence is unchanged, so
+// a run that converges is bit-identical to the non-ctx variant.
+func BlahutArimotoCtx(ctx context.Context, w [][]float64, tol float64, maxIter int, opts parallel.Options) (capacity float64, px []float64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nIn := len(w)
 	if nIn == 0 {
 		return 0, nil, ErrInvalidDistribution
@@ -409,6 +422,9 @@ func BlahutArimotoOpts(w [][]float64, tol float64, maxIter int, opts parallel.Op
 	py := make([]float64, nOut)
 	d := make([]float64, nIn)
 	for iter := 0; iter < maxIter; iter++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, fmt.Errorf("infotheory: Blahut–Arimoto canceled at iteration %d: %w", iter, cerr)
+		}
 		// Output distribution under current input: one column sum per
 		// output symbol, inputs in index order.
 		parallel.ForGrain(nOut, 32, opts, func(lo, hi int) {

@@ -13,6 +13,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -208,11 +209,27 @@ const riskGrain = 8
 // RiskVectorOpts is RiskVector under an explicit parallel.Options.
 // Results are bit-for-bit identical for every worker count.
 func RiskVectorOpts(l Loss, thetas [][]float64, d *dataset.Dataset, opts parallel.Options) []float64 {
+	out, err := RiskVectorCtx(context.Background(), l, thetas, d, opts)
+	if err != nil {
+		// Background contexts never cancel; the only possible error is a
+		// recovered worker panic, and the non-ctx helpers keep the
+		// crash-on-panic contract.
+		panic(err)
+	}
+	return out
+}
+
+// RiskVectorCtx is RiskVectorOpts with cancellation and panic isolation:
+// the context is checked at the engine's chunk-claim boundaries, and a
+// panic inside a loss evaluation surfaces as a *parallel.WorkerError. The
+// chunk geometry is unchanged, so a completed call is bit-identical to
+// RiskVectorOpts.
+func RiskVectorCtx(ctx context.Context, l Loss, thetas [][]float64, d *dataset.Dataset, opts parallel.Options) ([]float64, error) {
 	// Fan-out only pays off when there is real work to split.
 	if len(thetas)*d.Len() < 1<<14 {
 		opts = parallel.Options{Workers: 1}
 	}
-	return parallel.MapGrain(len(thetas), riskGrain, opts, func(i int) float64 {
+	return parallel.MapGrainCtx(ctx, len(thetas), riskGrain, opts, func(i int) float64 {
 		return EmpiricalRisk(l, thetas[i], d)
 	})
 }

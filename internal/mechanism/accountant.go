@@ -3,11 +3,7 @@ package mechanism
 import (
 	"errors"
 	"math"
-	"sort"
-
 	"sync"
-
-	"repro/internal/mathx"
 )
 
 // SpendMeta carries the ledger metadata of one release: everything an
@@ -60,6 +56,14 @@ type Accountant struct {
 	mu       sync.Mutex
 	spent    []SpendRecord
 	observer SpendObserver
+
+	// Budget enforcement (see budget.go): when hasBudget is set, Reserve
+	// admits a release only if the canonical composition of spent,
+	// reserved, and the request stays within budget. reserved holds the
+	// outstanding (reserved-but-not-yet-committed) claims by identity.
+	budget    Guarantee
+	hasBudget bool
+	reserved  []*Reservation
 }
 
 // SetObserver installs the spend observer (nil to remove). On a nil
@@ -145,19 +149,7 @@ func (a *Accountant) BasicComposition() Guarantee {
 	if a == nil {
 		return Guarantee{}
 	}
-	gs := a.guarantees()
-	sort.Slice(gs, func(i, j int) bool {
-		if gs[i].Epsilon != gs[j].Epsilon { //dplint:ignore floateq canonical-order comparison: exact value ordering is the point
-			return gs[i].Epsilon < gs[j].Epsilon
-		}
-		return gs[i].Delta < gs[j].Delta
-	})
-	var eps, del mathx.KahanSum
-	for _, g := range gs {
-		eps.Add(g.Epsilon)
-		del.Add(g.Delta)
-	}
-	return Guarantee{Epsilon: eps.Sum(), Delta: del.Sum()}
+	return composeCanonical(a.guarantees())
 }
 
 // AdvancedComposition returns the Dwork–Rothblum–Vadhan advanced

@@ -1,6 +1,7 @@
 package mechanism
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -101,8 +102,20 @@ func (m *MWEM) Histogram(d *dataset.Dataset) []float64 {
 // Run produces the synthetic distribution. The result is ε-DP with
 // respect to the input dataset.
 func (m *MWEM) Run(d *dataset.Dataset, g *rng.RNG) ([]float64, error) {
+	return m.RunCtx(context.Background(), d, g)
+}
+
+// RunCtx is Run with cancellation: ctx is checked once per MWEM round,
+// at the round boundary, so a canceled run stops before its next
+// select/measure release rather than mid-update. Rounds already
+// completed spent their per-round budget (the noisy measurements were
+// released); a run that completes is bit-identical to Run.
+func (m *MWEM) RunCtx(ctx context.Context, d *dataset.Dataset, g *rng.RNG) ([]float64, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, errors.New("mechanism: MWEM needs a non-empty dataset")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := float64(d.Len())
 	true_ := m.Histogram(d)
@@ -118,6 +131,9 @@ func (m *MWEM) Run(d *dataset.Dataset, g *rng.RNG) ([]float64, error) {
 		return n * math.Abs(evaluate(m.Queries[qi], true_)-evaluate(m.Queries[qi], synth))
 	}
 	for t := 0; t < m.Rounds; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mechanism: MWEM canceled before round %d/%d: %w", t, m.Rounds, err)
+		}
 		// Select the worst query with half the round budget. Guarantee of
 		// the exponential mechanism is 2·mechEps·Δq, so mechEps = εr/4·Δq⁻¹.
 		em, err := NewExponential(quality, len(m.Queries), 1, epsRound/4)

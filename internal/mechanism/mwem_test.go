@@ -1,6 +1,8 @@
 package mechanism
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -227,6 +229,39 @@ func TestMWEMPrivacySampled(t *testing.T) {
 		ratio := math.Abs(math.Log(float64(countA[b]) / float64(countB[b])))
 		if ratio > eps+0.3 {
 			t.Errorf("bin %d: |log ratio| %v far exceeds eps %v", b, ratio, eps)
+		}
+	}
+}
+
+// TestMWEMRunCtxCancellation pins the round-boundary cancellation
+// contract: a canceled context stops the run before its next
+// select/measure release with a wrapped ctx error, and a completed
+// RunCtx is bit-identical to Run.
+func TestMWEMRunCtxCancellation(t *testing.T) {
+	m, err := NewMWEM(8, IntervalQueries(8), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := intDataset([]int{0, 1, 2, 3, 4, 5, 6, 7, 2, 2})
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunCtx(canceled, d, rng.New(1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	want, err := m.Run(d, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.RunCtx(context.Background(), d, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		//dplint:ignore floateq bit-exact agreement between Run and a completed RunCtx is the property under test
+		if got[v] != want[v] {
+			t.Fatalf("value %d: RunCtx %v != Run %v", v, got[v], want[v])
 		}
 	}
 }

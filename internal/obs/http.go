@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // NewServeMux builds the opt-in observability endpoint:
@@ -90,10 +92,19 @@ func (r *Registry) expvarSnapshot() map[string]map[string]any {
 	return out
 }
 
+// shutdownGrace bounds how long Serve's shutdown func waits for
+// in-flight scrapes to finish before force-closing their connections. A
+// scrape is small, so two seconds is generous; a hung pprof stream must
+// not stall process exit past it.
+var shutdownGrace = 2 * time.Second
+
 // Serve starts the observability endpoint on addr in a background
 // goroutine and returns the bound listener address (useful with ":0")
 // and a shutdown func. The server lives for the duration of the run;
-// CLIs call the shutdown func on exit.
+// CLIs call the shutdown func on exit. Shutdown is graceful: the
+// listener closes immediately (no new scrapes), in-flight requests get
+// shutdownGrace to complete — a half-written /metrics body would read
+// as a torn scrape upstream — and whatever remains is force-closed.
 func Serve(addr string, reg *Registry, withPprof bool) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -105,5 +116,13 @@ func Serve(addr string, reg *Registry, withPprof bool) (string, func(), error) {
 		// an observability endpoint must never take the workload down.
 		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Grace expired with requests still in flight: drop them.
+			_ = srv.Close()
+		}
+	}
+	return ln.Addr().String(), shutdown, nil
 }

@@ -1,15 +1,19 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -214,5 +218,106 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "dplearn_risk_cache_hits_total 7") {
 		t.Fatal("served /metrics missing fixture series")
+	}
+}
+
+// TestServeGracefulShutdown pins the drain behavior: a scrape in flight
+// when shutdown starts completes intact (no torn /metrics body), new
+// connections are refused, and shutdown returns promptly.
+func TestServeGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	inHandler := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		fmt.Fprint(w, "drained-in-full")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-inHandler
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	// The listener closes before in-flight requests drain: a new scrape
+	// must be refused while the old one is still being served.
+	deadline := time.Now().Add(shutdownGrace)
+	for {
+		if _, err := http.Get("http://" + addr + "/slow"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting during shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed during graceful shutdown: %v", r.err)
+	}
+	if r.body != "drained-in-full" {
+		t.Fatalf("in-flight scrape torn: %q", r.body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown did not drain within grace: %v", err)
+	}
+}
+
+// TestServeShutdownForceClosesHungRequests pins the grace bound: a
+// handler that never finishes cannot stall the shutdown func past
+// shutdownGrace.
+func TestServeShutdownForceClosesHungRequests(t *testing.T) {
+	old := shutdownGrace
+	shutdownGrace = 50 * time.Millisecond
+	defer func() { shutdownGrace = old }()
+
+	reg := goldenRegistry()
+	addr, stop, err := Serve("127.0.0.1:0", reg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 30-second CPU profile stream is the canonical hung scrape.
+	go func() {
+		resp, err := http.Get("http://" + addr + "/debug/pprof/profile?seconds=30")
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the profile request is being served.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	stop()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v, not bounded by the %v grace", elapsed, shutdownGrace)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after shutdown")
 	}
 }

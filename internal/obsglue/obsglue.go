@@ -8,10 +8,14 @@
 package obsglue
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/mechanism"
 	"repro/internal/obs"
@@ -35,6 +39,29 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Trace, "trace", "", "write an NDJSON trace + privacy ledger to this file")
 	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics and /debug/vars on this address (e.g. localhost:9090, :0 for a free port)")
 	fs.BoolVar(&f.Pprof, "pprof", false, "also serve /debug/pprof on -metrics-addr")
+}
+
+// RunContext builds the root context of one CLI run: it cancels on
+// SIGINT/SIGTERM and, when timeout > 0, at the deadline. Cancellation
+// is the graceful-drain signal — the parallel engine stops claiming
+// chunks but finishes claimed ones, sweeps keep their checkpoints, and
+// the ledger still flushes on the way out — so a ^C'd run exits
+// non-zero with its books balanced rather than mid-write. A second
+// SIGINT kills the process immediately (the default handler is
+// restored once the context cancels, per signal.NotifyContext).
+//
+// The returned stop func releases the signal registration and any
+// timer; defer it unconditionally.
+func RunContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
 }
 
 // Runtime is the live observability state of one CLI run.

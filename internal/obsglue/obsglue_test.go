@@ -2,11 +2,15 @@ package obsglue
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/mechanism"
 	"repro/internal/obs"
@@ -130,5 +134,56 @@ func TestStartServesMetrics(t *testing.T) {
 	}
 	if err := rt.Close(nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunContextTimeout pins the -timeout path: the context expires on
+// its own and reports DeadlineExceeded.
+func TestRunContextTimeout(t *testing.T) {
+	ctx, stop := RunContext(30 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", ctx.Err())
+	}
+}
+
+// TestRunContextNoTimeout pins that a zero timeout means no deadline.
+func TestRunContextNoTimeout(t *testing.T) {
+	ctx, stop := RunContext(0)
+	defer stop()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout set a deadline")
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatalf("context done immediately: %v", ctx.Err())
+	default:
+	}
+	stop()
+	if ctx.Err() == nil {
+		t.Fatal("stop did not cancel the context")
+	}
+}
+
+// TestRunContextSIGINT pins the graceful-drain signal path: a SIGINT
+// cancels the run context instead of killing the process.
+func TestRunContextSIGINT(t *testing.T) {
+	ctx, stop := RunContext(0)
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("SIGINT did not cancel the run context")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("want Canceled, got %v", ctx.Err())
 	}
 }

@@ -32,10 +32,9 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"strconv"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/mathx"
 	"repro/internal/obs"
@@ -137,46 +136,18 @@ func For(n int, opts Options, body func(lo, hi int)) {
 // per chunk. Use a small grain (e.g. 8) when one index is expensive —
 // a full empirical-risk evaluation, a whole posterior row — and the
 // default For when indices are cheap arithmetic.
+//
+// A panic inside body no longer crashes the process from a worker
+// goroutine: it is recovered into a structured *WorkerError (worker
+// slot, chunk range, stack) and re-panicked on the calling goroutine,
+// where callers and tests can recover it. Use ForGrainCtx to receive
+// the fault as an error instead.
 func ForGrain(n, grain int, opts Options, body func(lo, hi int)) {
-	if n <= 0 {
-		return
+	if err := ForGrainCtx(context.Background(), n, grain, opts, body); err != nil {
+		// Background contexts never cancel, so the only possible error
+		// is a recovered worker panic.
+		panic(err)
 	}
-	workers := opts.Resolve(n)
-	size := chunkSizeGrain(n, grain)
-	chunks := numChunksGrain(n, grain)
-	if workers == 1 || chunks == 1 {
-		for c := 0; c < chunks; c++ {
-			lo := c * size
-			hi := min(lo+size, n)
-			body(lo, hi)
-		}
-		recordRun(opts.Obs, "serial", []int64{int64(chunks)})
-		return
-	}
-	if workers > chunks {
-		workers = chunks
-	}
-	claims := make([]int64, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(slot int) {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * size
-				hi := min(lo+size, n)
-				body(lo, hi)
-				claims[slot]++
-			}
-		}(w)
-	}
-	wg.Wait()
-	recordRun(opts.Obs, "parallel", claims)
 }
 
 // recordRun publishes one engine run's telemetry: the execution mode,

@@ -36,7 +36,16 @@ func New(seed int64) *RNG {
 // stream is a deterministic function of the parent's state, so a seeded
 // experiment that Splits per-worker remains reproducible.
 func (g *RNG) Split() *RNG {
-	return New(g.r.Int63())
+	return New(g.SplitSeed())
+}
+
+// SplitSeed consumes exactly the parent state one Split would and
+// returns the seed that Split would have used, without constructing the
+// child. Checkpointed sweeps persist this fingerprint: New(SplitSeed())
+// is bit-identical to Split(), so a resumed run can both re-derive a
+// cell's private stream and verify a saved result belongs to it.
+func (g *RNG) SplitSeed() int64 {
+	return g.r.Int63()
 }
 
 // Int63n returns a uniform integer in [0, n). It panics if n <= 0.
