@@ -69,7 +69,6 @@ func main() {
 			fail(err)
 		}
 		pair := audit.WorstCaseBinaryPair(*n)
-		//dp:observer audit harness: samples the mechanism's output distribution to estimate realized eps, not a release path
 		res, err := audit.SampleContinuousCtx(ctx, func(d *dataset.Dataset, h *rng.RNG) float64 {
 			return m.Release(d, h)[0]
 		}, pair, *samples, 60, *samples/200, g)

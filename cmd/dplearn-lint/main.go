@@ -16,6 +16,8 @@
 //	-warn a,b,c     downgrade the named checks to warning severity
 //	-no-tests       skip _test.go files entirely
 //	-list           list registered checks and exit
+//	-flow re        dump the CFG of functions matching the regexp and
+//	                exit (debug view of the flow-sensitive checks)
 //	-timeout d      abort the run after this duration (0 = no limit)
 //
 // ^C or the -timeout deadline cancels the analysis between passes; an
@@ -30,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 
 	"repro/internal/analysis"
@@ -52,6 +55,9 @@ type jsonDiag struct {
 	Message        string `json:"message"`
 	Suppressed     bool   `json:"suppressed"`
 	SuppressReason string `json:"suppress_reason,omitempty"`
+	// Trace is the per-path witness of a flow-sensitive finding: the
+	// CFG block labels of one concrete execution exhibiting it.
+	Trace []string `json:"trace,omitempty"`
 }
 
 // run writes directly to os.Stdout/os.Stderr: the errdrop check exempts
@@ -65,6 +71,7 @@ func run(args []string) int {
 	warnFlag := fs.String("warn", "", "comma-separated check ids downgraded to warnings")
 	noTests := fs.Bool("no-tests", false, "skip _test.go files")
 	list := fs.Bool("list", false, "list registered checks and exit")
+	flowRe := fs.String("flow", "", "dump the CFG of functions matching this regexp and exit")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -106,6 +113,19 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *flowRe != "" {
+		re, err := regexp.Compile(*flowRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dplearn-lint: -flow:", err)
+			return 2
+		}
+		if err := analysis.DumpCFGs(os.Stdout, pkgs, re.MatchString); err != nil {
+			fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+			return 2
+		}
+		return 0
+	}
+
 	failures := 0
 	if *jsonOut {
 		// NDJSON keeps suppressed findings visible; text mode hides them.
@@ -124,6 +144,7 @@ func run(args []string) int {
 				Message:        d.Message,
 				Suppressed:     d.Suppressed,
 				SuppressReason: d.SuppressReason,
+				Trace:          d.Trace,
 			}); err != nil {
 				fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
 				return 2

@@ -327,7 +327,7 @@ func TestGoldenDeterminismCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ck2.Close() //dplint:ignore errdrop read-mostly resume log in a test; Put errors are checked where they happen
+	defer ck2.Close()
 	resumed := opts
 	resumed.Workers = 8
 	resumed.Checkpoint = ck2

@@ -13,14 +13,23 @@ import (
 //
 // Composition (Section 2 of the paper; McSherry's PINQ) only certifies
 // the budget that is actually registered: a Release whose Guarantee never
-// reaches Spend silently under-reports the privacy loss, a Spend nested
-// in a branch that the release does not share over-trusts a runtime
-// condition, and a double Spend over-reports (burning budget the data
-// still has). The check walks the package-level call graph to skip
-// functions no exported API can reach, and exempts methods of
-// Guarantee-bearing types — a composite mechanism's internal releases
-// (MWEM rounds, subsample-and-aggregate parts) are priced by its own
-// Guarantee, which its callers must spend.
+// reaches Spend silently under-reports the privacy loss, a Spend the
+// release can bypass under-pays on the bypassing executions, and a double
+// Spend over-reports (burning budget the data still has). The
+// release-to-spend obligation is checked path-sensitively on the
+// function's CFG: a release sets a pending obligation, its matched Spend
+// (or Reservation.Commit) clears it, and any function exit a pending
+// obligation can reach — a guarded Spend's else path, an early return
+// between release and payment — is flagged. A release's own error guard
+// voids the obligation on the error edge: a failed draw produced no
+// output and charged nothing. Reserve+Commit pairs satisfy the must-spend
+// rule here; whether the *hold itself* is settled on every path (early
+// returns, panic edges) is the twophase check's job, so the two checks
+// jointly cover both halves of the protocol. The check walks the
+// package-level call graph to skip functions no exported API can reach,
+// and exempts methods of Guarantee-bearing types — a composite
+// mechanism's internal releases (MWEM rounds, subsample-and-aggregate
+// parts) are priced by its own Guarantee, which its callers must spend.
 var AcctLint = register(&Analyzer{
 	Name:     "acctlint",
 	Doc:      "every reachable Release must flow its Guarantee into Accountant.Spend on all paths, exactly once",
@@ -40,6 +49,7 @@ func runAcctLint(p *Pass) {
 		if p.IsTestFile(file.Pos()) {
 			continue
 		}
+		obsLits := observerArgLits(p.Pkg, p.Prog, file)
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -55,7 +65,7 @@ func runAcctLint(p *Pass) {
 			if !ok || !reach[funcKey(obj)] {
 				continue
 			}
-			checkAccounting(p, fd, observers)
+			checkAccounting(p, fd, observers, obsLits)
 		}
 	}
 }
@@ -71,12 +81,14 @@ func recvHasGuarantee(p *Pass, fd *ast.FuncDecl) bool {
 
 // checkAccounting matches the release sites of fd.Body against its spend
 // sites in source order and reports the violations. Function literals
-// marked //dp:observer are skipped whole: their releases are
-// measurements of a mechanism's output distribution, not release paths.
-func checkAccounting(p *Pass, fd *ast.FuncDecl, observers observerIndex) {
+// marked //dp:observer — or passed directly to an observer-annotated
+// entry point, possibly in another package — are skipped whole: their
+// releases are measurements of a mechanism's output distribution, not
+// release paths.
+func checkAccounting(p *Pass, fd *ast.FuncDecl, observers observerIndex, obsLits map[*ast.FuncLit]bool) {
 	var releases, spends []*ast.CallExpr
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok && observers.isObserverScope(p.Pkg, lit) {
+		if lit, ok := n.(*ast.FuncLit); ok && (observers.isObserverScope(p.Pkg, lit) || obsLits[lit]) {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
@@ -100,6 +112,7 @@ func checkAccounting(p *Pass, fd *ast.FuncDecl, observers observerIndex) {
 	// Greedy source-order matching: each release consumes the first spend
 	// positioned after it (a spend-then-release ordering would account the
 	// wrong data access).
+	c := buildCFG(fd.Body, cfgOptions{})
 	used := make([]bool, len(spends))
 	for _, rel := range releases {
 		matched := -1
@@ -114,11 +127,141 @@ func checkAccounting(p *Pass, fd *ast.FuncDecl, observers observerIndex) {
 			continue
 		}
 		used[matched] = true
-		if guard := conditionalGuard(fd.Body, rel, spends[matched]); guard != nil {
-			p.Reportf(spends[matched].Pos(), "conditionally-accounted release: this Spend is guarded by a branch the release at line %d does not share, so some executions release without paying", p.Fset.Position(rel.Pos()).Line)
+		if exit := unpaidExit(p, c, fd.Body, rel, spends[matched]); exit != 0 {
+			p.Reportf(spends[matched].Pos(), "conditionally-accounted release: the release at line %d can reach the exit at line %d before this Spend, so some executions release without paying", p.Fset.Position(rel.Pos()).Line, exit)
 		}
 	}
 	reportDoubleSpends(p, spends)
+}
+
+// payFact is the per-pair obligation lattice: bottom (unreached) <
+// clean < pending, joined by max — "may still owe" wins at merges.
+type payFact uint8
+
+const (
+	payBottom payFact = iota
+	payClean
+	payPending
+)
+
+// payFlow is the forward may-analysis for one (release, matched spend)
+// pair: the release sets a pending obligation, the spend clears it, and
+// the release's own error guard voids it on the error edge (a failed
+// draw produced no output and charged nothing).
+type payFlow struct {
+	pkg     *Package
+	release *ast.CallExpr
+	spend   *ast.CallExpr
+	errObj  types.Object
+}
+
+func (f *payFlow) Bottom() any { return payBottom }
+func (f *payFlow) Entry() any  { return payClean }
+func (f *payFlow) Merge(a, b any) any {
+	if a.(payFact) > b.(payFact) {
+		return a
+	}
+	return b
+}
+func (f *payFlow) Equal(a, b any) bool { return a == b }
+
+func (f *payFlow) Step(n ast.Node, fact any) any {
+	v := fact.(payFact)
+	if v == payBottom {
+		return v
+	}
+	// The spend is positioned after the release, so when one statement
+	// holds both the obligation is settled within it.
+	if nodeContains(n, f.release) {
+		v = payPending
+	}
+	if nodeContains(n, f.spend) {
+		v = payClean
+	}
+	return v
+}
+
+func (f *payFlow) Refine(e cfgEdge, fact any) any {
+	if f.errObj == nil || fact != payPending {
+		return fact
+	}
+	obj, errNonNilWhenTrue, _ := errGuard(f.pkg, e.Cond)
+	if obj != f.errObj {
+		return fact
+	}
+	if errNonNilWhenTrue != e.Neg {
+		return payClean
+	}
+	return fact
+}
+
+// unpaidExit reports the line of a function exit that a pending (released
+// but not yet spent) obligation can reach, or 0 when the spend settles it
+// on every path.
+func unpaidExit(p *Pass, c *cfg, body *ast.BlockStmt, rel, spend *ast.CallExpr) int {
+	pf := &payFlow{pkg: p.Pkg, release: rel, spend: spend, errObj: releaseErrObj(p.Pkg, body, rel)}
+	in := solveForward(c, pf)
+	for _, blk := range c.Blocks {
+		fact, _ := in[blk].(payFact)
+		if fact == payBottom {
+			continue
+		}
+		out := any(fact)
+		for _, n := range blk.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok && out.(payFact) == payPending {
+				return p.Fset.Position(ret.Pos()).Line
+			}
+			out = pf.Step(n, out)
+		}
+		if blk.Return == nil && out.(payFact) == payPending {
+			for _, e := range blk.Succs {
+				if e.To == c.Exit {
+					return p.Fset.Position(body.Rbrace).Line
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// releaseErrObj finds the error-typed variable bound by the assignment
+// that evaluates rel, if any — the handle its error guard refines on.
+func releaseErrObj(pkg *Package, body *ast.BlockStmt, rel *ast.CallExpr) types.Object {
+	var out types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		holds := false
+		for _, r := range st.Rhs {
+			if nodeContains(r, rel) {
+				holds = true
+			}
+		}
+		if !holds {
+			return true
+		}
+		for _, l := range st.Lhs {
+			if obj := identObj(pkg, l); obj != nil && isErrorType(obj.Type()) {
+				out = obj
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// nodeContains reports whether node's subtree includes target.
+func nodeContains(node ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(m ast.Node) bool {
+		if m == target {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // reportDoubleSpends flags Spend calls re-registering the same
@@ -143,38 +286,4 @@ func reportDoubleSpends(p *Pass, spends []*ast.CallExpr) {
 		}
 		seen[obj] = sp
 	}
-}
-
-// conditionalGuard returns the innermost if/switch statement that
-// encloses spend but not release, or nil when the spend is on every path
-// the release is on. Loops are not guards: a release and spend iterating
-// together stay matched.
-func conditionalGuard(body *ast.BlockStmt, release, spend ast.Node) ast.Node {
-	var stack []ast.Node
-	var guard ast.Node
-	ast.Inspect(body, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if n == spend {
-			for i := len(stack) - 1; i >= 0; i-- {
-				switch stack[i].(type) {
-				case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-					if !encloses(stack[i], release) {
-						guard = stack[i]
-						return false
-					}
-				}
-			}
-		}
-		stack = append(stack, n)
-		return true
-	})
-	return guard
-}
-
-// encloses reports whether outer's source extent contains inner.
-func encloses(outer, inner ast.Node) bool {
-	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
 }

@@ -63,6 +63,12 @@ type Diagnostic struct {
 	Suppressed bool `json:"suppressed"`
 	// SuppressReason is the directive's mandatory reason when Suppressed.
 	SuppressReason string `json:"suppress_reason,omitempty"`
+
+	// Trace is the per-path witness of a flow-sensitive finding: the CFG
+	// block sequence (entry label per block, "b<idx>:L<lines>") along one
+	// concrete execution path exhibiting the violation. Empty for
+	// findings from flow-insensitive checks.
+	Trace []string `json:"trace,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -100,11 +106,19 @@ type Pass struct {
 
 // Reportf records a finding at pos with the pass's default severity.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportTrace(pos, nil, format, args...)
+}
+
+// ReportTrace is Reportf with a block-path witness attached: the CFG
+// block sequence of one concrete execution exhibiting the violation,
+// surfaced through the driver's NDJSON output for audit tooling.
+func (p *Pass) ReportTrace(pos token.Pos, trace []string, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Check:    p.Analyzer.Name,
 		Severity: p.Analyzer.Severity,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Trace:    trace,
 	})
 }
 

@@ -15,7 +15,7 @@ import (
 // TestRegistry pins the public check surface: the nine DP checks must all
 // be registered and default to error severity.
 func TestRegistry(t *testing.T) {
-	want := []string{"acctlint", "epscheck", "errdrop", "expdomain", "floateq", "maprange", "postproc", "rawrand", "sensann"}
+	want := []string{"acctlint", "epscheck", "errdrop", "expdomain", "floateq", "maprange", "postproc", "rawrand", "sensann", "twophase"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d checks, want %d", len(got), len(want))
@@ -151,6 +151,7 @@ func TestErrDropGolden(t *testing.T)   { golden(t, "errdrop") }
 func TestSensAnnGolden(t *testing.T)   { golden(t, "sensann") }
 func TestAcctLintGolden(t *testing.T)  { golden(t, "acctlint") }
 func TestPostProcGolden(t *testing.T)  { golden(t, "postproc") }
+func TestTwoPhaseGolden(t *testing.T)  { golden(t, "twophase") }
 
 // writeFixtureModule lays out a throwaway module so suppression handling
 // can be tested against exact line arithmetic.

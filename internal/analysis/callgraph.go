@@ -36,6 +36,10 @@ type Program struct {
 	pkgRefs []string
 
 	reachable map[string]bool // lazily computed by Reachable
+
+	// obsIdx caches each package's //dp:observer index for cross-package
+	// observer propagation (lazily built by isObserverFunc).
+	obsIdx map[*Package]observerIndex
 }
 
 // FuncNode is one declared function or method in the call graph.

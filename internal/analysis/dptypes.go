@@ -179,6 +179,56 @@ func (idx observerIndex) isObserverScope(pkg *Package, node ast.Node) bool {
 	return idx[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] != nil
 }
 
+// isObserverFunc reports whether fn is declared under a //dp:observer
+// directive in its own package — the cross-package half of observer
+// propagation. Per-package indexes are cached on the Program.
+func (pr *Program) isObserverFunc(fn *types.Func) bool {
+	if pr == nil || fn == nil {
+		return false
+	}
+	node := pr.NodeOf(fn)
+	if node == nil {
+		return false
+	}
+	if pr.obsIdx == nil {
+		pr.obsIdx = make(map[*Package]observerIndex)
+	}
+	idx, ok := pr.obsIdx[node.Pkg]
+	if !ok {
+		idx, _ = buildObserverIndex(node.Pkg)
+		pr.obsIdx[node.Pkg] = idx
+	}
+	return idx.isObserverScope(node.Pkg, node.Decl)
+}
+
+// observerArgLits returns the function literals in file passed directly
+// as arguments to calls whose statically-resolved callee is an
+// observer-annotated function (possibly in another analyzed package).
+// Handing a closure to an observer entry point — an audit harness that
+// samples it to estimate realized ε — makes the closure part of the
+// measurement, so acctlint and postproc treat it as an observer scope
+// without a per-call-site directive.
+func observerArgLits(pkg *Package, prog *Program, file *ast.File) map[*ast.FuncLit]bool {
+	out := make(map[*ast.FuncLit]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || !prog.isObserverFunc(fn) {
+			return true
+		}
+		for _, a := range call.Args {
+			if lit, isLit := a.(*ast.FuncLit); isLit {
+				out[lit] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
 // isRawDataType reports whether t holds raw (pre-release) sample data: a
 // Dataset or Example type, a pointer or slice of one.
 func isRawDataType(t types.Type) bool {

@@ -1,0 +1,440 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the solver half of the dataflow framework: a generic
+// forward worklist algorithm over the CFG of cfg.go, plus the
+// flow-sensitive taint analysis postproc runs on it and the
+// interprocedural taint summaries that compose with the PR-3 call graph.
+//
+// A flowAnalysis supplies the lattice: Bottom (unreachable), the entry
+// fact, a monotone per-node transfer, the join, and an optional per-edge
+// refinement keyed on the branch condition that selects the edge. The
+// solver iterates to fixpoint; facts must grow monotonically under Step
+// and Merge or the worklist will not terminate.
+
+// flowAnalysis is one client analysis over a cfg.
+type flowAnalysis interface {
+	// Bottom is the fact of unreachable code.
+	Bottom() any
+	// Entry is the fact holding on function entry.
+	Entry() any
+	// Merge joins two facts at a control-flow join point.
+	Merge(a, b any) any
+	// Step transfers the fact across one evaluated node.
+	Step(n ast.Node, f any) any
+	// Refine specializes the fact flowing along a conditional edge
+	// (Cond evaluated to true when !Neg, false when Neg). It may return
+	// the fact unchanged.
+	Refine(e cfgEdge, f any) any
+	// Equal detects fixpoint.
+	Equal(a, b any) bool
+}
+
+// solveForward runs the worklist to fixpoint and returns the IN fact of
+// every block. Deterministic: the worklist is processed in block-index
+// order.
+func solveForward(c *cfg, a flowAnalysis) map[*cfgBlock]any {
+	in := make(map[*cfgBlock]any, len(c.Blocks))
+	for _, blk := range c.Blocks {
+		in[blk] = a.Bottom()
+	}
+	in[c.Entry] = a.Entry()
+
+	pending := map[int]*cfgBlock{c.Entry.Index: c.Entry}
+	for len(pending) > 0 {
+		// Pop the lowest-index pending block.
+		idxs := make([]int, 0, len(pending))
+		for i := range pending {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		blk := pending[idxs[0]]
+		delete(pending, idxs[0])
+
+		// Panic edges observe the IN fact: the statement panicked before
+		// completing, so its own transfer has not applied.
+		if blk.PanicSource {
+			merged := a.Merge(in[c.PanicExit], in[blk])
+			if !a.Equal(merged, in[c.PanicExit]) {
+				in[c.PanicExit] = merged
+				pending[c.PanicExit.Index] = c.PanicExit
+			}
+		}
+
+		out := in[blk]
+		for _, n := range blk.Nodes {
+			out = a.Step(n, out)
+		}
+		for _, e := range blk.Succs {
+			f := out
+			if e.Cond != nil {
+				f = a.Refine(e, f)
+			}
+			merged := a.Merge(in[e.To], f)
+			if !a.Equal(merged, in[e.To]) {
+				in[e.To] = merged
+				pending[e.To.Index] = e.To
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Flow-sensitive taint.
+
+// taintFact is the per-point fact of the taint flow: which variables may
+// hold raw-derived values here, and whether a DP release may already have
+// happened on some path reaching here. bottom (unreachable) is the nil
+// fact; every reachable fact is non-nil even when empty.
+type taintFact struct {
+	tainted  map[types.Object]bool
+	released bool
+}
+
+func (f *taintFact) clone() *taintFact {
+	if f == nil {
+		return nil
+	}
+	c := &taintFact{tainted: make(map[types.Object]bool, len(f.tainted)), released: f.released}
+	for o := range f.tainted {
+		c.tainted[o] = true
+	}
+	return c
+}
+
+// taintFlow is the order-aware replacement for the flow-insensitive
+// lattice: gen on assignment from a tainted source, kill on whole-variable
+// re-assignment from a clean one, release-flag gen at DP release calls.
+// Join is may-union on both components.
+type taintFlow struct {
+	pkg  *Package
+	prog *Program
+	// seed decides whether an object is tainted a priori (postproc seeds
+	// raw-data-typed variables).
+	seed func(types.Object) bool
+	// sanitizer decides whether a call kills taint at its result.
+	sanitizer func(*ast.CallExpr) bool
+	// release decides whether a call is a DP release (sets the released
+	// flag the client keys "after the release on this path" on).
+	release func(*ast.CallExpr) bool
+
+	// summaries caches interprocedural result-taint summaries, keyed by
+	// funcKey; shared across scopes of one check run.
+	summaries map[string]bool
+	inflight  map[string]bool
+}
+
+func newTaintFlow(pkg *Package, prog *Program,
+	seed func(types.Object) bool,
+	sanitizer, release func(*ast.CallExpr) bool) *taintFlow {
+	return &taintFlow{
+		pkg: pkg, prog: prog,
+		seed: seed, sanitizer: sanitizer, release: release,
+		summaries: make(map[string]bool),
+		inflight:  make(map[string]bool),
+	}
+}
+
+func (tf *taintFlow) Bottom() any { return (*taintFact)(nil) }
+func (tf *taintFlow) Entry() any  { return &taintFact{tainted: map[types.Object]bool{}} }
+
+func (tf *taintFlow) Merge(a, b any) any {
+	fa, fb := a.(*taintFact), b.(*taintFact)
+	if fa == nil {
+		return fb
+	}
+	if fb == nil {
+		return fa
+	}
+	m := fa.clone()
+	m.released = fa.released || fb.released
+	for o := range fb.tainted {
+		m.tainted[o] = true
+	}
+	return m
+}
+
+func (tf *taintFlow) Equal(a, b any) bool {
+	fa, fb := a.(*taintFact), b.(*taintFact)
+	if fa == nil || fb == nil {
+		return fa == fb
+	}
+	if fa.released != fb.released || len(fa.tainted) != len(fb.tainted) {
+		return false
+	}
+	for o := range fa.tainted {
+		if !fb.tainted[o] {
+			return false
+		}
+	}
+	return true
+}
+
+func (tf *taintFlow) Refine(e cfgEdge, f any) any { return f }
+
+func (tf *taintFlow) Step(n ast.Node, f any) any {
+	fact := f.(*taintFact)
+	if fact == nil {
+		return fact
+	}
+	out := fact.clone()
+	// Any release call evaluated by this node sets the released flag.
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && tf.release(call) {
+			out.released = true
+		}
+		return true
+	})
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		tf.stepAssign(st, out)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					tf.stepValueSpec(vs, out)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if tf.exprTainted(st.X, out) {
+			markObj(tf.pkg, st.Key, out)
+			markObj(tf.pkg, st.Value, out)
+		}
+	case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+		// Receiver absorption: buf.Write(raw) taints buf.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok || tf.sanitizer(call) {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			for _, a := range call.Args {
+				if tf.exprTainted(a, out) {
+					markObj(tf.pkg, recv, out)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// stepAssign applies gen/kill for x, y := rhs / x = rhs. Whole-variable
+// assignment from a clean RHS KILLS taint — the order-aware improvement
+// over the flow-insensitive lattice, which could only accumulate.
+func (tf *taintFlow) stepAssign(st *ast.AssignStmt, fact *taintFact) {
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		t := tf.exprTainted(st.Rhs[0], fact)
+		for _, l := range st.Lhs {
+			tf.genKill(l, t, fact)
+		}
+		return
+	}
+	for i, l := range st.Lhs {
+		if i < len(st.Rhs) {
+			tf.genKill(l, tf.exprTainted(st.Rhs[i], fact), fact)
+		}
+	}
+}
+
+func (tf *taintFlow) stepValueSpec(vs *ast.ValueSpec, fact *taintFact) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		t := tf.exprTainted(vs.Values[0], fact)
+		for _, n := range vs.Names {
+			tf.genKill(n, t, fact)
+		}
+		return
+	}
+	for i, n := range vs.Names {
+		if i < len(vs.Values) {
+			tf.genKill(n, tf.exprTainted(vs.Values[i], fact), fact)
+		}
+	}
+}
+
+// genKill updates the fact for one assignment target. Only whole-variable
+// targets (bare identifiers) kill; x[i] = clean or x.f = clean leaves the
+// rest of x as it was.
+func (tf *taintFlow) genKill(lhs ast.Expr, tainted bool, fact *taintFact) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := tf.pkg.Info.ObjectOf(id)
+	if obj == nil || isErrorType(obj.Type()) {
+		return
+	}
+	if tainted && !tf.seed(obj) { // seeded objects are tainted regardless
+		fact.tainted[obj] = true
+	} else if !tainted {
+		delete(fact.tainted, obj)
+	}
+}
+
+func markObj(pkg *Package, e ast.Expr, fact *taintFact) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil || isErrorType(obj.Type()) {
+		return
+	}
+	fact.tainted[obj] = true
+}
+
+// exprTainted reports whether e may evaluate to a raw-derived value under
+// fact. Sanitizer calls kill; calls resolved through the call graph
+// consult an interprocedural summary (a helper returning only public
+// scalars of its raw argument stays clean); unresolved calls are
+// conservatively tainted when any argument is.
+func (tf *taintFlow) exprTainted(e ast.Expr, fact *taintFact) bool {
+	if e == nil {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := tf.pkg.Info.ObjectOf(x)
+		if obj == nil || isErrorType(obj.Type()) {
+			return false
+		}
+		return fact.tainted[obj] || tf.seed(obj)
+	case *ast.CallExpr:
+		if tf.sanitizer(x) {
+			return false
+		}
+		argTainted := false
+		for _, a := range x.Args {
+			if tf.exprTainted(a, fact) {
+				argTainted = true
+				break
+			}
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			// Method call: a tainted receiver taints the result too.
+			if tf.exprTainted(sel.X, fact) {
+				argTainted = true
+			}
+		}
+		if !argTainted {
+			return false
+		}
+		// Tainted input: the result is tainted unless the callee's summary
+		// proves it only derives public values from its parameters.
+		if fn := calleeFunc(tf.pkg, x); fn != nil {
+			return tf.resultTainted(fn)
+		}
+		return true
+	case *ast.FuncLit:
+		return false // a closure value is not itself data
+	case *ast.ParenExpr:
+		return tf.exprTainted(x.X, fact)
+	case *ast.UnaryExpr:
+		return tf.exprTainted(x.X, fact)
+	case *ast.StarExpr:
+		return tf.exprTainted(x.X, fact)
+	case *ast.BinaryExpr:
+		return tf.exprTainted(x.X, fact) || tf.exprTainted(x.Y, fact)
+	case *ast.IndexExpr:
+		return tf.exprTainted(x.X, fact) || tf.exprTainted(x.Index, fact)
+	case *ast.SliceExpr:
+		return tf.exprTainted(x.X, fact)
+	case *ast.SelectorExpr:
+		return tf.exprTainted(x.X, fact)
+	case *ast.TypeAssertExpr:
+		return tf.exprTainted(x.X, fact)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if tf.exprTainted(el, fact) {
+				return true
+			}
+		}
+		return false
+	case *ast.KeyValueExpr:
+		return tf.exprTainted(x.Value, fact)
+	default:
+		return false
+	}
+}
+
+// resultTainted is the interprocedural summary: does fn's result derive
+// from its raw-data inputs? Computed by running the same taint flow over
+// the callee's body (seeded at its parameters) and asking whether any
+// return expression is tainted, memoized per funcKey via the PR-3 call
+// graph. Unknown bodies and recursion default to tainted — conservative
+// in the direction that cannot hide a leak.
+func (tf *taintFlow) resultTainted(fn *types.Func) bool {
+	key := funcKey(fn)
+	if v, ok := tf.summaries[key]; ok {
+		return v
+	}
+	if tf.inflight[key] {
+		return true // recursion: assume tainted
+	}
+	node := tf.prog.NodeOf(fn)
+	if node == nil || node.Decl.Body == nil {
+		tf.summaries[key] = true
+		return true
+	}
+	tf.inflight[key] = true
+	defer delete(tf.inflight, key)
+
+	calleeFlow := newTaintFlow(node.Pkg, tf.prog,
+		func(obj types.Object) bool {
+			v, ok := obj.(*types.Var)
+			return ok && isRawDataType(v.Type())
+		},
+		func(call *ast.CallExpr) bool { return isSanitizer(node.Pkg, call) },
+		func(call *ast.CallExpr) bool { return isReleaseCall(node.Pkg, call) },
+	)
+	calleeFlow.summaries = tf.summaries
+	calleeFlow.inflight = tf.inflight
+
+	c := buildCFG(node.Decl.Body, cfgOptions{})
+	in := solveForward(c, calleeFlow)
+
+	tainted := false
+	for _, blk := range c.Blocks {
+		fact, _ := in[blk].(*taintFact)
+		if fact == nil {
+			continue
+		}
+		out := fact
+		for _, n := range blk.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for _, r := range ret.Results {
+					if calleeFlow.exprTainted(r, out) {
+						tainted = true
+					}
+				}
+			}
+			out = calleeFlow.Step(n, out).(*taintFact)
+		}
+	}
+	tf.summaries[key] = tainted
+	return tainted
+}

@@ -7,6 +7,7 @@ import (
 	"go/token"
 	"go/types"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,8 +29,15 @@ import (
 // against the function body for the recognizable forms — constant
 // returns, counting loops over examples, clamped or sigmoid averages,
 // empirical risks — and (3) cross-checks exact annotations against the
-// constructor's sensitivity argument. Unrecognizable bodies are trusted:
-// the annotation is then documentation, reviewed by a human.
+// constructor's sensitivity argument. Verification is symbolic where the
+// body is: a clamp width held in a variable (Clamp(·, −clip, 0)) must
+// appear by name in the declared numerator, and an empirical risk's
+// coefficient is resolved from its loss's Bound() method through the
+// call graph — a constant Bound() pins the coefficient exactly, an
+// unbounded (+Inf) one makes any declared Δq vacuous, and an interface
+// or field-valued bound stays the conventional symbol M. Unrecognizable
+// bodies are trusted: the annotation is then documentation, reviewed by
+// a human.
 var SensAnn = register(&Analyzer{
 	Name:     "sensann",
 	Doc:      "quality functions need a verified //dp:sensitivity Δq=<expr> annotation (Theorem 2.2's Δq)",
@@ -41,30 +49,77 @@ var SensAnn = register(&Analyzer{
 const sensPrefix = "//dp:sensitivity"
 
 // sensShape is the comparable abstraction of a sensitivity expression:
-// coef·n^(−pow), with coef known only when exact.
+// (coef + Σ syms)·n^(−pow). The numerator is a sum of a folded constant
+// part (coef, meaningful when exact or when symbols accompany it) and
+// named symbolic terms (clip, M, …) whose values the analysis cannot
+// resolve; exact means the numerator is fully constant.
 type sensShape struct {
 	coef  float64
 	pow   int // 0 for a constant bound, 1 for a per-record (·/n) bound
 	exact bool
+	syms  map[string]bool
+	// unbounded marks a body whose per-term ceiling folded to +Inf (an
+	// unclipped loss): no finite Δq exists, whatever the annotation says.
+	unbounded bool
 }
 
 func (s sensShape) String() string {
-	num := "c"
-	if s.exact {
-		num = strconv.FormatFloat(s.coef, 'g', -1, 64)
+	var terms []string
+	for _, sym := range sortedSyms(s.syms) {
+		terms = append(terms, sym)
 	}
+	if s.exact || s.coef > 0 {
+		terms = append(terms, strconv.FormatFloat(s.coef, 'g', -1, 64))
+	}
+	if len(terms) == 0 {
+		terms = []string{"c"}
+	}
+	num := strings.Join(terms, "+")
 	if s.pow == 1 {
+		if len(terms) > 1 {
+			return "(" + num + ")/n"
+		}
 		return num + "/n"
 	}
 	return num
 }
 
+func sortedSyms(syms map[string]bool) []string {
+	out := make([]string, 0, len(syms))
+	for s := range syms {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // compatible reports whether a declared shape is consistent with an
-// inferred one: the n-power must agree always, the coefficient only when
-// both sides are exact.
+// inferred one. The n-power must agree always. A symbolic inferred
+// numerator demands every inferred symbol in the declared numerator — a
+// purely constant declaration cannot bound a symbol the analysis could
+// not resolve, and declaring the *wrong* symbol is exactly the mistake
+// the annotation exists to catch (extra declared terms are fine: they
+// over-declare, which over-noises, which stays private). When both
+// numerators are fully constant the coefficients must match; a declared
+// numerator the parser could not decompose (free-form documentation) is
+// trusted beyond the power check.
 func (s sensShape) compatible(inferred sensShape) bool {
 	if s.pow != inferred.pow {
 		return false
+	}
+	if len(inferred.syms) > 0 {
+		if s.exact {
+			return false
+		}
+		if len(s.syms) == 0 {
+			return true // opaque declared numerator: documentation, trusted
+		}
+		for sym := range inferred.syms {
+			if !s.syms[sym] {
+				return false
+			}
+		}
+		return true
 	}
 	if s.exact && inferred.exact {
 		return math.Abs(s.coef-inferred.coef) <= 1e-9*math.Max(1, math.Abs(inferred.coef))
@@ -81,7 +136,11 @@ type sensAnnotation struct {
 	bad   string // parse-error text; "" when well-formed
 }
 
-// parseSensExpr parses the <expr> of Δq=<expr> into a shape.
+// parseSensExpr parses the <expr> of Δq=<expr> into a shape. The
+// numerator is a sum of terms, each a float literal, the constant symbol
+// ln2 (folded to its value), or a named symbol like clip or M; a
+// numerator outside that grammar degrades to a shape-only bound (power
+// checked, numerator trusted as documentation).
 func parseSensExpr(expr string) (sensShape, error) {
 	if expr == "" {
 		return sensShape{}, fmt.Errorf("empty bound")
@@ -105,13 +164,46 @@ func parseSensExpr(expr string) (sensShape, error) {
 		num, pow = expr[:i], 1
 	}
 	trimmed := strings.TrimSuffix(strings.TrimPrefix(num, "("), ")")
-	if f, err := strconv.ParseFloat(trimmed, 64); err == nil {
-		if f <= 0 || math.IsInf(f, 0) {
-			return sensShape{}, fmt.Errorf("bound must be positive and finite")
+	shape := sensShape{pow: pow, exact: true}
+	for _, term := range strings.Split(trimmed, "+") {
+		switch {
+		case term == "":
+			return sensShape{}, fmt.Errorf("empty numerator term")
+		case term == "ln2":
+			shape.coef += math.Ln2
+		case isSymbolTerm(term):
+			if shape.syms == nil {
+				shape.syms = make(map[string]bool)
+			}
+			shape.syms[term] = true
+			shape.exact = false
+		default:
+			f, err := strconv.ParseFloat(term, 64)
+			if err != nil {
+				// Free-form numerator: shape-only, trusted.
+				return sensShape{pow: pow}, nil
+			}
+			shape.coef += f
 		}
-		return sensShape{coef: f, pow: pow, exact: true}, nil
 	}
-	return sensShape{pow: pow}, nil
+	if shape.exact && (shape.coef <= 0 || math.IsInf(shape.coef, 0)) {
+		return sensShape{}, fmt.Errorf("bound must be positive and finite")
+	}
+	return shape, nil
+}
+
+// isSymbolTerm matches a named symbolic coefficient: a letter followed by
+// letters and digits (clip, M, tau2).
+func isSymbolTerm(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return s != ""
 }
 
 // sensIndex maps "<filename>:<line>" of a function's anchor line to its
@@ -196,8 +288,13 @@ func runSensAnn(p *Pass) {
 			if ann == nil || ann.bad != "" {
 				return true
 			}
-			if inferred, ok := inferSensShape(p.Pkg, fnType, body); ok && !ann.shape.compatible(inferred) {
-				p.Reportf(anchor.Pos(), "sensitivity annotation Δq=%s contradicts the body, which looks %s-sensitive (declared shape %s)", ann.expr, inferred, ann.shape)
+			if inferred, ok := inferSensShape(p.Pkg, p.Prog, fnType, body); ok {
+				switch {
+				case inferred.unbounded:
+					p.Reportf(anchor.Pos(), "sensitivity annotation Δq=%s is vacuous: the body averages an unbounded loss (its Bound() is +Inf), so no finite Δq exists — clip the loss first", ann.expr)
+				case !ann.shape.compatible(inferred):
+					p.Reportf(anchor.Pos(), "sensitivity annotation Δq=%s contradicts the body, which looks %s-sensitive (declared shape %s)", ann.expr, inferred, ann.shape)
+				}
 			}
 			return true
 		})
@@ -338,12 +435,17 @@ func assignSiteOf(pkg *Package, obj *types.Var) ast.Node {
 //  2. counting loop: a ±1 accumulator over a range of examples, returned
 //     directly or as ±|acc − t| — sensitivity 1 (|·| is 1-Lipschitz and a
 //     replace-one neighbor moves the count by at most 1);
-//  3. empirical risk: return ±EmpiricalRisk(...) — an average of [0, M]
-//     terms, sensitivity M/n (per-record shape);
+//  3. empirical risk: return ±EmpiricalRisk(...) — an average of per-term
+//     losses, shape B/n where B is the loss's ceiling, resolved through
+//     the call graph: a concrete loss whose Bound() folds to a constant
+//     gives an exact coefficient, a Bound() of +Inf marks the shape
+//     unbounded, and a field-valued or interface-dispatched Bound() stays
+//     the conventional symbol M;
 //  4. clamped / sigmoid average: per-example terms passed through
 //     Clamp(·, lo, hi) or Sigmoid, divided by the sample size — shape
-//     (hi−lo)/n, exact when the clamp bounds are constants.
-func inferSensShape(pkg *Package, fnType *ast.FuncType, body *ast.BlockStmt) (sensShape, bool) {
+//     (hi−lo)/n, exact when the clamp bounds are constants and symbolic
+//     (the bound variables' names) when they are not.
+func inferSensShape(pkg *Package, prog *Program, fnType *ast.FuncType, body *ast.BlockStmt) (sensShape, bool) {
 	rets := returnExprs(body)
 	if len(rets) == 0 {
 		return sensShape{}, false
@@ -354,7 +456,7 @@ func inferSensShape(pkg *Package, fnType *ast.FuncType, body *ast.BlockStmt) (se
 	if s, ok := inferCountingLoop(pkg, body, rets); ok {
 		return s, true
 	}
-	if s, ok := inferEmpiricalRisk(pkg, rets); ok {
+	if s, ok := inferEmpiricalRisk(pkg, prog, rets); ok {
 		return s, true
 	}
 	if s, ok := inferClampedAverage(pkg, body, rets); ok {
@@ -474,9 +576,11 @@ func isCounterIdent(pkg *Package, e ast.Expr, counters map[types.Object]bool) bo
 }
 
 // inferEmpiricalRisk matches return ±EmpiricalRisk(...): an average of
-// [0, M]-bounded per-example losses, shape M/n.
-func inferEmpiricalRisk(pkg *Package, rets []ast.Expr) (sensShape, bool) {
-	for _, r := range rets {
+// per-example losses. The coefficient is the per-term ceiling, resolved
+// from the loss argument's Bound() method when one is statically visible.
+func inferEmpiricalRisk(pkg *Package, prog *Program, rets []ast.Expr) (sensShape, bool) {
+	var shape sensShape
+	for i, r := range rets {
 		if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.SUB {
 			r = u.X
 		}
@@ -488,14 +592,74 @@ func inferEmpiricalRisk(pkg *Package, rets []ast.Expr) (sensShape, bool) {
 		if fn == nil || fn.Name() != "EmpiricalRisk" {
 			return sensShape{}, false
 		}
+		s := lossBoundShape(pkg, prog, call)
+		if i == 0 {
+			shape = s
+		} else if !shape.compatible(s) || !s.compatible(shape) {
+			// Returns average different losses: only the shape is known.
+			shape = sensShape{pow: 1, syms: map[string]bool{"M": true}}
+		}
 	}
-	return sensShape{pow: 1}, true
+	return shape, true
+}
+
+// lossBoundShape resolves the per-term ceiling of one EmpiricalRisk call
+// from its loss argument — the first argument whose type bears a Bound
+// method. A concrete loss whose Bound() body returns a constant folds to
+// an exact coefficient; math.Inf marks the shape unbounded; interface
+// dispatch, field-valued bounds (ClippedLoss.Max), and anything else
+// stay the conventional symbol M.
+func lossBoundShape(pkg *Package, prog *Program, call *ast.CallExpr) sensShape {
+	symM := sensShape{pow: 1, syms: map[string]bool{"M": true}}
+	for _, a := range call.Args {
+		t := pkg.Info.TypeOf(a)
+		if t == nil || !hasMethod(t, "Bound") {
+			continue
+		}
+		if types.IsInterface(t.Underlying()) {
+			return symM
+		}
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Bound")
+		fn, ok := obj.(*types.Func)
+		if !ok || prog == nil {
+			return symM
+		}
+		node := prog.NodeOf(fn)
+		if node == nil {
+			return symM
+		}
+		body := node.Decl.Body
+		if body == nil {
+			return symM
+		}
+		brets := returnExprs(body)
+		if len(brets) != 1 {
+			return symM
+		}
+		if v, okc := constFloat(node.Pkg, brets[0]); okc {
+			if v <= 0 {
+				return symM
+			}
+			return sensShape{coef: v, pow: 1, exact: true}
+		}
+		if bc, okb := brets[0].(*ast.CallExpr); okb {
+			if sel, oks := bc.Fun.(*ast.SelectorExpr); oks && sel.Sel.Name == "Inf" {
+				return sensShape{pow: 1, unbounded: true}
+			}
+		}
+		return symM
+	}
+	return symM
 }
 
 // inferClampedAverage matches per-example terms bounded by Clamp(·, lo,
-// hi) or Sigmoid, averaged by a division by the sample size in the return.
+// hi) or Sigmoid, averaged by a division by the sample size in the
+// return. Constant clamp bounds give an exact width hi−lo; a bound held
+// in a variable contributes its name as a symbolic term (Clamp(x, −clip,
+// 0) has width clip), which the declared numerator must mention.
 func inferClampedAverage(pkg *Package, body *ast.BlockStmt, rets []ast.Expr) (sensShape, bool) {
 	width, widthExact, found := 0.0, false, false
+	var widthSyms map[string]bool
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || found {
@@ -511,10 +675,20 @@ func inferClampedAverage(pkg *Package, body *ast.BlockStmt, rets []ast.Expr) (se
 		switch {
 		case name == "Clamp" && len(call.Args) == 3:
 			found = true
-			lo, okLo := constFloat(pkg, call.Args[1])
-			hi, okHi := constFloat(pkg, call.Args[2])
+			loC, loSym, okLo := clampBoundTerm(pkg, call.Args[1])
+			hiC, hiSym, okHi := clampBoundTerm(pkg, call.Args[2])
 			if okLo && okHi {
-				width, widthExact = hi-lo, true
+				width = hiC - loC
+				if loSym == "" && hiSym == "" {
+					widthExact = true
+				} else {
+					widthSyms = make(map[string]bool)
+					for _, s := range []string{loSym, hiSym} {
+						if s != "" {
+							widthSyms[s] = true
+						}
+					}
+				}
 			}
 		case name == "Sigmoid":
 			found, width, widthExact = true, 1, true
@@ -529,7 +703,29 @@ func inferClampedAverage(pkg *Package, body *ast.BlockStmt, rets []ast.Expr) (se
 			return sensShape{}, false
 		}
 	}
-	return sensShape{coef: width, pow: 1, exact: widthExact}, true
+	return sensShape{coef: width, pow: 1, exact: widthExact, syms: widthSyms}, true
+}
+
+// clampBoundTerm resolves one clamp bound to a constant part and/or a
+// symbol name: a constant expression folds, an identifier (possibly
+// negated — the width |hi−lo| cares about magnitude, and symbol
+// membership, not sign, is what compatibility checks) or a field
+// selector names a symbol. ok is false for anything else.
+func clampBoundTerm(pkg *Package, e ast.Expr) (c float64, sym string, ok bool) {
+	if v, okc := constFloat(pkg, e); okc {
+		return v, "", true
+	}
+	e = unparen(e)
+	if u, oku := e.(*ast.UnaryExpr); oku && u.Op == token.SUB {
+		e = unparen(u.X)
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return 0, x.Name, true
+	case *ast.SelectorExpr:
+		return 0, x.Sel.Name, true
+	}
+	return 0, "", false
 }
 
 // constFloat folds e to a constant float when possible.

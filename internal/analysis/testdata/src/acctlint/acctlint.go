@@ -218,6 +218,36 @@ func CommitInBranch(d *Dataset, acct *Accountant, ok bool, g *RNG) float64 {
 // a Guarantee-bearing receiver.
 func (m *Mech) SampleCtx(ctx any, d *Dataset, g *RNG) int { return 0 }
 
+// Sample is a fallible posterior draw: a DP release whose error result
+// reports that no output was produced (and no budget consumed).
+func (m *Mech) Sample(d *Dataset, g *RNG) (int, error) { return 0, nil }
+
+// EarlyReturn releases, then bails out on the fast path before paying.
+// The Spend is not nested in any branch — a syntactic guard check sees
+// nothing — but the release still reaches the early exit unpaid.
+func EarlyReturn(d *Dataset, acct *Accountant, fast bool, g *RNG) float64 {
+	m := &Mech{Epsilon: 1}
+	v := m.Release(d, g)
+	if fast {
+		return v
+	}
+	acct.Spend(m.Guarantee()) // want "conditionally-accounted release"
+	return v
+}
+
+// ErrVoided pays only when the draw succeeded: on the error path the
+// release produced no output and charged nothing, so the guarded early
+// return is clean.
+func ErrVoided(d *Dataset, acct *Accountant, g *RNG) (int, error) {
+	m := &Mech{Epsilon: 1}
+	idx, err := m.Sample(d, g)
+	if err != nil {
+		return 0, err
+	}
+	acct.Spend(m.Guarantee())
+	return idx, nil
+}
+
 // CtxLeak draws through the context-aware variant without paying.
 func CtxLeak(d *Dataset, g *RNG) int {
 	m := &Mech{Epsilon: 1}

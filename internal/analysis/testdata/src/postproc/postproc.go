@@ -184,6 +184,97 @@ func ObserverLitScope(d *Dataset, m *Mech, g *RNG) float64 {
 	return out
 }
 
+// ReassignedClean re-binds the raw-derived variable to the released
+// value before branching: the re-assignment kills the taint, so the
+// branch consumes only post-processed data. A flow-insensitive check
+// would flag the condition just for mentioning x.
+func ReassignedClean(d *Dataset, m *Mech, g *RNG) float64 {
+	x := rawMean(d)
+	out := m.Release(d, g)
+	x = out
+	if x > 0 {
+		return x * 2
+	}
+	return x
+}
+
+// BranchBeforeRelease evaluates the raw branch on the release-free path
+// only: textual order puts the condition below a release, but no
+// execution reaches it with a release already behind it.
+func BranchBeforeRelease(d *Dataset, m *Mech, g *RNG, audit bool) float64 {
+	if audit {
+		return m.Release(d, g)
+	}
+	if rawMean(d) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// GotoOrder jumps over the release to the raw branch: the goto path
+// reaches the condition pre-release, and the fallthrough path only
+// reaches it released — but released. Order on the goto path keeps it
+// clean; the fall-through path re-derives the branch from released
+// data, so the condition stays clean on every path.
+func GotoOrder(d *Dataset, m *Mech, g *RNG, skip bool) float64 {
+	if skip {
+		goto decide
+	}
+	return m.Release(d, g)
+decide:
+	if rawMean(d) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// LoopCarriedLeak releases inside the loop body: from the second
+// iteration on, the raw loop bound follows a release along the back
+// edge. The fixed point must carry the released flag around the loop.
+func LoopCarriedLeak(d *Dataset, m *Mech, g *RNG) float64 {
+	var s float64
+	for i := 0.0; i < rawMean(d); i++ { // want "loop bound on raw"
+		s += m.Release(d, g)
+	}
+	return s
+}
+
+// RetaintedLeak launders the variable and then re-taints it: the second
+// assignment restores the taint, so the branch is dirty again.
+func RetaintedLeak(d *Dataset, m *Mech, g *RNG) float64 {
+	x := rawMean(d)
+	out := m.Release(d, g)
+	x = out
+	x = rawMean(d)
+	if x > 0 { // want "branch on raw"
+		return out
+	}
+	return out
+}
+
+// size derives only the public scalar from its raw argument: the
+// interprocedural summary sees a clean result.
+func size(d *Dataset) float64 { return float64(d.Len()) }
+
+// SummaryClean branches on a helper's result whose summary is clean.
+func SummaryClean(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	if size(d) > 100 {
+		return out * 2
+	}
+	return out
+}
+
+// SummaryDirty branches on a helper that passes raw data through: the
+// summary taints the result.
+func SummaryDirty(d *Dataset, m *Mech, g *RNG) float64 {
+	out := m.Release(d, g)
+	if rawMean(d) > 0 { // want "branch on raw"
+		return out * 2
+	}
+	return out
+}
+
 // SuppressedLeak keeps a deliberate raw-data branch behind a reasoned
 // directive.
 func SuppressedLeak(d *Dataset, m *Mech, g *RNG) float64 {

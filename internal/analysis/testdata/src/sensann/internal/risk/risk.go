@@ -1,0 +1,119 @@
+// Package risk exercises the loss-Bound resolution of the empirical-risk
+// form: the inferred coefficient of a ±EmpiricalRisk(...) body comes from
+// the loss argument's Bound() method through the call graph — exact for a
+// concrete loss with a constant ceiling, symbolic M for interface
+// dispatch, unbounded for a +Inf ceiling.
+package risk
+
+import "math"
+
+// Example is one raw record.
+type Example struct {
+	X []float64
+	Y float64
+}
+
+// Dataset is the raw sample.
+type Dataset struct{ Examples []Example }
+
+// Len is the dataset's public size.
+func (d *Dataset) Len() int { return len(d.Examples) }
+
+// Loss caps one per-example term by its Bound.
+type Loss interface {
+	Loss(theta []float64, e Example) float64
+	Bound() float64
+}
+
+// ZeroOne is the 0/1 loss: ceiling 1.
+type ZeroOne struct{}
+
+// Loss is the 0/1 indicator.
+func (ZeroOne) Loss(theta []float64, e Example) float64 { return 0 }
+
+// Bound is the constant ceiling.
+func (ZeroOne) Bound() float64 { return 1 }
+
+// Wide is a loss with ceiling 2.
+type Wide struct{}
+
+// Loss is the per-example term.
+func (Wide) Loss(theta []float64, e Example) float64 { return 0 }
+
+// Bound is the constant ceiling.
+func (Wide) Bound() float64 { return 2 }
+
+// Runaway has no finite ceiling.
+type Runaway struct{}
+
+// Loss is the per-example term.
+func (Runaway) Loss(theta []float64, e Example) float64 { return 0 }
+
+// Bound is infinite: the loss is unclipped.
+func (Runaway) Bound() float64 { return math.Inf(1) }
+
+// Clipped caps by a data-independent field: the ceiling is a value the
+// analysis sees only symbolically.
+type Clipped struct{ Max float64 }
+
+// Loss is the per-example term.
+func (c Clipped) Loss(theta []float64, e Example) float64 { return 0 }
+
+// Bound is the clip ceiling.
+func (c Clipped) Bound() float64 { return c.Max }
+
+// EmpiricalRisk averages l over d.
+func EmpiricalRisk(l Loss, theta []float64, d *Dataset) float64 {
+	var s float64
+	for _, e := range d.Examples {
+		s += l.Loss(theta, e)
+	}
+	return s / float64(len(d.Examples))
+}
+
+// ExactRisk averages the 0/1 loss: Bound() folds to 1, matching 1/n.
+//
+//dp:sensitivity Δq=1/n one swap moves a [0,1] average by at most 1/n
+func ExactRisk(theta []float64, d *Dataset) float64 {
+	return -EmpiricalRisk(ZeroOne{}, theta, d)
+}
+
+// UnderDeclared claims 1/n but Wide's ceiling is 2: the mechanism
+// calibrated from this annotation adds half the noise the terms need.
+//
+//dp:sensitivity Δq=1/n wrong: Wide.Bound() folds to 2
+func UnderDeclared(theta []float64, d *Dataset) float64 { // want "contradicts the body"
+	return -EmpiricalRisk(Wide{}, theta, d)
+}
+
+// InterfaceRisk dispatches through the interface: the ceiling stays the
+// symbol M, which the declaration carries.
+//
+//dp:sensitivity Δq=M/n an average of n terms in a width-M interval
+func InterfaceRisk(l Loss, theta []float64, d *Dataset) float64 {
+	return -EmpiricalRisk(l, theta, d)
+}
+
+// ConstForSymbolic claims a constant numerator for an unresolved
+// ceiling: no constant can bound a symbol the analysis cannot see.
+//
+//dp:sensitivity Δq=1/n wrong: the loss is dynamic, 1 cannot bound M
+func ConstForSymbolic(l Loss, theta []float64, d *Dataset) float64 { // want "contradicts the body"
+	return -EmpiricalRisk(l, theta, d)
+}
+
+// FieldBound resolves to a field-valued ceiling: symbolic M, carried by
+// the declaration.
+//
+//dp:sensitivity Δq=M/n the clip field caps each term
+func FieldBound(theta []float64, d *Dataset) float64 {
+	return -EmpiricalRisk(Clipped{Max: 3}, theta, d)
+}
+
+// UnboundedRisk averages a loss whose Bound() is +Inf: no finite Δq
+// exists, so the annotation is vacuous whatever it declares.
+//
+//dp:sensitivity Δq=1/n wrong: Runaway has no ceiling
+func UnboundedRisk(theta []float64, d *Dataset) float64 { // want "averages an unbounded loss"
+	return -EmpiricalRisk(Runaway{}, theta, d)
+}

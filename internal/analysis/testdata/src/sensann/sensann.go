@@ -101,6 +101,43 @@ func ClippedMean(d *Dataset) float64 {
 	return s / float64(len(d.Examples))
 }
 
+// SymbolicClamp clamps into [−clip, 0] and averages: the width is the
+// variable clip, which the declared numerator names (the extra ln2 term
+// over-declares, which over-noises, which stays private).
+//
+//dp:sensitivity Δq=(clip+ln2)/n clipped average with count drift
+func SymbolicClamp(d *Dataset, clip float64) float64 {
+	var s float64
+	for _, e := range d.Examples {
+		s += Clamp(e.X[0], -clip, 0)
+	}
+	return s / float64(len(d.Examples))
+}
+
+// WrongSymbol names a symbol the body never clamps by: the width is
+// clip, not tau.
+//
+//dp:sensitivity Δq=(tau+ln2)/n wrong: the clamp width is clip, not tau
+func WrongSymbol(d *Dataset, clip float64) float64 { // want "contradicts the body"
+	var s float64
+	for _, e := range d.Examples {
+		s += Clamp(e.X[0], -clip, 0)
+	}
+	return s / float64(len(d.Examples))
+}
+
+// ConstForClamp claims a constant width for a variable clamp: no
+// constant can bound an unresolved symbol.
+//
+//dp:sensitivity Δq=2/n wrong: the width is the variable clip
+func ConstForClamp(d *Dataset, clip float64) float64 { // want "contradicts the body"
+	var s float64
+	for _, e := range d.Examples {
+		s += Clamp(e.X[0], -clip, 0)
+	}
+	return s / float64(len(d.Examples))
+}
+
 // NegRisk negates an empirical risk of [0, M]-bounded terms: per-record
 // shape M/n, coefficient unverifiable (trusted).
 //

@@ -125,6 +125,8 @@ type SampledResult struct {
 // comparing per-bin frequencies. Bins with fewer than minCount samples on
 // either side are skipped (their ratio estimates are too noisy to be
 // evidence). It returns ErrNoMass if no bin qualifies.
+//
+//dp:observer audit entry point: samples the handed-in release to estimate realized eps; closures passed here are measurements, not release paths
 func SampleContinuous(release func(*dataset.Dataset, *rng.RNG) float64, pair NeighborPair, samples, bins, minCount int, g *rng.RNG) (SampledResult, error) {
 	return SampleContinuousCtx(context.Background(), release, pair, samples, bins, minCount, g)
 }
@@ -166,6 +168,8 @@ func logRatioAbs(a, b int) float64 {
 // SampleDiscrete audits a mechanism with a finite output range by
 // sampling. Outcomes with fewer than minCount draws on either side are
 // skipped. It returns ErrNoMass if no outcome qualifies.
+//
+//dp:observer audit entry point: samples the handed-in release to estimate realized eps; closures passed here are measurements, not release paths
 func SampleDiscrete(release func(*dataset.Dataset, *rng.RNG) int, numOutcomes int, pair NeighborPair, samples, minCount int, g *rng.RNG) (SampledResult, error) {
 	return SampleDiscreteCtx(context.Background(), release, numOutcomes, pair, samples, minCount, g)
 }

@@ -33,6 +33,8 @@ func ExactAuditCtx(ctx context.Context, m DiscreteMechanism, pairs []NeighborPai
 // SampleContinuousCtx is SampleContinuous under a context, checking for
 // cancellation every ctxStride sample pairs. A canceled audit returns
 // no partial estimate: a truncated sample would silently understate ε̂.
+//
+//dp:observer audit entry point: samples the handed-in release to estimate realized eps; closures passed here are measurements, not release paths
 func SampleContinuousCtx(ctx context.Context, release func(*dataset.Dataset, *rng.RNG) float64, pair NeighborPair, samples, bins, minCount int, g *rng.RNG) (SampledResult, error) {
 	if samples <= 0 || bins <= 0 {
 		panic("audit: SampleContinuous requires positive samples and bins")
@@ -66,6 +68,8 @@ func histogramCompare(outD, outP []float64, samples, bins, minCount int) (Sample
 
 // SampleDiscreteCtx is SampleDiscrete under a context, checking for
 // cancellation every ctxStride sample pairs.
+//
+//dp:observer audit entry point: samples the handed-in release to estimate realized eps; closures passed here are measurements, not release paths
 func SampleDiscreteCtx(ctx context.Context, release func(*dataset.Dataset, *rng.RNG) int, numOutcomes int, pair NeighborPair, samples, minCount int, g *rng.RNG) (SampledResult, error) {
 	if samples <= 0 || numOutcomes <= 0 {
 		panic("audit: SampleDiscrete requires positive samples and outcomes")

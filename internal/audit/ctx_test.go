@@ -65,7 +65,7 @@ func TestExactAuditCtxCanceled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := ExactAudit(m, pairs); got != want { //dplint:ignore floateq identical code paths must agree bitwise
+	if want := ExactAudit(m, pairs); got != want {
 		t.Fatalf("ctx variant diverged: %g vs %g", got, want)
 	}
 

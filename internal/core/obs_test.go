@@ -103,7 +103,6 @@ func TestFitLedgersThroughAccountantObserver(t *testing.T) {
 	}
 	e, del := led.Composed()
 	g := acct.BasicComposition()
-	//dplint:ignore floateq bit-exact ledger/accountant agreement is the property under test
 	if e != g.Epsilon || del != g.Delta {
 		t.Fatalf("ledger (%g,%g) != accountant (%g,%g)", e, del, g.Epsilon, g.Delta)
 	}

@@ -92,6 +92,7 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 	if err != nil {
 		return nil, err
 	}
+	defer countRes.Release()
 	count := countMech.Release(d, g)[0]
 	countRes.Commit(mechanism.SpendMeta{
 		Mechanism:   "laplace",
@@ -109,6 +110,7 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 	if err != nil {
 		return nil, err
 	}
+	defer meanRes.Release()
 	mean := meanMech.Release(d, g)[0]
 	meanRes.Commit(mechanism.SpendMeta{
 		Mechanism:   "laplace",
@@ -129,6 +131,7 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 		if err != nil {
 			return nil, err
 		}
+		defer qRes.Release()
 		quantiles[p] = grid[qm.Release(d, g)]
 		qRes.Commit(mechanism.SpendMeta{
 			Mechanism:   "expmech",
@@ -147,6 +150,7 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 	if err != nil {
 		return nil, err
 	}
+	defer histRes.Release()
 	noisy := histMech.Release(d, g)
 	histRes.Commit(mechanism.SpendMeta{
 		Mechanism:   "laplace",

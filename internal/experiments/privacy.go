@@ -43,7 +43,6 @@ func E1LaplacePrivacy(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		//dp:observer audit harness: samples the mechanism's output distribution to estimate realized eps, not a release path
 		res, err := audit.SampleContinuous(func(d *dataset.Dataset, h *rng.RNG) float64 {
 			return m.Release(d, h)[0]
 		}, pair, samples, 60, minCount, g)

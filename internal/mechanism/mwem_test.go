@@ -259,7 +259,6 @@ func TestMWEMRunCtxCancellation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := range want {
-		//dplint:ignore floateq bit-exact agreement between Run and a completed RunCtx is the property under test
 		if got[v] != want[v] {
 			t.Fatalf("value %d: RunCtx %v != Run %v", v, got[v], want[v])
 		}

@@ -91,7 +91,6 @@ func TestRuntimeEndToEnd(t *testing.T) {
 	}
 	e, d := obs.ComposeBasic(eps, del)
 	g := acct.BasicComposition()
-	//dplint:ignore floateq bit-exact ledger/accountant agreement is the property under test
 	if e != g.Epsilon || d != g.Delta {
 		t.Fatalf("file ledger (%g,%g) != accountant (%g,%g)", e, d, g.Epsilon, g.Delta)
 	}
