@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json race cover bench bench-json experiments quick-experiments fmt fmt-check fuzz-smoke chaos
+.PHONY: all build test vet lint lint-json race cover bench bench-json bench-serve serve-test experiments quick-experiments fmt fmt-check fuzz-smoke chaos
 
 all: build vet lint test
 
@@ -48,6 +48,34 @@ chaos:
 	$(GO) test -race -run 'TestChaos' ./internal/faults
 	$(GO) test -race ./internal/faults ./internal/checkpoint ./internal/parallel ./internal/mechanism
 	$(GO) test -race -run 'TestSweep|TestGoldenDeterminismCheckpointResume|TestBudgetedLedgerMatchesAccountant' ./internal/experiments .
+
+# Serving battery: the multi-tenant release service's integration,
+# race, chaos, and drain suites — all under the race detector.
+serve-test:
+	$(GO) test -race ./internal/serve
+
+# Serving benchmark: boot dplearn-serve on a free port, drive the
+# deterministic loadgen mix across two tenants, SIGINT the server (a
+# graceful drain that cross-checks every tenant's ledger), and leave
+# BENCH_serve.json (QPS, p50/p95/p99 latency, admission-reject rate).
+# Override SERVE_REQUESTS / SERVE_SEED for longer campaigns.
+SERVE_REQUESTS ?= 1000
+SERVE_SEED ?= 1
+bench-serve:
+	$(GO) build -o bin/dplearn-serve ./cmd/dplearn-serve
+	$(GO) build -o bin/dplearn-loadgen ./cmd/dplearn-loadgen
+	@rm -f serve.addr; \
+	./bin/dplearn-serve -addr localhost:0 -addr-file serve.addr \
+	  -tenants "alpha=6,beta=2.5" -degrade refuse -timeout 300s & \
+	serve_pid=$$!; \
+	for i in $$(seq 1 100); do [ -s serve.addr ] && break; sleep 0.1; done; \
+	[ -s serve.addr ] || { echo "bench-serve: server never published its address"; kill $$serve_pid; exit 1; }; \
+	./bin/dplearn-loadgen -addr "$$(cat serve.addr)" -tenants alpha,beta \
+	  -requests $(SERVE_REQUESTS) -seed $(SERVE_SEED) -concurrency 8 -out BENCH_serve.json; \
+	load_status=$$?; \
+	kill -INT $$serve_pid; wait $$serve_pid; serve_status=$$?; \
+	rm -f serve.addr; \
+	exit $$((load_status + serve_status))
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,335 @@
+// Command dplearn-loadgen drives a deterministic request mix against a
+// live dplearn-serve instance and writes the run as a BENCH_serve.json
+// artifact (QPS, p50/p95/p99 latency, admission-reject rate).
+//
+//	dplearn-loadgen -addr localhost:8080 -tenants alpha,beta -requests 1000
+//
+// The whole request stream — tenant assignment, endpoint mix, per-request
+// seeds, and synthetic datasets — is pre-generated from -seed before the
+// first byte is sent, so two runs against identically configured servers
+// issue byte-identical request bodies in the same order (per worker
+// interleaving is the only wall-clock nondeterminism, and it only
+// affects timing, never payloads). After the run the generator audits
+// every tenant's books via /v1/crosscheck; a failed audit exits
+// non-zero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// request is one pre-generated unit of load.
+type request struct {
+	tenant   string
+	endpoint string
+	body     []byte
+}
+
+// outcome is the measured result of one request.
+type outcome struct {
+	code     int
+	degraded bool
+	millis   float64
+}
+
+func main() {
+	addr := flag.String("addr", "", "serve address host:port (required)")
+	tenants := flag.String("tenants", "", "comma-separated tenant IDs to spread load across (required)")
+	requests := flag.Int("requests", 1000, "total requests to issue")
+	seed := flag.Int64("seed", 1, "master seed for the deterministic request stream")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	mix := flag.String("mix", "fit=2,certify=1,select=1,density=2,summary=2", "endpoint weights")
+	reqEps := flag.Float64("req-eps", 0.02, "ε quoted by each select/density/summary request")
+	rows := flag.Int("rows", 24, "rows per synthetic dataset")
+	dim := flag.Int("dim", 2, "feature dimension (must match the server's -dim)")
+	degrade := flag.String("degrade", "", "degrade override stamped on fit requests (refuse|fallback|widen; empty = tenant default)")
+	out := flag.String("out", "BENCH_serve.json", "bench artifact path")
+	flag.Parse()
+
+	if *addr == "" || *tenants == "" {
+		fmt.Fprintln(os.Stderr, "dplearn-loadgen: -addr and -tenants are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ids := splitIDs(*tenants)
+	if len(ids) == 0 {
+		fatal(fmt.Errorf("no tenant IDs in %q", *tenants))
+	}
+	endpoints, weights, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+
+	reqs, err := generate(*seed, *requests, ids, endpoints, weights, *rows, *dim, *reqEps, *degrade)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dplearn-loadgen: %d requests across %d tenant(s) against http://%s\n",
+		len(reqs), len(ids), *addr)
+
+	outcomes := make([]outcome, len(reqs))
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := "http://" + *addr
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = issue(client, base, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	stats := aggregate(reqs, outcomes, elapsed)
+	stats.CrossCheckOK = crossCheck(client, base)
+
+	if err := serve.WriteLoadReport(*out, "serve_load", map[string]any{
+		"addr":        *addr,
+		"tenants":     ids,
+		"requests":    *requests,
+		"seed":        *seed,
+		"concurrency": *concurrency,
+		"mix":         *mix,
+		"req_eps":     *reqEps,
+		"rows":        *rows,
+		"dim":         *dim,
+		"degrade":     *degrade,
+	}, stats); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "dplearn-loadgen: %d ok, %d rejected (429), %d degraded, %d errors in %.2fs (%.1f qps)\n",
+		stats.OK, stats.Rejected, stats.Degraded, stats.Errors, stats.ElapsedSeconds, stats.QPS)
+	fmt.Fprintf(os.Stderr, "dplearn-loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms, reject rate %.3f\n",
+		stats.P50Millis, stats.P95Millis, stats.P99Millis, stats.AdmissionRejectRate)
+	for _, t := range stats.ByTenant {
+		fmt.Fprintf(os.Stderr, "dplearn-loadgen: tenant %s: %d requests, %d ok, %d rejected, %d errors\n",
+			t.Tenant, t.Requests, t.OK, t.Rejected, t.Errors)
+	}
+	fmt.Fprintf(os.Stderr, "dplearn-loadgen: wrote %s\n", *out)
+	if !stats.CrossCheckOK {
+		fatal(fmt.Errorf("tenant ledger cross-check FAILED"))
+	}
+	fmt.Fprintln(os.Stderr, "dplearn-loadgen: all tenant ledgers cross-check clean")
+	if stats.Errors > 0 {
+		fatal(fmt.Errorf("%d request(s) failed with unexpected statuses", stats.Errors))
+	}
+}
+
+// splitIDs parses the comma-separated tenant list.
+func splitIDs(s string) []string {
+	var ids []string
+	for _, part := range strings.Split(s, ",") {
+		if id := strings.TrimSpace(part); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// parseMix parses "fit=2,summary=1" into parallel endpoint/weight
+// slices in declaration order.
+func parseMix(s string) ([]string, []float64, error) {
+	known := map[string]bool{"fit": true, "certify": true, "select": true, "density": true, "summary": true}
+	var endpoints []string
+	var weights []float64
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || !known[kv[0]] {
+			return nil, nil, fmt.Errorf("bad -mix entry %q (want fit|certify|select|density|summary=weight)", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return nil, nil, fmt.Errorf("bad weight in -mix entry %q", part)
+		}
+		endpoints = append(endpoints, kv[0])
+		weights = append(weights, w)
+	}
+	if len(endpoints) == 0 {
+		return nil, nil, fmt.Errorf("empty -mix")
+	}
+	return endpoints, weights, nil
+}
+
+// generate pre-builds the full request stream from the master seed.
+func generate(seed int64, n int, ids, endpoints []string, weights []float64, rows, dim int, reqEps float64, degrade string) ([]request, error) {
+	master := rng.New(seed)
+	reqs := make([]request, n)
+	for i := range reqs {
+		tenant := ids[master.Intn(len(ids))]
+		endpoint := endpoints[master.Categorical(weights)]
+		reqSeed := master.SplitSeed()
+		data := synthData(rng.New(reqSeed), rows, dim)
+		var payload any
+		switch endpoint {
+		case "fit":
+			payload = serve.FitRequest{Tenant: tenant, Seed: reqSeed, Degrade: degrade, Data: data}
+		case "certify":
+			payload = serve.CertifyRequest{Tenant: tenant, Data: data}
+		case "select":
+			cands := make([]serve.CandidateJSON, 3)
+			g := rng.New(reqSeed)
+			for c := range cands {
+				theta := make([]float64, dim)
+				for j := range theta {
+					theta[j] = g.Uniform(-1, 1)
+				}
+				cands[c] = serve.CandidateJSON{Name: fmt.Sprintf("cand-%d", c), Theta: theta}
+			}
+			payload = serve.SelectRequest{Tenant: tenant, Seed: reqSeed, Epsilon: reqEps, Candidates: cands, Data: data}
+		case "density":
+			payload = serve.DensityRequest{Tenant: tenant, Seed: reqSeed, Feature: 0, Lo: -1, Hi: 1, Epsilon: reqEps, Bins: 8, Data: data}
+		case "summary":
+			payload = serve.SummaryRequest{Tenant: tenant, Seed: reqSeed, Feature: 0, Lo: -1, Hi: 1, Bins: 8,
+				Quantiles: []float64{0.25, 0.5, 0.75}, Epsilon: reqEps, Data: data}
+		}
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = request{tenant: tenant, endpoint: endpoint, body: body}
+	}
+	return reqs, nil
+}
+
+// synthData draws a labeled dataset with features in [-1, 1].
+func synthData(g *rng.RNG, rows, dim int) serve.DataJSON {
+	d := serve.DataJSON{X: make([][]float64, rows), Y: make([]float64, rows)}
+	for i := range d.X {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = g.Uniform(-1, 1)
+		}
+		d.X[i] = row
+		if g.Bernoulli(0.5) {
+			d.Y[i] = 1
+		} else {
+			d.Y[i] = -1
+		}
+	}
+	return d
+}
+
+// issue sends one request and measures it.
+func issue(client *http.Client, base string, r request) outcome {
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/"+r.endpoint, "application/json", bytes.NewReader(r.body))
+	if err != nil {
+		return outcome{code: 0, millis: float64(time.Since(start).Microseconds()) / 1000}
+	}
+	degraded := false
+	if r.endpoint == "fit" && resp.StatusCode == http.StatusOK {
+		var fr serve.FitResponse
+		if json.NewDecoder(resp.Body).Decode(&fr) == nil {
+			degraded = fr.Degraded
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body) //dplint:ignore errdrop draining the body only recycles the connection
+	}
+	_ = resp.Body.Close() //dplint:ignore errdrop response already consumed; a close error cannot lose data
+	return outcome{code: resp.StatusCode, degraded: degraded, millis: float64(time.Since(start).Microseconds()) / 1000}
+}
+
+// aggregate folds the outcomes into the report stats.
+func aggregate(reqs []request, outcomes []outcome, elapsed float64) *serve.LoadStats {
+	stats := &serve.LoadStats{Requests: len(reqs), ElapsedSeconds: elapsed}
+	latencies := make([]float64, 0, len(outcomes))
+	byTenant := map[string]*serve.TenantLoadStats{}
+	byEndpoint := map[string]*serve.EndpointLoadStats{}
+	for i, o := range outcomes {
+		r := reqs[i]
+		t := byTenant[r.tenant]
+		if t == nil {
+			t = &serve.TenantLoadStats{Tenant: r.tenant}
+			byTenant[r.tenant] = t
+		}
+		e := byEndpoint[r.endpoint]
+		if e == nil {
+			e = &serve.EndpointLoadStats{Endpoint: r.endpoint}
+			byEndpoint[r.endpoint] = e
+		}
+		t.Requests++
+		e.Requests++
+		latencies = append(latencies, o.millis)
+		switch {
+		case o.code >= 200 && o.code < 300:
+			stats.OK++
+			t.OK++
+			e.OK++
+			if o.degraded {
+				stats.Degraded++
+			}
+		case o.code == http.StatusTooManyRequests:
+			stats.Rejected++
+			t.Rejected++
+			e.Rejected++
+		default:
+			stats.Errors++
+			t.Errors++
+			e.Errors++
+		}
+	}
+	if elapsed > 0 {
+		stats.QPS = float64(stats.Requests) / elapsed
+	}
+	stats.P50Millis = serve.Percentile(latencies, 50)
+	stats.P95Millis = serve.Percentile(latencies, 95)
+	stats.P99Millis = serve.Percentile(latencies, 99)
+	if stats.Requests > 0 {
+		stats.AdmissionRejectRate = float64(stats.Rejected) / float64(stats.Requests)
+	}
+	// Sorted slices keep the artifact independent of map iteration order.
+	for _, t := range byTenant {
+		stats.ByTenant = append(stats.ByTenant, *t)
+	}
+	sort.Slice(stats.ByTenant, func(i, j int) bool { return stats.ByTenant[i].Tenant < stats.ByTenant[j].Tenant })
+	for _, e := range byEndpoint {
+		stats.ByEndpoint = append(stats.ByEndpoint, *e)
+	}
+	sort.Slice(stats.ByEndpoint, func(i, j int) bool { return stats.ByEndpoint[i].Endpoint < stats.ByEndpoint[j].Endpoint })
+	return stats
+}
+
+// crossCheck audits every tenant's books on the server.
+func crossCheck(client *http.Client, base string) bool {
+	resp, err := client.Get(base + "/v1/crosscheck")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-loadgen: crosscheck: %v\n", err)
+		return false
+	}
+	defer resp.Body.Close() //dplint:ignore errdrop read-only response body
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body) //dplint:ignore errdrop best-effort diagnostic body
+		fmt.Fprintf(os.Stderr, "dplearn-loadgen: crosscheck: HTTP %d: %s\n", resp.StatusCode, strings.TrimSpace(string(b)))
+		return false
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dplearn-loadgen: %v\n", err)
+	os.Exit(1)
+}

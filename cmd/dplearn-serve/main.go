@@ -1,0 +1,158 @@
+// Command dplearn-serve runs the multi-tenant DP release service: the
+// facade (fit / certify / select / density / summary) as JSON endpoints,
+// one dedicated budget-enforcing accountant per tenant.
+//
+//	dplearn-serve -addr localhost:8080 -tenants "alpha=4,beta=1.5"
+//
+// Each tenant's declared value is its hard ε budget; every spending
+// request rides the accountant's two-phase Reserve/Commit protocol, a
+// request the budget cannot admit answers 429 + Retry-After (or
+// degrades per its refuse/fallback/widen policy), and /metrics exposes
+// per-tenant spend gauges next to the service counters.
+//
+// On SIGINT/SIGTERM or -timeout the server drains gracefully: new /v1
+// requests get 503, in-flight requests finish (commit or release —
+// never half-spend), and every tenant's NDJSON ledger is cross-checked
+// bit-for-bit against its accountant before exit. A failed audit exits
+// non-zero.
+//
+// -addr-file writes the bound address (useful with -addr :0) so
+// scripts can wait for readiness; see `make bench-serve`.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obsglue"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address (use :0 for a free port with -addr-file)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	tenants := flag.String("tenants", "", "tenant declaration id=eps[,id=eps...] (required)")
+	degrade := flag.String("degrade", "refuse", "default degrade policy when a budget cannot admit a fit: refuse, fallback, or widen")
+	dim := flag.Int("dim", 2, "feature dimension of the predictor space")
+	gridPts := flag.Int("grid", 5, "grid points per dimension")
+	box := flag.Float64("box", 2, "coefficient box half-width")
+	eps := flag.Float64("eps", 0.5, "ε spent by one non-degraded fit")
+	delta := flag.Float64("delta", 0.05, "PAC-Bayes confidence parameter")
+	workers := flag.Int("workers", 0, "parallel worker cap for learner hot paths (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "drain and exit after this duration (0 = run until SIGINT)")
+	grace := flag.Duration("drain-grace", 10*time.Second, "how long drain waits for in-flight requests")
+	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds on 429/503 responses")
+	pprof := flag.Bool("pprof", false, "mount /debug/pprof on the service mux")
+	flag.Parse()
+
+	if *tenants == "" {
+		fmt.Fprintln(os.Stderr, "dplearn-serve: -tenants is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	policy, err := core.ParseDegradePolicy(*degrade)
+	if err != nil {
+		fatal(err)
+	}
+	cfgs, err := serve.ParseTenantBudgets(*tenants, policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The service clock is logical: tick-based durations make the ledger
+	// and the dplearn_serve_ metric families deterministic functions of
+	// the request history (see the obs determinism contract).
+	o := &obs.Observer{Metrics: obs.NewRegistry(), Clock: &obs.LogicalClock{}}
+	s, err := serve.New(serve.Config{
+		Tenants: cfgs,
+		Learner: serve.LearnerSpec{
+			Dim:        *dim,
+			GridPoints: *gridPts,
+			Box:        *box,
+			Epsilon:    *eps,
+			Delta:      *delta,
+		},
+		Observer:          o,
+		Workers:           *workers,
+		RetryAfterSeconds: *retryAfter,
+		Pprof:             *pprof,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "dplearn-serve: %d tenant(s) on http://%s (metrics at /metrics)\n", len(cfgs), bound)
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, bound); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := obsglue.RunContext(*timeout)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fatal(fmt.Errorf("listener failed: %w", err))
+	}
+
+	// Drain: refuse new work, let in-flight requests commit or release,
+	// then audit every tenant's books.
+	fmt.Fprintln(os.Stderr, "dplearn-serve: draining")
+	s.BeginDrain()
+	gctx, cancel := obsglue.RunContext(*grace)
+	err = srv.Shutdown(gctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dplearn-serve: drain grace expired, closing: %v\n", err)
+		_ = srv.Close() //dplint:ignore errdrop the hard close after a missed grace deadline is already the error path
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+
+	for _, t := range s.Tenants().Tenants() {
+		spent := t.Acct.BasicComposition()
+		fmt.Fprintf(os.Stderr, "dplearn-serve: tenant %s spent eps=%.4g of %.4g across %d release(s)\n",
+			t.ID, spent.Epsilon, t.Budget.Epsilon, t.Acct.Count())
+	}
+	if err := s.Tenants().CrossCheckAll(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "dplearn-serve: all tenant ledgers cross-check clean")
+}
+
+// writeAddrFile publishes the bound address atomically (write + rename)
+// so a watcher never reads a half-written file.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Clean(path)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dplearn-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -155,7 +155,9 @@ type Fitted struct {
 	// (DegradeFallback, no new ε spent) or a widened posterior
 	// (DegradeWiden, the remaining ε spent).
 	Degraded bool
-	// Policy is the degradation policy the learner was configured with.
+	// Policy is the degradation policy in effect for this fit — the
+	// learner's configured policy, or the per-call override passed to
+	// FitPolicyCtx.
 	Policy DegradePolicy
 }
 

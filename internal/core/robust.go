@@ -96,19 +96,27 @@ func validateRisks(risks []float64) error {
 }
 
 // FitCtx is Fit under a context with budget enforcement and graceful
-// degradation. The hardened order of operations is:
+// degradation, applying the configured DegradePolicy.
+func (l *Learner) FitCtx(ctx context.Context, d *dataset.Dataset, g *rng.RNG) (*Fitted, error) {
+	return l.FitPolicyCtx(ctx, d, g, l.cfg.Degrade)
+}
+
+// FitPolicyCtx is FitCtx with a per-call DegradePolicy: multi-tenant
+// callers (the serve layer) select refuse/fallback/widen per request as
+// load-shedding, while single-run pipelines keep the configured policy
+// through FitCtx. The hardened order of operations is:
 //
 //  1. validate the dataset and the risk grid (typed ErrNonFiniteInput) —
 //     before any ε is spent;
 //  2. Reserve the planned guarantee against the accountant's budget —
-//     an ErrBudgetExhausted here triggers the configured DegradePolicy
+//     an ErrBudgetExhausted here triggers the requested DegradePolicy
 //     with nothing charged;
 //  3. sample the posterior under ctx — a cancellation or worker fault
 //     releases the reservation, so a failed release never charges the
 //     ledger;
 //  4. Commit the reservation, which appends the ledger record exactly
 //     as SpendDetail would.
-func (l *Learner) FitCtx(ctx context.Context, d *dataset.Dataset, g *rng.RNG) (*Fitted, error) {
+func (l *Learner) FitPolicyCtx(ctx context.Context, d *dataset.Dataset, g *rng.RNG, policy DegradePolicy) (*Fitted, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
@@ -133,7 +141,7 @@ func (l *Learner) FitCtx(ctx context.Context, d *dataset.Dataset, g *rng.RNG) (*
 	degraded := false
 	res, err := l.cfg.Acct.Reserve(est.Guarantee(d.Len()))
 	if errors.Is(err, mechanism.ErrBudgetExhausted) {
-		switch l.cfg.Degrade {
+		switch policy {
 		case DegradeFallback:
 			if cached := l.cachedFit(); cached != nil {
 				return cached, nil
@@ -175,7 +183,7 @@ func (l *Learner) FitCtx(ctx context.Context, d *dataset.Dataset, g *rng.RNG) (*
 		Index:       idx,
 		Certificate: cert,
 		Degraded:    degraded,
-		Policy:      l.cfg.Degrade,
+		Policy:      policy,
 	}
 	l.storeFit(fit)
 	return fit, nil

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/mechanism"
+	"repro/internal/obs"
+)
+
+// TestConcurrentSpendExact hammers one tenant's serve-layer two-phase
+// path (summary) from 32 goroutines and then demands exact books: the
+// accountant's composed spend must equal — bit for bit — the canonical
+// composition of the quoted guarantees of exactly the 2xx responses,
+// with zero reservations left behind. Run under -race this is the
+// service's concurrency proof.
+func TestConcurrentSpendExact(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 6
+		quote      = 0.11 // deliberately not a power of two
+	)
+	s, ts := newTestService(t, Config{
+		Tenants: []TenantConfig{{ID: "hammer", Budget: mechanism.Guarantee{Epsilon: 1000}}},
+	})
+	data := testData(21, 16, 2)
+	var ok, rejected, other atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, body := postJSON(t, ts.URL+"/v1/summary", SummaryRequest{
+					Tenant: "hammer", Seed: int64(g*1000 + i), Feature: 0, Lo: -1, Hi: 1,
+					Quantiles: []float64{0.5}, Epsilon: quote, Data: data,
+				})
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					other.Add(1)
+					t.Errorf("HTTP %d: %s", resp.StatusCode, body)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := other.Load(); n != 0 {
+		t.Fatalf("%d unexpected responses", n)
+	}
+	// The 1000-ε budget admits all 192 quotes of 0.11.
+	if got := ok.Load(); got != goroutines*perG {
+		t.Fatalf("got %d successes and %d rejections, want all %d admitted",
+			got, rejected.Load(), goroutines*perG)
+	}
+	tn, _ := s.Tenants().Get("hammer")
+	assertSpendIsQuotes(t, tn, int(ok.Load()), quote)
+}
+
+// TestConcurrentSpendContended repeats the hammer against a budget that
+// admits only some of the herd, so Reserve races against real
+// contention: however the 429s land, the books must still compose to
+// exactly the admitted quotes.
+func TestConcurrentSpendContended(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 4
+		quote      = 0.11
+	)
+	s, ts := newTestService(t, Config{
+		Tenants: []TenantConfig{{ID: "hammer", Budget: mechanism.Guarantee{Epsilon: 5}}},
+	})
+	data := testData(22, 16, 2)
+	var ok, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, body := postJSON(t, ts.URL+"/v1/summary", SummaryRequest{
+					Tenant: "hammer", Seed: int64(g*1000 + i), Feature: 0, Lo: -1, Hi: 1,
+					Quantiles: []float64{0.5}, Epsilon: quote, Data: data,
+				})
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					t.Errorf("HTTP %d: %s", resp.StatusCode, body)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ok.Load()+rejected.Load() != goroutines*perG {
+		t.Fatalf("accounted %d responses, want %d", ok.Load()+rejected.Load(), goroutines*perG)
+	}
+	// A 5-ε budget admits at most 45 quotes of 0.11; contention may admit
+	// fewer, never more.
+	if got := ok.Load(); got == 0 || got > 45 {
+		t.Fatalf("admitted %d quotes of 0.11 against ε=5, want 1..45", got)
+	}
+	if rejected.Load() == 0 {
+		t.Fatal("contended run produced no 429s; the budget did not bind")
+	}
+	tn, _ := s.Tenants().Get("hammer")
+	assertSpendIsQuotes(t, tn, int(ok.Load()), quote)
+}
+
+// assertSpendIsQuotes demands the tenant's books equal exactly n quoted
+// guarantees: record count, bit-exact canonical composition, no leaked
+// reservations, and a clean ledger audit.
+func assertSpendIsQuotes(t *testing.T, tn *Tenant, n int, quote float64) {
+	t.Helper()
+	if got := tn.Acct.Count(); got != n {
+		t.Errorf("accountant has %d record(s), want %d (one per 2xx)", got, n)
+	}
+	if r := tn.Acct.Reserved(); r != 0 {
+		t.Errorf("%d reservation(s) leaked", r)
+	}
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = quote
+	}
+	wantE, wantD := obs.ComposeBasic(eps, make([]float64, n))
+	g := tn.Acct.BasicComposition()
+	//dplint:ignore floateq the spend must equal the composed quotes bit for bit
+	if g.Epsilon != wantE || g.Delta != wantD {
+		t.Errorf("spend composes to (%.17g, %.17g), %d quotes compose to (%.17g, %.17g)",
+			g.Epsilon, g.Delta, n, wantE, wantD)
+	}
+	checkBooks(t, tn)
+}

@@ -1,0 +1,651 @@
+// Package serve is the multi-tenant DP release service layer: it
+// exposes the facade (Fit / Certify / PrivateSelect / density and
+// summary releases) as JSON-over-HTTP endpoints to many concurrent
+// tenants, each with a dedicated Accountant enforcing a hard (ε, δ)
+// budget.
+//
+// The correctness surface is per-tenant budget accounting under
+// concurrent load: every ε-spending request rides the accountant's
+// two-phase Reserve/Commit/Release protocol, so admission control is
+// decided on the canonical composition of spends plus outstanding
+// reservations (no TOCTOU window), a request the budget cannot admit is
+// rejected with 429 + Retry-After (or degraded per the request's
+// refuse/fallback/widen policy), and a request that fails mid-release —
+// error, cancellation, or panic — releases its reservation instead of
+// committing, so the books never hold a half-spend. Each tenant's
+// NDJSON privacy ledger mirrors its accountant spend-for-spend and must
+// cross-check bit-identically (the dynamic analogue of acctlint).
+//
+// Isolation between tenants is structural: separate accountants,
+// ledgers, learners, and fallback caches. One tenant exhausting its
+// budget changes nothing for another.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/learn"
+	"repro/internal/mechanism"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// maxBody bounds a request payload (datasets travel in the body).
+const maxBody = 8 << 20
+
+// requestTickBuckets are the latency-histogram bounds in logical clock
+// ticks (deterministic under LogicalClock; see the obs determinism
+// contract).
+var requestTickBuckets = []float64{4, 16, 64, 256, 1024}
+
+// Config assembles one service instance.
+type Config struct {
+	// Tenants declares the isolation domains (at least one).
+	Tenants []TenantConfig
+	// Learner shapes every tenant's private learner (zero values take
+	// the LearnerSpec defaults).
+	Learner LearnerSpec
+	// Observer supplies the metrics registry and clock shared by all
+	// tenants; nil disables metrics and timing (still fully functional).
+	Observer *obs.Observer
+	// Faults optionally injects deterministic failures into in-flight
+	// requests (chaos battery only; nil in production). Faults are keyed
+	// by the request's Seed, so a chaos run replays exactly.
+	Faults *faults.Schedule
+	// Workers caps the parallel fan-out of learner hot paths (0 = all
+	// CPUs). Results are bit-identical for every setting.
+	Workers int
+	// RetryAfterSeconds is the Retry-After hint on 429/503 responses
+	// (default 1).
+	RetryAfterSeconds int
+	// Pprof mounts /debug/pprof on the service mux (opt-in, as in the
+	// CLIs).
+	Pprof bool
+}
+
+// Server is one live service instance. Safe for concurrent use; build
+// with New.
+type Server struct {
+	cfg  Config
+	spec LearnerSpec
+	reg  *Registry
+	obs  *obs.Observer
+	mux  *http.ServeMux
+
+	draining atomic.Bool
+
+	inflight *obs.Gauge
+	panics   *obs.Counter
+
+	// testHookInFlight, when set (tests only), runs inside a spending
+	// handler while its reservation is held — the drain test parks a
+	// request here.
+	testHookInFlight func(endpoint string)
+}
+
+// parallelOptions builds the engine options threaded into every learner
+// hot path.
+func parallelOptions(workers int, o *obs.Observer) parallel.Options {
+	return parallel.Options{Workers: workers, Obs: o}
+}
+
+// New validates the config and builds the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.RetryAfterSeconds <= 0 {
+		cfg.RetryAfterSeconds = 1
+	}
+	spec := cfg.Learner.withDefaults()
+	reg, err := newRegistry(cfg.Tenants, spec, cfg.Observer, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, spec: spec, reg: reg, obs: cfg.Observer}
+	mreg := s.obs.Reg()
+	s.inflight = mreg.Gauge("dplearn_serve_inflight_requests",
+		"requests currently being served")
+	s.panics = mreg.Counter("dplearn_serve_panics_total",
+		"handler panics recovered into 500 responses")
+	s.routes()
+	return s, nil
+}
+
+// Tenants exposes the tenant registry (the CLI audits it at drain).
+func (s *Server) Tenants() *Registry { return s.reg }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the service into draining: every subsequent /v1
+// request is refused with 503 + Retry-After while in-flight requests
+// run to completion (commit or release — never half-spend). It also
+// refreshes the per-tenant spend gauges so the final /metrics scrape
+// reflects the canonical composition.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	for _, t := range s.reg.Tenants() {
+		t.refreshSpent()
+	}
+}
+
+// Draining reports whether BeginDrain has run.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// routes assembles the mux.
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/fit", s.instrument("fit", http.MethodPost, s.handleFit))
+	mux.HandleFunc("/v1/certify", s.instrument("certify", http.MethodPost, s.handleCertify))
+	mux.HandleFunc("/v1/select", s.instrument("select", http.MethodPost, s.handleSelect))
+	mux.HandleFunc("/v1/density", s.instrument("density", http.MethodPost, s.handleDensity))
+	mux.HandleFunc("/v1/summary", s.instrument("summary", http.MethodPost, s.handleSummary))
+	mux.HandleFunc("/v1/budget", s.instrument("budget", http.MethodGet, s.handleBudget))
+	mux.HandleFunc("/v1/tenants", s.instrument("tenants", http.MethodGet, s.handleTenants))
+	mux.HandleFunc("/v1/crosscheck", s.instrument("crosscheck", http.MethodGet, s.handleCrossCheck))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if mreg := s.obs.Reg(); mreg != nil {
+		omux := obs.NewServeMux(mreg, s.cfg.Pprof)
+		mux.Handle("/metrics", omux)
+		mux.Handle("/debug/", omux)
+	}
+	s.mux = mux
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code    int
+	written bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if !sr.written {
+		sr.code = code
+		sr.written = true
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if !sr.written {
+		sr.code = http.StatusOK
+		sr.written = true
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the service middleware: the draining
+// gate (503 + Retry-After), method enforcement, panic recovery (a
+// panicking release's deferred reservation cleanup runs during the
+// unwind, so recovery only converts the unwound stack into a 500), and
+// request metrics (count by endpoint/code, in-flight gauge, latency in
+// logical ticks).
+func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := s.obs.Now()
+		s.inflight.Add(1)
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Inc()
+				if !rec.written {
+					s.writeJSON(rec, http.StatusInternalServerError,
+						ErrorResponse{Error: fmt.Sprintf("internal panic: %v", p)})
+				}
+			}
+			s.inflight.Add(-1)
+			mreg := s.obs.Reg()
+			mreg.Counter("dplearn_serve_requests_total",
+				"requests served by endpoint and status code",
+				"endpoint", endpoint, "code", strconv.Itoa(rec.code)).Inc()
+			mreg.Histogram("dplearn_serve_request_ticks",
+				"request duration in logical clock ticks", requestTickBuckets,
+				"endpoint", endpoint).Observe(float64(s.obs.Now() - start))
+		}()
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+			s.writeJSON(rec, http.StatusServiceUnavailable,
+				ErrorResponse{Error: "serve: draining, not accepting new requests"})
+			return
+		}
+		if r.Method != method {
+			s.writeJSON(rec, http.StatusMethodNotAllowed,
+				ErrorResponse{Error: fmt.Sprintf("serve: %s requires %s", r.URL.Path, method)})
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		h(rec, r)
+	}
+}
+
+// writeJSON marshals v and writes it with the given status. The body is
+// rendered before the header so a marshal failure can still become a
+// clean 500.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, `{"error":"serve: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The client went away mid-response; there is no one to tell.
+		return
+	}
+}
+
+// status maps a handler error to its HTTP status.
+func status(err error) int {
+	switch {
+	case errors.Is(err, mechanism.ErrBudgetExhausted):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, errBadRequest),
+		errors.Is(err, core.ErrBadConfig),
+		errors.Is(err, core.ErrNonFiniteInput):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError renders err with its mapped status; 429 and 503 carry the
+// Retry-After hint, and a budget rejection is counted per tenant.
+func (s *Server) writeError(w http.ResponseWriter, tenantID string, err error) {
+	code := status(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+	}
+	if code == http.StatusTooManyRequests && tenantID != "" {
+		s.obs.Reg().Counter("dplearn_serve_admission_rejects_total",
+			"requests rejected by budget admission control", "tenant", tenantID).Inc()
+	}
+	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// decode parses the JSON body into v.
+func decode(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+// tenant resolves the tenant or fails with errUnknownTenant.
+func (s *Server) tenant(id string) (*Tenant, error) {
+	if id == "" {
+		return nil, fmt.Errorf("%w: request names no tenant", errBadRequest)
+	}
+	t, ok := s.reg.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errUnknownTenant, id)
+	}
+	return t, nil
+}
+
+// injectFault fires the chaos schedule for this request key: a
+// WorkerPanic unwinds the handler (exercising reservation release on
+// panic paths), a CheckpointWrite becomes a 500-mapped error.
+func (s *Server) injectFault(key int) error {
+	sched := s.cfg.Faults
+	if sched == nil {
+		return nil
+	}
+	sched.Panic(faults.WorkerPanic, key)
+	if err := sched.Err(faults.CheckpointWrite, key); err != nil {
+		return fmt.Errorf("serve: ledger checkpoint write failed: %w", err)
+	}
+	return nil
+}
+
+// spendQuoted runs one release under the two-phase protocol with the
+// quoted price g: Reserve decides admission against the tenant's budget
+// (composed with every spend and outstanding hold), the deferred
+// Release frees the hold on every error and panic path, and Commit
+// charges exactly the quoted guarantee once the release succeeded. The
+// chaos hook fires while the reservation is held, which is precisely
+// the window the battery must prove never half-spends.
+func (s *Server) spendQuoted(t *Tenant, endpoint string, g mechanism.Guarantee, meta mechanism.SpendMeta, key int, release func() error) error {
+	res, err := t.Acct.Reserve(g)
+	if err != nil {
+		return err
+	}
+	defer res.Release()
+	if s.testHookInFlight != nil {
+		s.testHookInFlight(endpoint)
+	}
+	if err := s.injectFault(key); err != nil {
+		return err
+	}
+	start := s.obs.Now()
+	if err := release(); err != nil {
+		return err
+	}
+	meta.Duration = s.obs.Now() - start
+	res.Commit(meta)
+	t.refreshSpent()
+	return nil
+}
+
+// handleFit privately fits the tenant's learner on the posted data.
+// Admission rides the reservation inside core.FitPolicyCtx; the
+// request's degrade policy (or the tenant default) decides what an
+// ErrBudgetExhausted becomes: 429, a free cached re-release, or a
+// widened posterior.
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, "", err)
+		return
+	}
+	t, err := s.tenant(req.Tenant)
+	if err != nil {
+		s.writeError(w, req.Tenant, err)
+		return
+	}
+	d, err := req.Data.dataset()
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	if d.Dim() != s.spec.Dim {
+		s.writeError(w, t.ID, fmt.Errorf("%w: data has %d features, the predictor space has %d",
+			errBadRequest, d.Dim(), s.spec.Dim))
+		return
+	}
+	policy := t.Degrade
+	if req.Degrade != "" {
+		policy, err = core.ParseDegradePolicy(req.Degrade)
+		if err != nil {
+			s.writeError(w, t.ID, fmt.Errorf("%w: %v", errBadRequest, err))
+			return
+		}
+	}
+	if s.testHookInFlight != nil {
+		s.testHookInFlight("fit")
+	}
+	if err := s.injectFault(int(req.Seed)); err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	fit, err := t.Learner.FitPolicyCtx(r.Context(), d, rng.New(req.Seed), policy)
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	t.refreshSpent()
+	s.writeJSON(w, http.StatusOK, FitResponse{
+		Theta:       fit.Theta,
+		Index:       fit.Index,
+		Degraded:    fit.Degraded,
+		Policy:      fit.Policy.String(),
+		Certificate: certificateJSON(fit.Certificate),
+	})
+}
+
+// handleCertify evaluates the certificates without releasing; no ε is
+// spent, so budget exhaustion can never refuse it.
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	var req CertifyRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, "", err)
+		return
+	}
+	t, err := s.tenant(req.Tenant)
+	if err != nil {
+		s.writeError(w, req.Tenant, err)
+		return
+	}
+	d, err := req.Data.dataset()
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	if d.Dim() != s.spec.Dim {
+		s.writeError(w, t.ID, fmt.Errorf("%w: data has %d features, the predictor space has %d",
+			errBadRequest, d.Dim(), s.spec.Dim))
+		return
+	}
+	cert, err := t.Learner.CertifyCtx(r.Context(), d)
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, CertifyResponse{Certificate: certificateJSON(cert)})
+}
+
+// handleSelect picks one posted candidate by the exponential mechanism
+// scored on the posted validation data. The serve layer owns the
+// two-phase spend here: PrivateSelect runs with a nil accountant and
+// the quoted ε is reserved, then committed, on the tenant's books.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, "", err)
+		return
+	}
+	t, err := s.tenant(req.Tenant)
+	if err != nil {
+		s.writeError(w, req.Tenant, err)
+		return
+	}
+	if err := validEpsilon(req.Epsilon); err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	d, err := req.Data.dataset()
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	cands, err := candidates(req.Candidates, d.Dim())
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	var selected learn.Candidate
+	loss := learn.ZeroOneLoss{}
+	err = s.spendQuoted(t, "select", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
+		Mechanism:   "select",
+		Sensitivity: loss.Bound() / float64(d.Len()),
+		Outcomes:    len(cands),
+	}, int(req.Seed), func() error {
+		var rerr error
+		selected, rerr = learn.PrivateSelect(cands, loss, d, req.Epsilon, nil, rng.New(req.Seed))
+		return rerr
+	})
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SelectResponse{
+		Name:    selected.Name,
+		Theta:   selected.Theta,
+		Epsilon: req.Epsilon,
+	})
+}
+
+// handleDensity releases a private histogram density. Both flavors
+// reserve and commit inside the facade against the tenant's accountant,
+// so admission control is already two-phase; the handler only maps
+// ErrBudgetExhausted to 429.
+func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
+	var req DensityRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, "", err)
+		return
+	}
+	t, err := s.tenant(req.Tenant)
+	if err != nil {
+		s.writeError(w, req.Tenant, err)
+		return
+	}
+	if err := validEpsilon(req.Epsilon); err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	d, err := req.Data.dataset()
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	if req.Feature < 0 || req.Feature >= d.Dim() {
+		s.writeError(w, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
+		return
+	}
+	if s.testHookInFlight != nil {
+		s.testHookInFlight("density")
+	}
+	if err := s.injectFault(int(req.Seed)); err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	g := rng.New(req.Seed)
+	var est *core.DensityEstimate
+	switch req.Kind {
+	case "", "laplace":
+		bins := req.Bins
+		if bins == 0 {
+			bins = 16
+		}
+		est, err = core.PrivateHistogramDensity(d, req.Feature, bins, req.Lo, req.Hi, req.Epsilon, t.Acct, g)
+	case "gibbs":
+		choices := req.BinChoices
+		if len(choices) == 0 {
+			choices = []int{4, 8, 16, 32}
+		}
+		clip := req.Clip
+		if clip <= 0 {
+			clip = 8
+		}
+		est, _, err = core.GibbsHistogramDensity(d, req.Feature, choices, req.Lo, req.Hi, clip, req.Epsilon, t.Acct, g)
+	default:
+		err = fmt.Errorf("%w: unknown density kind %q (want laplace|gibbs)", errBadRequest, req.Kind)
+	}
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	t.refreshSpent()
+	s.writeJSON(w, http.StatusOK, DensityResponse{
+		Lo:      est.Lo,
+		Hi:      est.Hi,
+		Bins:    len(est.Density),
+		Density: est.Density,
+		Epsilon: req.Epsilon,
+	})
+}
+
+// handleSummary releases the ε-DP feature summary. ReleaseSummary
+// splits its budget across the parts on an internal accountant; the
+// serve layer reserves the quoted total against the tenant's budget
+// before any noise is drawn and commits it only once the whole summary
+// succeeded.
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	var req SummaryRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, "", err)
+		return
+	}
+	t, err := s.tenant(req.Tenant)
+	if err != nil {
+		s.writeError(w, req.Tenant, err)
+		return
+	}
+	if err := validEpsilon(req.Epsilon); err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	d, err := req.Data.dataset()
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	if req.Feature < 0 || req.Feature >= d.Dim() {
+		s.writeError(w, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
+		return
+	}
+	var sum *core.PrivateSummary
+	bins := req.Bins
+	if bins == 0 {
+		bins = 16
+	}
+	err = s.spendQuoted(t, "summary", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
+		Mechanism: "summary",
+		Outcomes:  bins,
+	}, int(req.Seed), func() error {
+		var rerr error
+		sum, rerr = core.ReleaseSummary(d, core.SummaryConfig{
+			Feature:   req.Feature,
+			Lo:        req.Lo,
+			Hi:        req.Hi,
+			Bins:      req.Bins,
+			Quantiles: req.Quantiles,
+			Epsilon:   req.Epsilon,
+		}, rng.New(req.Seed))
+		return rerr
+	})
+	if err != nil {
+		s.writeError(w, t.ID, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, summaryResponse(sum, req.Epsilon))
+}
+
+// handleBudget reports one tenant's books (?tenant=<id>).
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenant(r.URL.Query().Get("tenant"))
+	if err != nil {
+		s.writeError(w, "", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, budgetStatus(t))
+}
+
+// handleTenants lists every tenant's books in declaration order.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	tenants := s.reg.Tenants()
+	out := make([]BudgetStatus, len(tenants))
+	for i, t := range tenants {
+		out[i] = budgetStatus(t)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleCrossCheck audits every tenant's ledger against its accountant
+// and refreshes the spend gauges; a mismatch is a 500 — the books are
+// the service's contract.
+func (s *Server) handleCrossCheck(w http.ResponseWriter, r *http.Request) {
+	for _, t := range s.reg.Tenants() {
+		t.refreshSpent()
+	}
+	if err := s.reg.CrossCheckAll(); err != nil {
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tenants": len(s.reg.Tenants())})
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

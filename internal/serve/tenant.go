@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/mechanism"
+	"repro/internal/obs"
+)
+
+// TenantConfig declares one tenant of the release service: an isolation
+// domain with its own dataset universe, hard privacy budget, and default
+// degrade policy.
+type TenantConfig struct {
+	// ID names the tenant; requests address it by this string.
+	ID string
+	// Budget is the tenant's hard (ε, δ) cap. Every admitted release
+	// composes against it; Reserve rejects past it.
+	Budget mechanism.Guarantee
+	// Degrade is the tenant's default policy when the budget cannot
+	// admit a fit (requests may override it per call).
+	Degrade core.DegradePolicy
+}
+
+// Tenant is one live tenant: a dedicated Accountant enforcing the hard
+// budget, the NDJSON privacy ledger mirroring every spend, and a
+// Learner configured against the accountant. All fields are safe for
+// concurrent use; isolation between tenants is structural — no shared
+// accountant, ledger, or fallback cache.
+type Tenant struct {
+	ID      string
+	Budget  mechanism.Guarantee
+	Degrade core.DegradePolicy
+	Acct    *mechanism.Accountant
+	Ledger  *obs.Ledger
+	Learner *core.Learner
+
+	spent    *obs.Gauge
+	releases *obs.Counter
+}
+
+// CrossCheck verifies the tenant's ledger against its accountant: the
+// record counts must match and the canonically composed (ε, δ) must
+// agree bit-for-bit (both sides sort the spend multiset into the same
+// canonical order and Kahan-sum it). A mismatch means a release
+// escaped the books — the service must never pass its audit with one.
+func (t *Tenant) CrossCheck() error {
+	if got, want := t.Ledger.Len(), t.Acct.Count(); got != want {
+		return fmt.Errorf("serve: tenant %s ledger has %d record(s), accountant spent %d", t.ID, got, want)
+	}
+	le, ld := t.Ledger.Composed()
+	g := t.Acct.BasicComposition()
+	//dplint:ignore floateq bit-exact ledger-vs-accountant agreement is the audited property
+	if le != g.Epsilon || ld != g.Delta {
+		return fmt.Errorf("serve: tenant %s ledger composes to (%.17g, %.17g), accountant to (%.17g, %.17g)",
+			t.ID, le, ld, g.Epsilon, g.Delta)
+	}
+	return nil
+}
+
+// refreshSpent recomputes the tenant's spend gauge from the canonical
+// composition — a pure function of the spend multiset, so the exposed
+// value is deterministic for a given request history at any worker
+// count. Called after every commit and once more at drain.
+func (t *Tenant) refreshSpent() {
+	t.spent.Set(t.Acct.BasicComposition().Epsilon)
+}
+
+// Registry maps tenant IDs to live tenants in a fixed declaration
+// order (map iteration order must never leak into responses, metrics,
+// or audit reports).
+type Registry struct {
+	order []string
+	byID  map[string]*Tenant
+}
+
+// Get resolves a tenant by ID.
+func (r *Registry) Get(id string) (*Tenant, bool) {
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Tenants returns the live tenants in declaration order.
+func (r *Registry) Tenants() []*Tenant {
+	out := make([]*Tenant, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// CrossCheckAll audits every tenant's books, joining all failures in
+// declaration order.
+func (r *Registry) CrossCheckAll() error {
+	var errs []string
+	for _, t := range r.Tenants() {
+		if err := t.CrossCheck(); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("serve: cross-check failed: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// ParseTenantBudgets parses the CLI tenant declaration
+// "alpha=4,beta=1.5" (tenant ID = ε budget) into configs sorted by ID,
+// so the flag's declaration order never depends on shell quoting.
+func ParseTenantBudgets(s string, degrade core.DegradePolicy) ([]TenantConfig, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("serve: empty tenant declaration")
+	}
+	var out []TenantConfig
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" {
+			return nil, fmt.Errorf("serve: bad tenant entry %q (want id=budget)", part)
+		}
+		eps, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad budget in %q: %w", part, err)
+		}
+		if seen[kv[0]] {
+			return nil, fmt.Errorf("serve: duplicate tenant %q", kv[0])
+		}
+		seen[kv[0]] = true
+		out = append(out, TenantConfig{
+			ID:      kv[0],
+			Budget:  mechanism.Guarantee{Epsilon: eps},
+			Degrade: degrade,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// LearnerSpec shapes the per-tenant private learner: the predictor grid
+// and the per-fit privacy price. Zero fields take the documented
+// defaults.
+type LearnerSpec struct {
+	// Dim is the feature dimension of the predictor space (default 2).
+	// Fit/certify/select requests must carry data of this dimension.
+	Dim int
+	// GridPoints is the per-dimension grid resolution (default 5).
+	GridPoints int
+	// Box is the coefficient box half-width (default 2).
+	Box float64
+	// Epsilon is the ε spent by one non-degraded Fit (default 0.5).
+	Epsilon float64
+	// Delta is the PAC-Bayes confidence parameter (default 0.05).
+	Delta float64
+}
+
+// withDefaults resolves zero fields.
+func (sp LearnerSpec) withDefaults() LearnerSpec {
+	if sp.Dim == 0 {
+		sp.Dim = 2
+	}
+	if sp.GridPoints == 0 {
+		sp.GridPoints = 5
+	}
+	if sp.Box == 0 { //dplint:ignore floateq config sentinel: an unset Box field is the exact zero value
+		sp.Box = 2
+	}
+	if sp.Epsilon == 0 { //dplint:ignore floateq config sentinel: an unset Epsilon field is the exact zero value
+		sp.Epsilon = 0.5
+	}
+	if sp.Delta == 0 { //dplint:ignore floateq config sentinel: an unset Delta field is the exact zero value
+		sp.Delta = 0.05
+	}
+	return sp
+}
+
+// newTenant builds one live tenant: accountant with the hard budget,
+// ledger wired as the spend observer, learner calibrated to the spec.
+func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int) (*Tenant, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("serve: tenant needs an ID")
+	}
+	t := &Tenant{
+		ID:      cfg.ID,
+		Budget:  cfg.Budget,
+		Degrade: cfg.Degrade,
+		Acct:    &mechanism.Accountant{},
+		Ledger:  obs.NewLedger(nil),
+	}
+	if err := t.Acct.SetBudget(cfg.Budget); err != nil {
+		return nil, fmt.Errorf("serve: tenant %s: %w", cfg.ID, err)
+	}
+	reg := o.Reg()
+	t.spent = reg.Gauge("dplearn_serve_tenant_spent_epsilon",
+		"canonically composed ε spent by the tenant", "tenant", cfg.ID)
+	reg.Gauge("dplearn_serve_tenant_budget_epsilon",
+		"hard ε budget configured for the tenant", "tenant", cfg.ID).Set(cfg.Budget.Epsilon)
+	t.releases = reg.Counter("dplearn_serve_tenant_releases_total",
+		"accounted releases committed by the tenant", "tenant", cfg.ID)
+	ledger, releases := t.Ledger, t.releases
+	t.Acct.SetObserver(func(r mechanism.SpendRecord) {
+		// Runs under the accountant's lock: record and count, nothing more.
+		ledger.Record(obs.LedgerRecord{
+			Seq:         r.Seq,
+			Mechanism:   r.Meta.Mechanism,
+			Sensitivity: r.Meta.Sensitivity,
+			Epsilon:     r.Guarantee.Epsilon,
+			Delta:       r.Guarantee.Delta,
+			Outcomes:    r.Meta.Outcomes,
+			Duration:    r.Meta.Duration,
+			Span:        r.Meta.Span,
+		})
+		releases.Inc()
+	})
+	grid := learn.NewGrid(-sp.Box, sp.Box, sp.Dim, sp.GridPoints)
+	learner, err := core.NewLearner(core.Config{
+		Loss:     learn.ZeroOneLoss{},
+		Thetas:   grid.Thetas(),
+		Epsilon:  sp.Epsilon,
+		Delta:    sp.Delta,
+		Acct:     t.Acct,
+		Degrade:  cfg.Degrade,
+		Parallel: parallelOptions(workers, o),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenant %s learner: %w", cfg.ID, err)
+	}
+	t.Learner = learner
+	return t, nil
+}
+
+// newRegistry builds the tenant registry in declaration order.
+func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers int) (*Registry, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("serve: need at least one tenant")
+	}
+	r := &Registry{byID: make(map[string]*Tenant, len(cfgs))}
+	for _, cfg := range cfgs {
+		if _, dup := r.byID[cfg.ID]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant %q", cfg.ID)
+		}
+		t, err := newTenant(cfg, sp, o, workers)
+		if err != nil {
+			return nil, err
+		}
+		r.byID[cfg.ID] = t
+		r.order = append(r.order, cfg.ID)
+	}
+	return r, nil
+}
