@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json race cover bench bench-json bench-serve serve-test experiments quick-experiments fmt fmt-check fuzz-smoke chaos
+.PHONY: all build test vet lint lint-json certify race cover bench bench-json bench-serve serve-test experiments quick-experiments fmt fmt-check fuzz-smoke chaos
 
 all: build vet lint test
 
@@ -23,6 +23,16 @@ lint:
 lint-json:
 	$(GO) run ./cmd/dplearn-lint -json ./... > dplint.json; \
 	status=$$?; wc -l < dplint.json | xargs -I{} echo "dplint.json: {} finding(s) recorded"; exit $$status
+
+# Regenerate the NDJSON budget certificates: one symbolic worst-case
+# (ε, δ) bound per exported entry point, with charge-site witnesses.
+# The file is golden-pinned — CI and TestBudgetCertificatesMatchCommitted
+# fail when it drifts from the code, so bound changes land in the same
+# commit that caused them.
+certify:
+	@mkdir -p results
+	$(GO) run ./cmd/dplearn-lint -certify ./... > results/budget_certificates.ndjson
+	@wc -l < results/budget_certificates.ndjson | xargs -I{} echo "results/budget_certificates.ndjson: {} certificate(s)"
 
 test:
 	$(GO) test ./...

@@ -12,6 +12,7 @@
 //
 //	parallel  → ./internal/parallel  → BENCH_parallel.json
 //	mechanism → ./internal/mechanism → BENCH_mechanism.json
+//	lint      → ./internal/analysis  → BENCH_lint.json
 //
 // -timeout bounds the whole run; ^C or the deadline kills the in-flight
 // `go test` child, no partial artifact is written for the interrupted
@@ -36,10 +37,11 @@ import (
 var suites = map[string]string{
 	"parallel":  "./internal/parallel",
 	"mechanism": "./internal/mechanism",
+	"lint":      "./internal/analysis",
 }
 
 // suiteOrder fixes the run order (map iteration is randomized).
-var suiteOrder = []string{"parallel", "mechanism"}
+var suiteOrder = []string{"parallel", "mechanism", "lint"}
 
 func main() {
 	outDir := flag.String("out", ".", "directory for the BENCH_<suite>.json artifacts")

@@ -12,6 +12,10 @@
 //
 //	-json           emit newline-delimited JSON, one finding per line,
 //	                including suppressed findings flagged as such
+//	-certify        emit NDJSON budget certificates — one per exported
+//	                entry point: symbolic (ε, δ) bound, resolved constant
+//	                where foldable, and the witness path of charge sites —
+//	                then exit (see results/budget_certificates.ndjson)
 //	-checks a,b,c   run only the named checks (default: all)
 //	-warn a,b,c     downgrade the named checks to warning severity
 //	-no-tests       skip _test.go files entirely
@@ -32,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 
@@ -67,6 +72,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("dplearn-lint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	certify := fs.Bool("certify", false, "emit NDJSON budget certificates and exit")
 	checksFlag := fs.String("checks", "", "comma-separated check ids to run (default: all)")
 	warnFlag := fs.String("warn", "", "comma-separated check ids downgraded to warnings")
 	noTests := fs.Bool("no-tests", false, "skip _test.go files")
@@ -107,10 +113,23 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
 		return 2
 	}
-	pkgs, err := loader.LoadPatterns(patterns, !*noTests)
+	// Certificates cover the non-test entry surface only; skip test files
+	// so the certify load stays lean and byte-stable.
+	pkgs, err := loader.LoadPatterns(patterns, !*noTests && !*certify)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
 		return 2
+	}
+
+	if *certify {
+		enc := json.NewEncoder(os.Stdout)
+		for _, cert := range analysis.BudgetCertificates(pkgs, loader.ModuleRoot()) {
+			if err := enc.Encode(cert); err != nil {
+				fmt.Fprintln(os.Stderr, "dplearn-lint:", err)
+				return 2
+			}
+		}
+		return 0
 	}
 
 	if *flowRe != "" {
@@ -138,7 +157,7 @@ func run(args []string) int {
 			if err := enc.Encode(jsonDiag{
 				Check:          d.Check,
 				Severity:       d.Severity.String(),
-				File:           d.Pos.Filename,
+				File:           relFile(loader.ModuleRoot(), d.Pos.Filename),
 				Line:           d.Pos.Line,
 				Column:         d.Pos.Column,
 				Message:        d.Message,
@@ -172,6 +191,18 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// relFile renders file relative to the module root with forward slashes,
+// so NDJSON lint artifacts are byte-identical across machines and
+// checkouts. Files outside the module keep their absolute path.
+func relFile(root, file string) string {
+	if root != "" {
+		if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(file)
 }
 
 // interrupted reports a canceled analysis and picks the driver-error

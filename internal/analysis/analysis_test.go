@@ -15,7 +15,7 @@ import (
 // TestRegistry pins the public check surface: the nine DP checks must all
 // be registered and default to error severity.
 func TestRegistry(t *testing.T) {
-	want := []string{"acctlint", "epscheck", "errdrop", "expdomain", "floateq", "maprange", "postproc", "rawrand", "sensann", "twophase"}
+	want := []string{"acctlint", "epsbound", "epscheck", "errdrop", "expdomain", "floateq", "lockcheck", "maprange", "postproc", "rawrand", "sensann", "twophase"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("registered %d checks, want %d", len(got), len(want))
@@ -152,6 +152,8 @@ func TestSensAnnGolden(t *testing.T)   { golden(t, "sensann") }
 func TestAcctLintGolden(t *testing.T)  { golden(t, "acctlint") }
 func TestPostProcGolden(t *testing.T)  { golden(t, "postproc") }
 func TestTwoPhaseGolden(t *testing.T)  { golden(t, "twophase") }
+func TestEpsBoundGolden(t *testing.T)  { golden(t, "epsbound") }
+func TestLockcheckGolden(t *testing.T) { golden(t, "lockcheck") }
 
 // writeFixtureModule lays out a throwaway module so suppression handling
 // can be tested against exact line arithmetic.

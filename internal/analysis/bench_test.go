@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// benchPkgs loads the repository module once and shares it across the
+// benchmarks: the load (parse + type-check from source) is measured by
+// its own benchmark, and the analysis benchmarks measure analysis only.
+var benchPkgs = struct {
+	once sync.Once
+	pkgs []*Package
+	root string
+	err  error
+}{}
+
+func loadBenchPkgs(b *testing.B) ([]*Package, string) {
+	b.Helper()
+	benchPkgs.once.Do(func() {
+		loader, err := NewLoader(".")
+		if err != nil {
+			benchPkgs.err = err
+			return
+		}
+		benchPkgs.root = loader.ModuleRoot()
+		benchPkgs.pkgs, benchPkgs.err = loader.LoadPatterns([]string{"./..."}, false)
+	})
+	if benchPkgs.err != nil {
+		b.Fatal(benchPkgs.err)
+	}
+	return benchPkgs.pkgs, benchPkgs.root
+}
+
+// BenchmarkLoadModule measures the from-source parse + type-check of the
+// whole module, the fixed cost every lint invocation pays first.
+func BenchmarkLoadModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := loader.LoadPatterns([]string{"./..."}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllChecks measures one full multi-check sweep over the
+// module — the steady-state cost of `dplearn-lint ./...` after loading.
+// Each iteration builds a fresh Program, so interprocedural caches
+// (call graph, epsbound summaries) are rebuilt, not amortized away.
+func BenchmarkRunAllChecks(b *testing.B) {
+	pkgs, _ := loadBenchPkgs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunCtx(context.Background(), pkgs, Analyzers()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBudgetCertificates measures the -certify path: call-graph
+// construction plus bottom-up symbolic summaries for every entry point.
+func BenchmarkBudgetCertificates(b *testing.B) {
+	pkgs, root := loadBenchPkgs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if certs := BudgetCertificates(pkgs, root); len(certs) == 0 {
+			b.Fatal("no certificates")
+		}
+	}
+}

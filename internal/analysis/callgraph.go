@@ -40,6 +40,11 @@ type Program struct {
 	// obsIdx caches each package's //dp:observer index for cross-package
 	// observer propagation (lazily built by isObserverFunc).
 	obsIdx map[*Package]observerIndex
+
+	// epsState is the epsbound summary cache: per-function budget-bound
+	// summaries shared by the lint pass and BudgetCertificates (lazily
+	// built by epsBound).
+	epsState *epsBoundState
 }
 
 // FuncNode is one declared function or method in the call graph.

@@ -1,0 +1,776 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockcheck is the guarded-by analysis for the concurrency-critical
+// types of the release pipeline (mechanism.Accountant and Reservation,
+// the obs registry/ledger/tracer, the gibbs risk cache, the checkpoint
+// log, core.Learner's fallback cache). It works in two phases over each
+// package:
+//
+//  1. Inference. A named struct type with a sync.Mutex/RWMutex field is
+//     a guarded struct. For every function the analysis runs a forward
+//     lock-state dataflow over the PR-6 CFG (which mutexes of which
+//     variable are held, and at what level) and records every field
+//     access together with the lock state it ran under. A field written
+//     at least once with a mutex of the same struct held is inferred to
+//     be guarded by that mutex.
+//
+//  2. Checking. Every access to a guarded field must hold one of its
+//     guards: writes need the exclusive level (Lock), reads either
+//     level (Lock or RLock). A violating access is reported with a
+//     witness path from function entry to the access.
+//
+// Escape hatches, in decreasing order of preference:
+//
+//   - sync/atomic fields (atomic.Bool, atomic.Uint64, …) and &field
+//     arguments to sync/atomic calls are exempt — the whole point of an
+//     atomic field is lock-free access.
+//   - Constructor-before-publication: accesses through a variable the
+//     function itself built from a composite literal (or new) are
+//     exempt; the object cannot be shared before it escapes.
+//   - Methods named *Locked document the caller-holds-the-lock
+//     convention; they are analyzed with every receiver mutex held.
+//   - A deferred Unlock never kills the lock state: the mutex is held
+//     until the function returns, including along panic edges.
+//   - //dp:guardedby <mutex> <reason> on a field forces the guard;
+//     //dp:guardedby none <reason> exempts the field (for fields that
+//     are immutable after construction or externally synchronized).
+//
+// Function literals are not analyzed in place: a closure body runs at an
+// unknown time under unknown locks, so charging it to the lexical lock
+// state would be wrong in both directions. Fields only ever touched
+// inside closures (sync.Once init bodies, observer callbacks) are
+// therefore out of scope per the same conservatism.
+
+// guardedByPrefix anchors the field annotation, L/L+1 like the other
+// directive indexes: the directive suppresses on its own line and the
+// line below, so it can sit above the field or at the end of its line.
+const guardedByPrefix = "//dp:guardedby"
+
+// lockKey names one mutex instance in the lock-state fact: a specific
+// variable (receiver, parameter, or local) paired with the name of the
+// mutex field held through it.
+type lockKey struct {
+	base  types.Object
+	field string
+}
+
+// Lock levels: 0 (absent from the map) = not held, lockRead = RLock
+// held, lockWrite = Lock held.
+const (
+	lockRead  = 1
+	lockWrite = 2
+)
+
+// lockFact maps held mutexes to their level. nil is bottom
+// (unreachable); a reachable fact is non-nil even when empty.
+type lockFact map[lockKey]int
+
+func (f lockFact) clone() lockFact {
+	if f == nil {
+		return nil
+	}
+	c := make(lockFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// guardedStruct is the per-type result of discovery and inference.
+type guardedStruct struct {
+	named *types.Named
+	// mutexes are the names of the sync.Mutex/RWMutex fields.
+	mutexes []string
+	// candidates are the mutable fields eligible for guarding (not
+	// mutexes, not atomics, not annotated "none").
+	candidates map[string]bool
+	// guards maps a candidate field to the set of mutexes inferred or
+	// annotated to protect it. A field absent from guards is unguarded
+	// and its accesses are not checked.
+	guards map[string]map[string]bool
+	// annotated marks fields whose guard set was forced by a
+	// //dp:guardedby directive; inference never widens those.
+	annotated map[string]bool
+	// fieldPos locates each field declaration (for annotation findings).
+	fieldPos map[string]token.Pos
+}
+
+// fieldAccess is one recorded access to a candidate field, with the
+// lock state observed immediately before the access's node executed.
+type fieldAccess struct {
+	sel    *ast.SelectorExpr
+	base   types.Object
+	gs     *guardedStruct
+	field  string
+	write  bool
+	held   lockFact
+	fn     *ast.FuncDecl
+	cfgRef *cfg
+	node   ast.Node
+}
+
+var Lockcheck = register(&Analyzer{
+	Name:     "lockcheck",
+	Doc:      "accesses to mutex-guarded struct fields must hold the inferred guard",
+	Severity: Error,
+	Run:      runLockcheck,
+})
+
+func runLockcheck(p *Pass) {
+	pkg := p.Pkg
+	structs := discoverGuardedStructs(pkg)
+	if len(structs) == 0 {
+		return
+	}
+	annotateGuards(p, pkg, structs)
+
+	// Pass 1: run the lock dataflow over every function, recording every
+	// candidate-field access with its lock state.
+	var accesses []*fieldAccess
+	for _, file := range pkg.Files {
+		filename := pkg.Fset.Position(file.Pos()).Filename
+		if isTestFilename(filename) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			accesses = append(accesses, collectLockAccesses(pkg, fd, structs)...)
+		}
+	}
+
+	// Pass 2: inference. A write with a same-struct mutex exclusively
+	// held marks the field guarded by that mutex. Annotated guards are
+	// already in place and are never widened by inference.
+	for _, acc := range accesses {
+		if !acc.write {
+			continue
+		}
+		if acc.gs.annotated[acc.field] {
+			continue
+		}
+		for _, m := range heldMutexes(acc, lockWrite) {
+			g := acc.gs.guards[acc.field]
+			if g == nil {
+				g = make(map[string]bool)
+				acc.gs.guards[acc.field] = g
+			}
+			g[m] = true
+		}
+	}
+
+	// Pass 3: checking. Every access to a guarded field must hold one of
+	// its guards at the required level.
+	seen := make(map[string]bool)
+	for _, acc := range accesses {
+		guards := acc.gs.guards[acc.field]
+		if len(guards) == 0 {
+			continue
+		}
+		need := lockRead
+		verb := "read"
+		if acc.write {
+			need = lockWrite
+			verb = "write"
+		}
+		ok := false
+		for m := range guards {
+			if acc.held[lockKey{base: acc.base, field: m}] >= need {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			continue
+		}
+		pos := pkg.Fset.Position(acc.sel.Pos())
+		key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, acc.field)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		var trace []string
+		if blk := blockContainingNode(acc.cfgRef, acc.node); blk != nil {
+			if path := acc.cfgRef.witnessPath(acc.cfgRef.Entry, blk, nil); path != nil {
+				trace = acc.cfgRef.trace(pkg.Fset, path)
+			}
+		}
+		p.ReportTrace(acc.sel.Pos(), trace,
+			"%s of %s.%s without holding %s (guarded field; see //dp:guardedby)",
+			verb, acc.gs.named.Obj().Name(), acc.field, guardNames(guards))
+	}
+}
+
+// guardNames renders a guard set deterministically ("mu" or "mu or rw").
+func guardNames(guards map[string]bool) string {
+	names := make([]string, 0, len(guards))
+	for m := range guards {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return strings.Join(names, " or ")
+}
+
+// heldMutexes returns the mutex fields of acc's own struct held through
+// acc's base variable at the given level or stronger, sorted.
+func heldMutexes(acc *fieldAccess, need int) []string {
+	var out []string
+	for _, m := range acc.gs.mutexes {
+		if acc.held[lockKey{base: acc.base, field: m}] >= need {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Discovery and annotations.
+
+// isMutexFieldType reports whether t is a sync.Mutex/RWMutex (by package
+// path, or structurally for fixture stubs that name a Lock/Unlock pair
+// the same way).
+func isMutexFieldType(t types.Type) bool {
+	name := namedName(t)
+	if name != "Mutex" && name != "RWMutex" {
+		return false
+	}
+	if definedInPackage(t, "sync") {
+		return true
+	}
+	return hasMethod(t, "Lock") && hasMethod(t, "Unlock")
+}
+
+// isSyncExempt reports whether a field of type t is exempt from
+// guarding: the sync package's own coordination types and everything in
+// sync/atomic manage their own synchronization.
+func isSyncExempt(t types.Type) bool {
+	if definedInPackage(t, "sync") || definedInPackage(t, "sync/atomic") {
+		return true
+	}
+	// Structural fallback for fixture stubs: atomics expose Load+Store,
+	// a Once exposes Do.
+	if hasMethod(t, "Load") && hasMethod(t, "Store") {
+		return true
+	}
+	return namedName(t) == "Once" && hasMethod(t, "Do")
+}
+
+// definedInPackage reports whether t's named type (behind pointers) is
+// defined in the package with the given import path.
+func definedInPackage(t types.Type, path string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == path
+}
+
+// discoverGuardedStructs finds the package-scope named struct types
+// with a mutex field and computes their candidate field sets.
+func discoverGuardedStructs(pkg *Package) map[*types.Named]*guardedStruct {
+	out := make(map[*types.Named]*guardedStruct)
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		gs := &guardedStruct{
+			named:      named,
+			candidates: make(map[string]bool),
+			guards:     make(map[string]map[string]bool),
+			annotated:  make(map[string]bool),
+			fieldPos:   make(map[string]token.Pos),
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			gs.fieldPos[f.Name()] = f.Pos()
+			if isMutexFieldType(f.Type()) {
+				gs.mutexes = append(gs.mutexes, f.Name())
+				continue
+			}
+			if isSyncExempt(f.Type()) {
+				continue
+			}
+			gs.candidates[f.Name()] = true
+		}
+		if len(gs.mutexes) > 0 {
+			out[named] = gs
+		}
+	}
+	return out
+}
+
+// annotateGuards applies //dp:guardedby directives to the discovered
+// structs: they sit on the field declaration line or the line above,
+// matching the loopbound/sensitivity anchoring idiom. Malformed
+// directives — no mutex name, unknown mutex name, or no reason — are
+// findings: an unexplained escape hatch is how guarded fields rot.
+func annotateGuards(p *Pass, pkg *Package, structs map[*types.Named]*guardedStruct) {
+	type ann struct {
+		mutex  string
+		reason string
+		pos    token.Pos
+	}
+	idx := make(map[string]*ann) // "filename:line" -> directive
+	var all []*ann
+	for _, file := range pkg.Files {
+		filename := pkg.Fset.Position(file.Pos()).Filename
+		if isTestFilename(filename) {
+			continue
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, guardedByPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, guardedByPrefix))
+				fields := strings.Fields(rest)
+				a := &ann{pos: c.Pos()}
+				if len(fields) >= 1 {
+					a.mutex = fields[0]
+				}
+				if len(fields) >= 2 {
+					a.reason = strings.Join(fields[1:], " ")
+				}
+				all = append(all, a)
+				line := pkg.Fset.Position(c.Pos()).Line
+				idx[fmt.Sprintf("%s:%d", filename, line)] = a
+				idx[fmt.Sprintf("%s:%d", filename, line+1)] = a
+			}
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	used := make(map[*ann]bool)
+	for _, gs := range structs {
+		for field, pos := range gs.fieldPos {
+			fp := pkg.Fset.Position(pos)
+			a := idx[fmt.Sprintf("%s:%d", fp.Filename, fp.Line)]
+			if a == nil {
+				continue
+			}
+			used[a] = true
+			if a.mutex == "" || a.reason == "" {
+				p.Reportf(a.pos, "malformed //dp:guardedby directive: want //dp:guardedby <mutex|none> <reason>")
+				continue
+			}
+			if a.mutex == "none" {
+				delete(gs.candidates, field)
+				continue
+			}
+			known := false
+			for _, m := range gs.mutexes {
+				if m == a.mutex {
+					known = true
+					break
+				}
+			}
+			if !known {
+				p.Reportf(a.pos, "//dp:guardedby names unknown mutex %q on %s.%s (mutex fields: %s)",
+					a.mutex, gs.named.Obj().Name(), field, strings.Join(gs.mutexes, ", "))
+				continue
+			}
+			gs.guards[field] = map[string]bool{a.mutex: true}
+			gs.annotated[field] = true
+		}
+	}
+	for _, a := range all {
+		if !used[a] {
+			p.Reportf(a.pos, "//dp:guardedby directive is not anchored to a field of a mutex-holding struct")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-function lock dataflow.
+
+// lockFlow is the flowAnalysis tracking which mutexes are held. Facts
+// grow DOWNWARD through Merge (intersection): a mutex counts as held at
+// a point only if it is held on every path reaching it.
+type lockFlow struct {
+	pkg   *Package
+	entry lockFact
+}
+
+func (lf *lockFlow) Bottom() any { return lockFact(nil) }
+func (lf *lockFlow) Entry() any  { return lf.entry.clone() }
+
+func (lf *lockFlow) Merge(a, b any) any {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if fa == nil {
+		return fb
+	}
+	if fb == nil {
+		return fa
+	}
+	m := make(lockFact)
+	for k, va := range fa {
+		if vb, ok := fb[k]; ok {
+			if vb < va {
+				m[k] = vb
+			} else {
+				m[k] = va
+			}
+		}
+	}
+	return m
+}
+
+func (lf *lockFlow) Equal(a, b any) bool {
+	fa, fb := a.(lockFact), b.(lockFact)
+	if fa == nil || fb == nil {
+		return (fa == nil) == (fb == nil)
+	}
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if fb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (lf *lockFlow) Refine(e cfgEdge, f any) any { return f }
+
+func (lf *lockFlow) Step(n ast.Node, f any) any {
+	fact := f.(lockFact)
+	if fact == nil {
+		return fact
+	}
+	// A deferred Unlock runs at function exit, not here: the mutex stays
+	// held through the rest of the body and along panic edges, so a
+	// DeferStmt transfers nothing.
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return fact
+	}
+	out := fact
+	cloned := false
+	mutate := func() lockFact {
+		if !cloned {
+			out = fact.clone()
+			cloned = true
+		}
+		return out
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, method, ok := lf.mutexOp(call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Lock":
+			mutate()[key] = lockWrite
+		case "RLock":
+			if out[key] < lockRead {
+				mutate()[key] = lockRead
+			}
+		case "Unlock", "RUnlock":
+			if _, held := out[key]; held {
+				delete(mutate(), key)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp recognizes base.mu.Lock() / RLock / Unlock / RUnlock where
+// base is a plain variable and mu a mutex-typed field, and returns the
+// lock key plus the method name.
+func (lf *lockFlow) mutexOp(call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	inner, ok := unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	if !isMutexFieldType(lf.pkg.Info.TypeOf(inner)) {
+		return lockKey{}, "", false
+	}
+	baseID, ok := unparen(inner.X).(*ast.Ident)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	obj := lf.pkg.Info.ObjectOf(baseID)
+	if _, isVar := obj.(*types.Var); !isVar {
+		return lockKey{}, "", false
+	}
+	return lockKey{base: obj, field: inner.Sel.Name}, method, true
+}
+
+// ---------------------------------------------------------------------------
+// Access collection.
+
+// collectLockAccesses runs the lock dataflow over fd and records every
+// candidate-field access with the lock state in force when its
+// enclosing node executes.
+func collectLockAccesses(pkg *Package, fd *ast.FuncDecl, structs map[*types.Named]*guardedStruct) []*fieldAccess {
+	entry := make(lockFact)
+	if recvObj, gs := receiverStruct(pkg, fd, structs); gs != nil && strings.HasSuffix(fd.Name.Name, "Locked") {
+		// The *Locked naming convention: the caller holds every receiver
+		// mutex exclusively for the duration of the call.
+		for _, m := range gs.mutexes {
+			entry[lockKey{base: recvObj, field: m}] = lockWrite
+		}
+	}
+	lf := &lockFlow{pkg: pkg, entry: entry}
+	c := buildCFG(fd.Body, cfgOptions{})
+	in := solveForward(c, lf)
+
+	constructed := locallyConstructed(pkg, fd)
+
+	var out []*fieldAccess
+	for _, blk := range c.Blocks {
+		fact, _ := in[blk].(lockFact)
+		if fact == nil {
+			continue // unreachable
+		}
+		cur := fact
+		for _, n := range blk.Nodes {
+			for _, acc := range nodeFieldAccesses(pkg, n, structs) {
+				if constructed[acc.base] {
+					continue // constructor-before-publication
+				}
+				acc.held = cur.clone()
+				acc.fn = fd
+				acc.cfgRef = c
+				acc.node = n
+				out = append(out, acc)
+			}
+			cur = lf.Step(n, cur).(lockFact)
+		}
+	}
+	return out
+}
+
+// receiverStruct resolves fd's receiver to a guarded struct, if it is a
+// method on one.
+func receiverStruct(pkg *Package, fd *ast.FuncDecl, structs map[*types.Named]*guardedStruct) (types.Object, *guardedStruct) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil, nil
+	}
+	id := fd.Recv.List[0].Names[0]
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return nil, nil
+	}
+	if gs := guardedStructOf(obj.Type(), structs); gs != nil {
+		return obj, gs
+	}
+	return nil, nil
+}
+
+// guardedStructOf resolves t (behind pointers) to a discovered guarded
+// struct.
+func guardedStructOf(t types.Type, structs map[*types.Named]*guardedStruct) *guardedStruct {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return structs[named]
+}
+
+// locallyConstructed returns the objects fd assigns from a composite
+// literal, &composite, or new(T): accesses through them are exempt
+// (the object has not been published when the function builds it).
+func locallyConstructed(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if !isConstructionExpr(unparen(rhs)) {
+			return
+		}
+		if obj := pkg.Info.ObjectOf(id); obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range st.Lhs {
+				if i < len(st.Rhs) {
+					mark(l, st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i < len(st.Values) {
+					mark(name, st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isConstructionExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeFieldAccesses extracts the candidate-field accesses a node
+// performs: base.field selections where base is a plain variable of a
+// guarded struct type. Writes are assignment targets, inc/dec operands,
+// and address-taken fields (except &field handed to sync/atomic).
+func nodeFieldAccesses(pkg *Package, n ast.Node, structs map[*types.Named]*guardedStruct) []*fieldAccess {
+	writes := make(map[*ast.SelectorExpr]bool)
+	exempt := make(map[ast.Node]bool)
+
+	markTarget := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				writes[x] = true
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := m.(type) {
+		case *ast.AssignStmt:
+			for _, l := range st.Lhs {
+				markTarget(l)
+			}
+		case *ast.IncDecStmt:
+			markTarget(st.X)
+		case *ast.UnaryExpr:
+			if st.Op == token.AND {
+				markTarget(st.X)
+			}
+		case *ast.CallExpr:
+			if isAtomicPkgCall(pkg, st) {
+				// &field arguments to sync/atomic calls are the atomic
+				// idiom, not races.
+				for _, a := range st.Args {
+					if u, ok := unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						exempt[a] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []*fieldAccess
+	ast.Inspect(n, func(m ast.Node) bool {
+		if exempt[m] {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		baseID, ok := unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.ObjectOf(baseID)
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		gs := guardedStructOf(obj.Type(), structs)
+		if gs == nil || !gs.candidates[sel.Sel.Name] {
+			return true
+		}
+		out = append(out, &fieldAccess{
+			sel:   sel,
+			base:  obj,
+			gs:    gs,
+			field: sel.Sel.Name,
+			write: writes[sel],
+		})
+		return true
+	})
+	return out
+}
+
+// isAtomicPkgCall reports whether call invokes a function from
+// sync/atomic (atomic.AddInt64, atomic.StorePointer, …).
+func isAtomicPkgCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}

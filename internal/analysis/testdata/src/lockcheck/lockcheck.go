@@ -1,0 +1,95 @@
+// Package lockcheck exercises the guarded-by inference: a field written
+// at least once with a same-struct mutex held is guarded, and every
+// other access must hold that mutex (writes exclusively, reads at
+// either level).
+package lockcheck
+
+import "sync"
+
+// Store infers counter's guard from Inc, which writes under mu.
+type Store struct {
+	mu      sync.Mutex
+	counter int
+}
+
+func (s *Store) Inc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counter++
+}
+
+func (s *Store) Racy() int {
+	return s.counter // want "read of Store.counter without holding mu"
+}
+
+func (s *Store) RacyWrite() {
+	s.counter = 0 // want "write of Store.counter without holding mu"
+}
+
+// HalfGuarded only locks on one path; the merge at the join point drops
+// the lock, so the write below is unprotected on the other path. (The
+// name deliberately avoids the *Locked caller-holds-lock convention.)
+func (s *Store) HalfGuarded(b bool) {
+	if b {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	s.counter++ // want "write of Store.counter without holding mu"
+}
+
+// UnlockEarly releases the mutex before the read it was protecting.
+func (s *Store) UnlockEarly() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.counter // want "read of Store.counter without holding mu"
+}
+
+// bumpLocked documents the caller-holds-mu convention by name; it is
+// analyzed with the receiver's mutexes held, so no finding.
+func (s *Store) bumpLocked() {
+	s.counter++
+}
+
+// RW distinguishes read and write lock levels: data is written under
+// the exclusive lock, so a write under RLock is still a finding.
+type RW struct {
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+func (r *RW) Set(k string, v int) {
+	r.rw.Lock()
+	defer r.rw.Unlock()
+	r.data[k] = v
+}
+
+func (r *RW) Get(k string) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.data[k]
+}
+
+func (r *RW) SetUnderRead(k string, v int) {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	r.data[k] = v // want "write of RW.data without holding rw"
+}
+
+// Annotated forces a guard that inference alone could not see (hits is
+// never written in-package with mu held) and exempts an
+// immutable-after-construction field.
+type Annotated struct {
+	mu sync.Mutex
+	//dp:guardedby mu hit counts are written by generated code that locks mu
+	hits int
+	//dp:guardedby none immutable after construction
+	label string
+}
+
+func (a *Annotated) Hits() int {
+	return a.hits // want "read of Annotated.hits without holding mu"
+}
+
+func (a *Annotated) Label() string {
+	return a.label
+}

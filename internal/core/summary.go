@@ -122,6 +122,7 @@ func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*Private
 	// exponential mechanism's guarantee is 2·mechEps·Δq with Δq = 1.
 	quantiles := make(map[float64]float64, len(cfg.Quantiles))
 	perQ := part / float64(len(cfg.Quantiles))
+	//dp:loopbound k=len(cfg.Quantiles)
 	for _, p := range cfg.Quantiles {
 		qm, grid, err := mechanism.PrivateQuantile(cfg.Feature, p, cfg.QuantileGrid, perQ/2)
 		if err != nil {

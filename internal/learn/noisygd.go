@@ -71,6 +71,7 @@ func NoisyGD(d *dataset.Dataset, dim int, grad func(theta []float64, e dataset.E
 	theta := make([]float64, dim)
 	sum := make([]float64, dim)
 	var acct mechanism.Accountant
+	//dp:loopbound k=cfg.Steps
 	for t := 0; t < cfg.Steps; t++ {
 		for j := range sum {
 			sum[j] = 0

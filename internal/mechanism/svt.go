@@ -120,8 +120,10 @@ func PrivateQuantile(j int, p float64, candidates []float64, epsilon float64) (*
 // PrivateRange privately estimates an interval [lo, hi] containing the
 // central `coverage` mass of feature j (e.g. coverage = 0.9 gives the
 // 5th and 95th percentiles), by two PrivateQuantile selections, each with
-// half the budget. The release is ε-DP by basic composition; both halves
-// are registered with acct (nil to skip accounting).
+// half the budget. Each selection receives a mechanism ε of epsilon/4, so
+// its exponential-mechanism guarantee (2·ε·Δq with Δq = 1) quotes
+// epsilon/2 and the release is ε-DP in total by basic composition; both
+// halves are registered with acct (nil to skip accounting).
 func PrivateRange(d *dataset.Dataset, j int, coverage float64, candidates []float64, epsilon float64, acct *Accountant, g *rng.RNG) (lo, hi float64, err error) {
 	if epsilon <= 0 || math.IsNaN(epsilon) {
 		return 0, 0, ErrInvalidEpsilon
@@ -130,11 +132,11 @@ func PrivateRange(d *dataset.Dataset, j int, coverage float64, candidates []floa
 		return 0, 0, errors.New("mechanism: PrivateRange needs coverage in (0,1)")
 	}
 	tail := (1 - coverage) / 2
-	mLo, grid, err := PrivateQuantile(j, tail, candidates, epsilon/2)
+	mLo, grid, err := PrivateQuantile(j, tail, candidates, epsilon/4)
 	if err != nil {
 		return 0, 0, err
 	}
-	mHi, _, err := PrivateQuantile(j, 1-tail, candidates, epsilon/2)
+	mHi, _, err := PrivateQuantile(j, 1-tail, candidates, epsilon/4)
 	if err != nil {
 		return 0, 0, err
 	}
