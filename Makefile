@@ -40,14 +40,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzzing pass over the log-domain primitives (one -fuzz target
-# per invocation, as `go test` requires). Override FUZZTIME for longer
-# campaigns, e.g. `make fuzz-smoke FUZZTIME=2m`.
+# Short fuzzing pass over the log-domain primitives and the W3C
+# traceparent parser (one -fuzz target per invocation, as `go test`
+# requires). Override FUZZTIME for longer campaigns, e.g.
+# `make fuzz-smoke FUZZTIME=2m`.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogAddExp$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogSumExp$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogNormalize$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime $(FUZZTIME)
 
 # Chaos battery: deterministic fault injection (worker panics, budget
 # denials, NaN risks, checkpoint-write failures) plus the robustness
@@ -64,19 +66,25 @@ chaos:
 serve-test:
 	$(GO) test -race ./internal/serve
 
-# Serving benchmark: boot dplearn-serve on a free port, drive the
-# deterministic loadgen mix across two tenants, SIGINT the server (a
-# graceful drain that cross-checks every tenant's ledger), and leave
-# BENCH_serve.json (QPS, p50/p95/p99 latency, admission-reject rate).
-# Override SERVE_REQUESTS / SERVE_SEED for longer campaigns.
+# Serving benchmark: boot dplearn-serve on a free port with tracing and
+# the ε-attributed access log on, drive the deterministic loadgen mix
+# across two tenants (loadgen injects a derived traceparent per request),
+# SIGINT the server (a graceful drain that cross-checks every tenant's
+# ledger), verify the trace/ledger/access-log join with dplearn-trace
+# -check, and leave BENCH_serve.json (QPS, p50/p95/p99 latency with
+# exemplar trace ids, admission-reject rate) plus serve_trace.ndjson and
+# serve_access.ndjson. Override SERVE_REQUESTS / SERVE_SEED for longer
+# campaigns.
 SERVE_REQUESTS ?= 1000
 SERVE_SEED ?= 1
 bench-serve:
 	$(GO) build -o bin/dplearn-serve ./cmd/dplearn-serve
 	$(GO) build -o bin/dplearn-loadgen ./cmd/dplearn-loadgen
+	$(GO) build -o bin/dplearn-trace ./cmd/dplearn-trace
 	@rm -f serve.addr; \
 	./bin/dplearn-serve -addr localhost:0 -addr-file serve.addr \
-	  -tenants "alpha=6,beta=2.5" -degrade refuse -timeout 300s & \
+	  -tenants "alpha=6,beta=2.5" -degrade refuse -timeout 300s \
+	  -trace serve_trace.ndjson -access-log serve_access.ndjson & \
 	serve_pid=$$!; \
 	for i in $$(seq 1 100); do [ -s serve.addr ] && break; sleep 0.1; done; \
 	[ -s serve.addr ] || { echo "bench-serve: server never published its address"; kill $$serve_pid; exit 1; }; \
@@ -85,7 +93,8 @@ bench-serve:
 	load_status=$$?; \
 	kill -INT $$serve_pid; wait $$serve_pid; serve_status=$$?; \
 	rm -f serve.addr; \
-	exit $$((load_status + serve_status))
+	./bin/dplearn-trace -check serve_trace.ndjson serve_access.ndjson; check_status=$$?; \
+	exit $$((load_status + serve_status + check_status))
 
 cover:
 	$(GO) test -cover ./...

@@ -12,6 +12,14 @@
 // affects timing, never payloads). After the run the generator audits
 // every tenant's books via /v1/crosscheck; a failed audit exits
 // non-zero.
+//
+// Every request carries a W3C traceparent header whose trace id is
+// derived deterministically from the request's seed (disable with
+// -no-traceparent), so a traced server run can be joined request-for-
+// request to this generator's stream, and BENCH_serve.json names the
+// exact trace ids sitting at the p95/p99 latencies. The shared obsglue
+// flags (-trace / -metrics-addr / -pprof) additionally capture the
+// client's side of every request as a span in the same trace ids.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -28,6 +37,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obsglue"
 	"repro/internal/rng"
 	"repro/internal/serve"
 )
@@ -37,6 +48,9 @@ type request struct {
 	tenant   string
 	endpoint string
 	body     []byte
+	// tc is the deterministic trace context injected as the request's
+	// traceparent header (invalid when injection is disabled).
+	tc obs.TraceContext
 }
 
 // outcome is the measured result of one request.
@@ -44,6 +58,7 @@ type outcome struct {
 	code     int
 	degraded bool
 	millis   float64
+	trace    string
 }
 
 func main() {
@@ -58,6 +73,9 @@ func main() {
 	dim := flag.Int("dim", 2, "feature dimension (must match the server's -dim)")
 	degrade := flag.String("degrade", "", "degrade override stamped on fit requests (refuse|fallback|widen; empty = tenant default)")
 	out := flag.String("out", "BENCH_serve.json", "bench artifact path")
+	noTrace := flag.Bool("no-traceparent", false, "do not inject deterministic traceparent headers")
+	var obsFlags obsglue.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *addr == "" || *tenants == "" {
@@ -74,7 +92,16 @@ func main() {
 		fatal(err)
 	}
 
-	reqs, err := generate(*seed, *requests, ids, endpoints, weights, *rows, *dim, *reqEps, *degrade)
+	glueFlags := obsFlags
+	if glueFlags.MetricsAddr == "" {
+		glueFlags.Pprof = false // nothing to mount pprof on without an address
+	}
+	rt, err := obsglue.Start(glueFlags)
+	if err != nil {
+		fatal(err)
+	}
+
+	reqs, err := generate(*seed, *requests, ids, endpoints, weights, *rows, *dim, *reqEps, *degrade, !*noTrace)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,7 +119,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				outcomes[i] = issue(client, base, reqs[i])
+				outcomes[i] = issue(client, base, rt.Obs, reqs[i])
 			}
 		}()
 	}
@@ -134,6 +161,9 @@ func main() {
 		fatal(fmt.Errorf("tenant ledger cross-check FAILED"))
 	}
 	fmt.Fprintln(os.Stderr, "dplearn-loadgen: all tenant ledgers cross-check clean")
+	if err := rt.Close(os.Stderr); err != nil {
+		fatal(err)
+	}
 	if stats.Errors > 0 {
 		fatal(fmt.Errorf("%d request(s) failed with unexpected statuses", stats.Errors))
 	}
@@ -175,7 +205,10 @@ func parseMix(s string) ([]string, []float64, error) {
 }
 
 // generate pre-builds the full request stream from the master seed.
-func generate(seed int64, n int, ids, endpoints []string, weights []float64, rows, dim int, reqEps float64, degrade string) ([]request, error) {
+// When inject is true every request carries a TraceContext derived
+// deterministically from its seed, so the trace ids a traced server
+// emits are reproducible from the generator's configuration alone.
+func generate(seed int64, n int, ids, endpoints []string, weights []float64, rows, dim int, reqEps float64, degrade string, inject bool) ([]request, error) {
 	master := rng.New(seed)
 	reqs := make([]request, n)
 	for i := range reqs {
@@ -211,6 +244,9 @@ func generate(seed int64, n int, ids, endpoints []string, weights []float64, row
 			return nil, err
 		}
 		reqs[i] = request{tenant: tenant, endpoint: endpoint, body: body}
+		if inject {
+			reqs[i].tc = obs.DeriveTraceContext(reqSeed)
+		}
 	}
 	return reqs, nil
 }
@@ -233,12 +269,26 @@ func synthData(g *rng.RNG, rows, dim int) serve.DataJSON {
 	return d
 }
 
-// issue sends one request and measures it.
-func issue(client *http.Client, base string, r request) outcome {
-	start := time.Now()
-	resp, err := client.Post(base+"/v1/"+r.endpoint, "application/json", bytes.NewReader(r.body))
+// issue sends one request and measures it. The request's trace context
+// (when valid) travels as the traceparent header, and the client's side
+// is captured as a request span under the same trace id when -trace is
+// on, so a merged client+server trace shows both halves of each call.
+func issue(client *http.Client, base string, o *obs.Observer, r request) outcome {
+	sp := o.RequestSpan(r.endpoint, r.tc)
+	sp.SetAttr("tenant", r.tenant)
+	defer sp.End()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/"+r.endpoint, bytes.NewReader(r.body))
 	if err != nil {
-		return outcome{code: 0, millis: float64(time.Since(start).Microseconds()) / 1000}
+		return outcome{code: 0, trace: r.tc.TraceID()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if r.tc.Valid() {
+		req.Header.Set("traceparent", r.tc.Traceparent())
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcome{code: 0, millis: float64(time.Since(start).Microseconds()) / 1000, trace: r.tc.TraceID()}
 	}
 	degraded := false
 	if r.endpoint == "fit" && resp.StatusCode == http.StatusOK {
@@ -250,7 +300,9 @@ func issue(client *http.Client, base string, r request) outcome {
 		_, _ = io.Copy(io.Discard, resp.Body) //dplint:ignore errdrop draining the body only recycles the connection
 	}
 	_ = resp.Body.Close() //dplint:ignore errdrop response already consumed; a close error cannot lose data
-	return outcome{code: resp.StatusCode, degraded: degraded, millis: float64(time.Since(start).Microseconds()) / 1000}
+	sp.SetAttr("status", resp.StatusCode)
+	return outcome{code: resp.StatusCode, degraded: degraded,
+		millis: float64(time.Since(start).Microseconds()) / 1000, trace: r.tc.TraceID()}
 }
 
 // aggregate folds the outcomes into the report stats.
@@ -298,6 +350,8 @@ func aggregate(reqs []request, outcomes []outcome, elapsed float64) *serve.LoadS
 	stats.P50Millis = serve.Percentile(latencies, 50)
 	stats.P95Millis = serve.Percentile(latencies, 95)
 	stats.P99Millis = serve.Percentile(latencies, 99)
+	stats.P95TraceID = traceAtPercentile(outcomes, 95)
+	stats.P99TraceID = traceAtPercentile(outcomes, 99)
 	if stats.Requests > 0 {
 		stats.AdmissionRejectRate = float64(stats.Rejected) / float64(stats.Requests)
 	}
@@ -311,6 +365,27 @@ func aggregate(reqs []request, outcomes []outcome, elapsed float64) *serve.LoadS
 	}
 	sort.Slice(stats.ByEndpoint, func(i, j int) bool { return stats.ByEndpoint[i].Endpoint < stats.ByEndpoint[j].Endpoint })
 	return stats
+}
+
+// traceAtPercentile returns the trace id of the request sitting exactly
+// at the nearest-rank p-th latency percentile — the same element
+// serve.Percentile reports the latency of — so the bench artifact's
+// tail numbers come with the join key into the trace stream. Empty when
+// traceparent injection was off.
+func traceAtPercentile(outcomes []outcome, p float64) string {
+	if len(outcomes) == 0 {
+		return ""
+	}
+	idx := make([]int, len(outcomes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return outcomes[idx[a]].millis < outcomes[idx[b]].millis })
+	rank := int(math.Ceil(p / 100 * float64(len(idx))))
+	if rank < 1 {
+		rank = 1
+	}
+	return outcomes[idx[rank-1]].trace
 }
 
 // crossCheck audits every tenant's books on the server.

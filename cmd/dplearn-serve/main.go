@@ -18,6 +18,15 @@
 //
 // -addr-file writes the bound address (useful with -addr :0) so
 // scripts can wait for readiness; see `make bench-serve`.
+//
+// Observability rides the shared obsglue flag surface: -trace writes
+// the NDJSON trace stream (request spans, release child spans, and
+// trace-stamped ledger lines — the input of dplearn-trace),
+// -metrics-addr serves /metrics on a separate endpoint, and -pprof
+// mounts /debug/pprof on the service mux (and on -metrics-addr when
+// set). -access-log writes one NDJSON "access" line per /v1 request:
+// trace id, tenant, endpoint, status, quoted vs. spent ε, reservation
+// outcome, and duration in logical ticks.
 package main
 
 import (
@@ -49,8 +58,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel worker cap for learner hot paths (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "drain and exit after this duration (0 = run until SIGINT)")
 	grace := flag.Duration("drain-grace", 10*time.Second, "how long drain waits for in-flight requests")
-	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds on 429/503 responses")
-	pprof := flag.Bool("pprof", false, "mount /debug/pprof on the service mux")
+	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds on 503 responses and floor of the burn-rate 429 hint")
+	accessLog := flag.String("access-log", "", "write one NDJSON access line per /v1 request to this file")
+	var obsFlags obsglue.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *tenants == "" {
@@ -67,10 +78,32 @@ func main() {
 		fatal(err)
 	}
 
-	// The service clock is logical: tick-based durations make the ledger
-	// and the dplearn_serve_ metric families deterministic functions of
-	// the request history (see the obs determinism contract).
-	o := &obs.Observer{Metrics: obs.NewRegistry(), Clock: &obs.LogicalClock{}}
+	// The service clock is logical (obsglue always injects a
+	// LogicalClock): tick-based durations make the ledger and the
+	// dplearn_serve_ metric families deterministic functions of the
+	// request history (see the obs determinism contract). When -pprof is
+	// given without -metrics-addr it mounts on the service mux alone, so
+	// only forward it to obsglue alongside an address.
+	glueFlags := obsFlags
+	if glueFlags.MetricsAddr == "" {
+		glueFlags.Pprof = false
+	}
+	rt, err := obsglue.Start(glueFlags)
+	if err != nil {
+		fatal(err)
+	}
+	o := rt.Obs
+
+	var alog *obs.AccessLog
+	var alogFile *os.File
+	if *accessLog != "" {
+		alogFile, err = os.Create(*accessLog)
+		if err != nil {
+			fatal(fmt.Errorf("access log: %w", err))
+		}
+		alog = obs.NewAccessLog(alogFile)
+	}
+
 	s, err := serve.New(serve.Config{
 		Tenants: cfgs,
 		Learner: serve.LearnerSpec{
@@ -83,7 +116,8 @@ func main() {
 		Observer:          o,
 		Workers:           *workers,
 		RetryAfterSeconds: *retryAfter,
-		Pprof:             *pprof,
+		Pprof:             obsFlags.Pprof,
+		AccessLog:         alog,
 	})
 	if err != nil {
 		fatal(err)
@@ -137,6 +171,18 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "dplearn-serve: all tenant ledgers cross-check clean")
+
+	if alogFile != nil {
+		if err := alog.Err(); err != nil {
+			fatal(fmt.Errorf("access log: %w", err))
+		}
+		if err := alogFile.Close(); err != nil {
+			fatal(fmt.Errorf("access log: %w", err))
+		}
+	}
+	if err := rt.Close(os.Stderr); err != nil {
+		fatal(err)
+	}
 }
 
 // writeAddrFile publishes the bound address atomically (write + rename)

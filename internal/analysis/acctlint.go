@@ -58,7 +58,7 @@ func runAcctLint(p *Pass) {
 			if recvHasGuarantee(p, fd) {
 				continue
 			}
-			if observers.isObserverScope(p.Pkg, fd) {
+			if observers.isObserverScope(p.Pkg, fd) || isAccessLogScope(p, fd) {
 				continue
 			}
 			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)

@@ -113,6 +113,39 @@ func isSpendCall(pkg *Package, call *ast.CallExpr) bool {
 	return namedName(sig.Params().At(0).Type()) == "Guarantee"
 }
 
+// isAccessLogger reports whether t is an access-logger type: a named
+// type carrying a Record method whose single parameter has a named type
+// AccessRecord. An access logger is telemetry plumbing — it transcribes
+// already-released, already-accounted request outcomes (trace id, status,
+// quoted vs. spent ε) into an NDJSON stream — so its methods are observer
+// scopes structurally, the same way a Release+Guarantee method pair makes
+// a type a mechanism: no //dp:observer comment required.
+func isAccessLogger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Record")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 {
+		return false
+	}
+	return namedName(sig.Params().At(0).Type()) == "AccessRecord"
+}
+
+// isAccessLogScope reports whether fd is a method of an access-logger
+// type: the structural half of the observer exemption, covering tracing
+// plumbing that acctlint/postproc/twophase must never flag.
+func isAccessLogScope(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return isAccessLogger(p.TypeOf(fd.Recv.List[0].Type))
+}
+
 // observerPrefix introduces a function-level observer exemption:
 //
 //	//dp:observer <reason>

@@ -45,7 +45,7 @@ func runPostProc(p *Pass) {
 		obsLits := observerArgLits(p.Pkg, p.Prog, file)
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				if observers.isObserverScope(p.Pkg, fd) {
+				if observers.isObserverScope(p.Pkg, fd) || isAccessLogScope(p, fd) {
 					continue
 				}
 				postProcScope(p, fd.Body, observers, obsLits)

@@ -287,3 +287,46 @@ func (c *Composite) Run(d *Dataset, g *RNG) float64 {
 	}
 	return s
 }
+
+// AccessRecord is one ε-attributed access-log line: the telemetry
+// payload an access logger transcribes per request.
+type AccessRecord struct {
+	Trace        string
+	SpentEpsilon float64
+}
+
+// AccessLog is an access logger: a named type carrying a Record method
+// whose single parameter is an AccessRecord. That shape makes every one
+// of its methods an observer scope structurally — tracing plumbing
+// transcribes already-accounted outcomes, it is not a release path — so
+// no //dp:observer comment is needed.
+type AccessLog struct {
+	lines []AccessRecord
+	probe Mech
+}
+
+// Record transcribes one line: the single-AccessRecord signature is the
+// shape anchor the structural exemption keys on.
+func (l *AccessLog) Record(r AccessRecord) { l.lines = append(l.lines, r) }
+
+// flush is another method of the same type and inherits the structural
+// exemption: its un-accounted release is a measurement, not a spend.
+func (l *AccessLog) flush(d *Dataset, g *RNG) float64 {
+	return l.probe.Release(d, g)
+}
+
+// Annotate re-samples the mechanism while stamping a line: exempt by
+// receiver shape even though the release never reaches a Spend.
+func (l *AccessLog) Annotate(r AccessRecord, d *Dataset, g *RNG) {
+	r.SpentEpsilon = l.probe.Release(d, g)
+	l.lines = append(l.lines, r)
+}
+
+// NotARecordLog has a Record method of the wrong shape (no AccessRecord
+// parameter), so it is not an access logger and stays checked.
+type NotARecordLog struct{ probe Mech }
+
+// Record here takes a plain string: no structural exemption.
+func (l *NotARecordLog) Record(line string, d *Dataset, g *RNG) float64 {
+	return l.probe.Release(d, g) // want "un-accounted release"
+}

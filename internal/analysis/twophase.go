@@ -43,7 +43,7 @@ func runTwoPhase(p *Pass) {
 		obsLits := observerArgLits(p.Pkg, p.Prog, file)
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				if observers.isObserverScope(p.Pkg, fd) {
+				if observers.isObserverScope(p.Pkg, fd) || isAccessLogScope(p, fd) {
 					continue
 				}
 				twoPhaseScope(p, fd.Body, observers, obsLits)

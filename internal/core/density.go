@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/mathx"
 	"repro/internal/mechanism"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -57,10 +59,24 @@ func (d *DensityEstimate) L1Distance(other *DensityEstimate) (float64, error) {
 // negatives are clamped to zero, and the result is normalized to a
 // density. The release is ε-DP by Theorem 2.1 plus post-processing; the
 // spent ε is registered with acct (nil to skip accounting).
+//
+//dplint:ignore epscheck thin wrapper: ε is forwarded verbatim to PrivateHistogramDensityCtx, which validates it via mechanism.NewLaplace
 func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon float64, acct *mechanism.Accountant, g *rng.RNG) (*DensityEstimate, error) {
+	return PrivateHistogramDensityCtx(context.Background(), d, j, bins, lo, hi, epsilon, acct, g)
+}
+
+// PrivateHistogramDensityCtx is PrivateHistogramDensity under a context:
+// when ctx carries a request span (the serve layer's tracing middleware
+// puts one there), the release runs under a child span and the ledger
+// record carries the request's trace id, joining the ε charge to the
+// request that caused it.
+func PrivateHistogramDensityCtx(ctx context.Context, d *dataset.Dataset, j, bins int, lo, hi, epsilon float64, acct *mechanism.Accountant, g *rng.RNG) (*DensityEstimate, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
+	sp := obs.SpanFromContext(ctx).Child("density.laplace")
+	sp.SetAttr("bins", bins)
+	defer sp.End()
 	q := mechanism.HistogramQuery(j, bins, lo, hi)
 	m, err := mechanism.NewLaplace(q, epsilon)
 	if err != nil {
@@ -76,6 +92,8 @@ func PrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi, epsilon fl
 		Mechanism:   "laplace",
 		Sensitivity: m.Query.L1Sensitivity,
 		Outcomes:    bins,
+		Span:        sp.ID(),
+		Trace:       sp.TraceID(),
 	})
 	var total float64
 	for i, v := range noisy {
@@ -119,13 +137,25 @@ func NonPrivateHistogramDensity(d *dataset.Dataset, j, bins int, lo, hi float64)
 // clipped to [−clip, 0] — a Gibbs-posterior density estimator in the
 // spirit of the paper's Section 5. The release is ε-DP; the spent ε is
 // registered with acct (nil to skip accounting).
+//
+//dplint:ignore epscheck thin wrapper: ε is forwarded verbatim to GibbsHistogramDensityCtx, which validates it via mechanism.NewExponential
 func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, acct *mechanism.Accountant, g *rng.RNG) (*DensityEstimate, int, error) {
+	return GibbsHistogramDensityCtx(context.Background(), d, j, binChoices, lo, hi, clip, epsilon, acct, g)
+}
+
+// GibbsHistogramDensityCtx is GibbsHistogramDensity under a context: the
+// release runs under a child of the span carried by ctx (if any) and the
+// ledger record carries the request's trace id.
+func GibbsHistogramDensityCtx(ctx context.Context, d *dataset.Dataset, j int, binChoices []int, lo, hi, clip, epsilon float64, acct *mechanism.Accountant, g *rng.RNG) (*DensityEstimate, int, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, 0, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
 	if len(binChoices) == 0 || clip <= 0 {
 		return nil, 0, fmt.Errorf("%w: need candidate bin counts and clip > 0", ErrBadConfig)
 	}
+	sp := obs.SpanFromContext(ctx).Child("density.gibbs")
+	sp.SetAttr("candidates", len(binChoices))
+	defer sp.End()
 	// Precompute smoothed candidate densities (add-one smoothing keeps
 	// log-likelihoods finite).
 	cands := make([]*DensityEstimate, len(binChoices))
@@ -174,6 +204,8 @@ func GibbsHistogramDensity(d *dataset.Dataset, j int, binChoices []int, lo, hi, 
 		Mechanism:   "expmech",
 		Sensitivity: sens,
 		Outcomes:    len(cands),
+		Span:        sp.ID(),
+		Trace:       sp.TraceID(),
 	})
 	return cands[idx], binChoices[idx], nil
 }

@@ -124,7 +124,10 @@ func (l *Learner) FitPolicyCtx(ctx context.Context, d *dataset.Dataset, g *rng.R
 		return nil, err
 	}
 	o := l.cfg.Parallel.Obs
-	sp := o.Span("fit")
+	// A child of the request span when the serve layer put one in ctx, a
+	// root span otherwise; either way the derived ctx carries it onward
+	// into the risk grids and the parallel engine's chunk spans.
+	ctx, sp := o.StartSpanCtx(ctx, "fit")
 	sp.SetAttr("n", d.Len())
 	defer sp.End()
 	est, err := l.Estimator(d.Len())
@@ -173,6 +176,7 @@ func (l *Learner) FitPolicyCtx(ctx context.Context, d *dataset.Dataset, g *rng.R
 		Outcomes:    len(l.cfg.Thetas),
 		Duration:    o.Now() - start,
 		Span:        sp.ID(),
+		Trace:       sp.TraceID(),
 	})
 	cert, err := l.certificateCtx(ctx, est, d)
 	if err != nil {
@@ -266,7 +270,7 @@ func (l *Learner) CertifyCtx(ctx context.Context, d *dataset.Dataset) (Certifica
 	if err := validateDataset(d); err != nil {
 		return Certificate{}, err
 	}
-	sp := l.cfg.Parallel.Obs.Span("certify")
+	ctx, sp := l.cfg.Parallel.Obs.StartSpanCtx(ctx, "certify")
 	sp.SetAttr("n", d.Len())
 	defer sp.End()
 	est, err := l.Estimator(d.Len())

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
 	"repro/internal/mathx"
 	"repro/internal/mechanism"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -51,9 +53,22 @@ type SummaryConfig struct {
 
 // ReleaseSummary computes an ε-DP summary of one feature of d.
 func ReleaseSummary(d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*PrivateSummary, error) {
+	return ReleaseSummaryCtx(context.Background(), d, cfg, g)
+}
+
+// ReleaseSummaryCtx is ReleaseSummary under a context: when ctx carries
+// a request span, the whole four-part release runs under a child span,
+// so per-request waterfalls show the summary pipeline as one timed unit.
+// The summary's internal accountant stays local (its Spent total is the
+// release's price); the serve layer charges the tenant's accountant with
+// the quoted guarantee and stamps the trace id there.
+func ReleaseSummaryCtx(ctx context.Context, d *dataset.Dataset, cfg SummaryConfig, g *rng.RNG) (*PrivateSummary, error) {
 	if d == nil || d.Len() == 0 {
 		return nil, fmt.Errorf("%w: empty dataset", ErrBadConfig)
 	}
+	sp := obs.SpanFromContext(ctx).Child("summary")
+	sp.SetAttr("feature", cfg.Feature)
+	defer sp.End()
 	if cfg.Epsilon <= 0 {
 		return nil, fmt.Errorf("%w: epsilon must be positive", ErrBadConfig)
 	}

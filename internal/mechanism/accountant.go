@@ -27,6 +27,11 @@ type SpendMeta struct {
 	// Span is the trace-span id enclosing the release, if the run is
 	// traced.
 	Span uint64
+	// Trace is the 32-hex-digit W3C trace id of the request that caused
+	// the release ("" outside any request trace). It is what joins a
+	// spend back to the exact request — across the access log, the span
+	// tree, and the ledger — in per-request ε attribution.
+	Trace string
 }
 
 // SpendRecord is one accounted release: the guarantee, its metadata,

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// AccessRecord is one line of the serve layer's access log: the
+// per-request face of the privacy ledger. Where a LedgerRecord accounts
+// for one mechanism release, an AccessRecord accounts for one HTTP
+// request — which tenant asked, what it cost (quoted vs. actually
+// committed ε), how the admission decision went, and how long the
+// request ran — all keyed by the same trace id that the request's spans
+// and ledger lines carry, so the three artifacts join offline.
+type AccessRecord struct {
+	// Trace is the request's 32-hex-digit W3C trace id ("" when the
+	// client sent no traceparent header).
+	Trace string `json:"trace,omitempty"`
+	// Tenant is the tenant id the request named ("" when unresolved).
+	Tenant string `json:"tenant,omitempty"`
+	// Endpoint is the logical endpoint ("fit", "density", ...).
+	Endpoint string `json:"endpoint"`
+	// Status is the HTTP status code written.
+	Status int `json:"status"`
+	// QuotedEpsilon is the ε the endpoint would charge on success.
+	QuotedEpsilon float64 `json:"quoted_epsilon,omitempty"`
+	// SpentEpsilon is the ε actually committed against the tenant's
+	// budget (0 when the request was refused, failed, or was free).
+	SpentEpsilon float64 `json:"spent_epsilon,omitempty"`
+	// Outcome is the reservation outcome: "committed" (budget charged),
+	// "refused" (admission denied), "free" (no-spend endpoint), or
+	// "error" (request failed before or during the release).
+	Outcome string `json:"outcome,omitempty"`
+	// Start is the request's start timestamp in clock units.
+	Start int64 `json:"start"`
+	// Duration is the request's duration in clock units (ns under
+	// WallClock, ticks under LogicalClock).
+	Duration int64 `json:"duration"`
+}
+
+// accessLine is AccessRecord with the NDJSON type discriminator.
+type accessLine struct {
+	Type string `json:"type"`
+	AccessRecord
+}
+
+// AccessLog writes NDJSON "access" lines, one per request. A nil
+// *AccessLog is a valid no-op sink. The log never reads a clock —
+// timestamps arrive in the record, already taken by the caller's
+// Observer — so attaching or detaching an access log cannot perturb a
+// deterministic run's tick stream. Write errors are sticky and reported
+// by Err, mirroring Tracer.
+type AccessLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewAccessLog returns an access log writing NDJSON records to w.
+func NewAccessLog(w io.Writer) *AccessLog {
+	return &AccessLog{w: w}
+}
+
+// Record writes one access-log line (nil-safe).
+func (l *AccessLog) Record(r AccessRecord) {
+	if l == nil {
+		return
+	}
+	b, err := json.Marshal(accessLine{Type: "access", AccessRecord: r})
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if err != nil {
+		l.err = err
+		return
+	}
+	if _, err := l.w.Write(b); err != nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write or encoding error the log has hit
+// (nil-safe).
+func (l *AccessLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

@@ -1,0 +1,46 @@
+package obs
+
+import "context"
+
+// spanKey is the context key under which the current span travels.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span. A nil
+// span is stored as-is; SpanFromContext then returns nil, so the
+// round-trip stays nil-safe end to end.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpanCtx opens a span as a child of the span carried by ctx (or a
+// root span on the observer when ctx carries none) and returns both the
+// derived context and the span. It is the one-call idiom for
+// instrumented functions that take a context:
+//
+//	ctx, sp := o.StartSpanCtx(ctx, "fit")
+//	defer sp.End()
+//
+// Nil-safe throughout: with no observer, no tracer, no clock, and no
+// parent span, the returned span is nil and ctx is returned unchanged.
+func (o *Observer) StartSpanCtx(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	var sp *Span
+	if parent != nil {
+		sp = parent.Child(name)
+	} else {
+		sp = o.Span(name)
+	}
+	if sp == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, sp), sp
+}

@@ -34,6 +34,11 @@ type LedgerRecord struct {
 	Duration int64 `json:"duration,omitempty"`
 	// Span is the id of the trace span enclosing the release, if any.
 	Span uint64 `json:"span,omitempty"`
+	// Trace is the 32-hex-digit W3C trace id of the request that caused
+	// the release, if the release ran under a request span. omitempty
+	// keeps pre-tracing ledger NDJSON byte-identical on round-trip and
+	// the ComposeBasic cross-check untouched.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ledgerLine is LedgerRecord with the NDJSON type discriminator.

@@ -231,17 +231,31 @@ func (g *Gauge) Value() float64 {
 // Histogram is a fixed-bucket histogram: counts of observations at most
 // each upper bound, plus a running sum and total count. Observation is
 // lock-free (atomic per-bucket adds).
+//
+// Tail buckets (the upper half of the slots, including +Inf) can carry
+// an exemplar: the trace id and value of the most recent traced
+// observation that landed there. Exemplars answer "which request is
+// behind that p99 bucket count" directly from a /metrics scrape.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Uint64 // one per bound, plus the +Inf overflow slot
-	sum    Gauge
-	total  atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Uint64 // one per bound, plus the +Inf overflow slot
+	sum       Gauge
+	total     atomic.Uint64
+	exemplars []atomic.Pointer[exemplar] // one per counts slot; tail slots only
+}
+
+// exemplar pairs one observed value with the trace id of the request
+// that produced it.
+type exemplar struct {
+	trace string
+	value float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
 	}
 }
 
@@ -254,6 +268,40 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[idx].Add(1)
 	h.total.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one sample and, when trace is non-empty and
+// the sample lands in a tail bucket, attaches (trace, v) as that
+// bucket's exemplar (last traced observation wins). An empty trace is
+// exactly Observe, so the bucket counts — and hence the goldened
+// /metrics families — remain a pure function of the request history:
+// only requests that themselves carried a traceparent can surface in
+// exemplar annotations.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	if trace != "" && h.tailBucket(idx) {
+		h.exemplars[idx].Store(&exemplar{trace: trace, value: v})
+	}
+}
+
+// tailBucket reports whether slot idx is in the exemplar-carrying upper
+// half of the bucket slots (always including the +Inf overflow slot).
+func (h *Histogram) tailBucket(idx int) bool {
+	return idx >= len(h.counts)/2
+}
+
+// exemplarAt returns slot idx's exemplar, or nil.
+func (h *Histogram) exemplarAt(idx int) *exemplar {
+	if h == nil || idx >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[idx].Load()
 }
 
 // Snapshot returns the cumulative bucket counts (one per bound, then

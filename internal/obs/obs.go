@@ -49,12 +49,38 @@ type Observer struct {
 	Clock Clock
 }
 
-// Span starts a root span on the observer's tracer (nil-safe).
+// Span starts a root span (nil-safe). With a Tracer the span emits;
+// with only a Clock it is silent — it consumes identical clock reads
+// but writes nothing — so logical tick streams (and every /metrics
+// duration derived from them) are bit-identical with tracing on and
+// off. With neither, Span returns nil.
 func (o *Observer) Span(name string) *Span {
-	if o == nil || o.Tracer == nil {
+	if o == nil {
 		return nil
 	}
-	return o.Tracer.StartSpan(name)
+	if o.Tracer != nil {
+		return o.Tracer.StartSpan(name)
+	}
+	if o.Clock != nil {
+		return newSilentSpan(o.Clock, name, "")
+	}
+	return nil
+}
+
+// RequestSpan starts a root span bound to a request's TraceContext
+// (nil-safe; silent when only a Clock is wired, like Span). Descendant
+// spans created with Child or StartSpanCtx inherit the trace id.
+func (o *Observer) RequestSpan(name string, tc TraceContext) *Span {
+	if o == nil {
+		return nil
+	}
+	if o.Tracer != nil {
+		return o.Tracer.StartRequestSpan(name, tc)
+	}
+	if o.Clock != nil {
+		return newSilentSpan(o.Clock, name, tc.TraceID())
+	}
+	return nil
 }
 
 // Now reads the observer's clock (nil-safe; 0 when no clock is wired).

@@ -43,13 +43,15 @@ func writeSeries(w io.Writer, fam *family, s *series) error {
 	default:
 		cum, sum, count := s.h.Snapshot()
 		for i, bound := range fam.buckets {
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-				fam.name, renderLabels(withLE(s.labels, formatValue(bound))), cum[i]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				fam.name, renderLabels(withLE(s.labels, formatValue(bound))), cum[i],
+				renderExemplar(s.h.exemplarAt(i))); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			fam.name, renderLabels(withLE(s.labels, "+Inf")), cum[len(cum)-1]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			fam.name, renderLabels(withLE(s.labels, "+Inf")), cum[len(cum)-1],
+			renderExemplar(s.h.exemplarAt(len(cum)-1))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(s.labels), formatValue(sum)); err != nil {
@@ -58,6 +60,18 @@ func writeSeries(w io.Writer, fam *family, s *series) error {
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(s.labels), count)
 		return err
 	}
+}
+
+// renderExemplar renders a bucket exemplar as an OpenMetrics-style
+// suffix (" # {trace_id=\"…\"} value"), or "" when the bucket carries
+// none. Buckets only carry exemplars when traced requests landed in
+// them, so expositions without traceparent traffic are byte-identical
+// to the pre-exemplar format.
+func renderExemplar(e *exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return ` # {trace_id="` + escapeLabelValue(e.trace) + `"} ` + formatValue(e.value)
 }
 
 // withLE returns pairs plus a trailing le label, never aliasing the

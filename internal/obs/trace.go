@@ -62,10 +62,20 @@ func (t *Tracer) emit(rec any) {
 
 // Span is one timed operation in the trace tree. All methods are
 // nil-safe, so instrumented code calls them unconditionally.
+//
+// A span may be "silent": clock but no tracer. Silent spans consume
+// exactly the same clock reads as emitting spans (one at start, one per
+// Event, one at End) but write nothing. They exist for tick parity:
+// logical-clock tick streams — and therefore every duration histogram
+// fed from Observer.Now — are bit-identical whether tracing is wired or
+// not, which is what lets the serve /metrics golden hold with tracing
+// on and off.
 type Span struct {
 	tracer *Tracer
+	clock  Clock
 	id     uint64
 	parent uint64
+	trace  string
 	name   string
 	start  int64
 	mu     sync.Mutex
@@ -73,19 +83,20 @@ type Span struct {
 	ended  bool
 }
 
-// spanRecord is the NDJSON shape of a completed span.
-type spanRecord struct {
+// SpanRecord is the NDJSON shape of a completed span (type "span").
+type SpanRecord struct {
 	Type   string         `json:"type"`
 	ID     uint64         `json:"id"`
 	Parent uint64         `json:"parent,omitempty"`
+	Trace  string         `json:"trace,omitempty"`
 	Name   string         `json:"name"`
 	Start  int64          `json:"start"`
 	End    int64          `json:"end"`
 	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
-// eventRecord is the NDJSON shape of a typed event.
-type eventRecord struct {
+// EventRecord is the NDJSON shape of a typed event (type "event").
+type EventRecord struct {
 	Type   string         `json:"type"`
 	Span   uint64         `json:"span,omitempty"`
 	TS     int64          `json:"ts"`
@@ -95,36 +106,73 @@ type eventRecord struct {
 
 // StartSpan opens a root span (nil-safe).
 func (t *Tracer) StartSpan(name string) *Span {
-	return t.startSpan(name, 0)
+	return t.startSpan(name, 0, "")
 }
 
-func (t *Tracer) startSpan(name string, parent uint64) *Span {
+// StartRequestSpan opens a root span bound to a request's TraceContext:
+// the span record — and every descendant span, via Child — carries the
+// 128-bit trace id, which is what joins the server-side span tree to the
+// client's traceparent, the ledger's ε charges, and the access log.
+// An invalid (zero) TraceContext yields an ordinary untraced root span.
+func (t *Tracer) StartRequestSpan(name string, tc TraceContext) *Span {
+	return t.startSpan(name, 0, tc.TraceID())
+}
+
+func (t *Tracer) startSpan(name string, parent uint64, trace string) *Span {
 	if t == nil {
 		return nil
 	}
 	return &Span{
 		tracer: t,
+		clock:  t.clock,
 		id:     t.ids.Add(1),
 		parent: parent,
+		trace:  trace,
 		name:   name,
 		start:  t.clock.Now(),
 	}
 }
 
-// Child opens a sub-span of s (nil-safe: a nil parent yields nil).
+// newSilentSpan opens a span with a clock but no tracer: it times
+// itself (preserving tick parity with an emitting span) but writes
+// nothing and has no id.
+func newSilentSpan(clock Clock, name, trace string) *Span {
+	return &Span{
+		clock: clock,
+		trace: trace,
+		name:  name,
+		start: clock.Now(),
+	}
+}
+
+// Child opens a sub-span of s (nil-safe: a nil parent yields nil). The
+// parent's trace id propagates, so every span under a request span
+// joins back to the request.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tracer.startSpan(name, s.id)
+	if s.tracer == nil {
+		return newSilentSpan(s.clock, name, s.trace)
+	}
+	return s.tracer.startSpan(name, s.id, s.trace)
 }
 
-// ID returns the span's trace-unique id (0 for a nil span).
+// ID returns the span's trace-unique id (0 for a nil or silent span).
 func (s *Span) ID() uint64 {
 	if s == nil {
 		return 0
 	}
 	return s.id
+}
+
+// TraceID returns the 32-hex-digit trace id of the request this span
+// belongs to ("" for a nil span or a span outside any request trace).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
 }
 
 // SetAttr attaches a key/value attribute, rendered into the span record
@@ -141,22 +189,29 @@ func (s *Span) SetAttr(key string, value any) {
 	s.attrs[key] = value
 }
 
-// Event emits a typed event attached to s immediately (nil-safe).
+// Event emits a typed event attached to s immediately (nil-safe). On a
+// silent span the clock is still read — tick parity — but nothing is
+// written.
 func (s *Span) Event(kind string, fields map[string]any) {
 	if s == nil {
 		return
 	}
-	s.tracer.emit(eventRecord{
+	ts := s.clock.Now()
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.emit(EventRecord{
 		Type:   "event",
 		Span:   s.id,
-		TS:     s.tracer.clock.Now(),
+		TS:     ts,
 		Kind:   kind,
 		Fields: fields,
 	})
 }
 
 // End closes the span and writes its record. A second End is a no-op,
-// as is End on a nil span.
+// as is End on a nil span. A silent span reads the clock exactly like
+// an emitting one but writes nothing.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -169,13 +224,18 @@ func (s *Span) End() {
 	s.ended = true
 	attrs := s.attrs
 	s.mu.Unlock()
-	s.tracer.emit(spanRecord{
+	end := s.clock.Now()
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.emit(SpanRecord{
 		Type:   "span",
 		ID:     s.id,
 		Parent: s.parent,
+		Trace:  s.trace,
 		Name:   s.name,
 		Start:  s.start,
-		End:    s.tracer.clock.Now(),
+		End:    end,
 		Attrs:  attrs,
 	})
 }

@@ -134,6 +134,7 @@ func (rt *Runtime) Sink() mechanism.SpendObserver {
 			Outcomes:    r.Meta.Outcomes,
 			Duration:    r.Meta.Duration,
 			Span:        r.Meta.Span,
+			Trace:       r.Meta.Trace,
 		})
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"runtime/debug"
 
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"sync"
 	"sync/atomic"
 )
@@ -63,8 +64,20 @@ func (e *WorkerError) Unwrap() error {
 }
 
 // runChunk executes body on one chunk, converting a panic into a
-// *WorkerError.
-func runChunk(worker, lo, hi int, body func(lo, hi int)) (werr *WorkerError) {
+// *WorkerError. When the run's context carried a span, each chunk runs
+// under a child span ("chunk", with worker slot and index range): the
+// finest-grained timing unit a request waterfall resolves. The chunk
+// count is a pure function of (n, grain), and the serial path creates
+// the same spans, so the number of clock reads — and hence logical tick
+// totals — is identical for every worker count.
+func runChunk(sp *obs.Span, worker, lo, hi int, body func(lo, hi int)) (werr *WorkerError) {
+	cs := sp.Child("chunk")
+	if cs != nil {
+		cs.SetAttr("worker", worker)
+		cs.SetAttr("lo", lo)
+		cs.SetAttr("hi", hi)
+	}
+	defer cs.End()
 	defer func() {
 		if r := recover(); r != nil {
 			werr = &WorkerError{Worker: worker, Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()}
@@ -94,6 +107,7 @@ func ForGrainCtx(ctx context.Context, n, grain int, opts Options, body func(lo, 
 	workers := opts.Resolve(n)
 	size := chunkSizeGrain(n, grain)
 	chunks := numChunksGrain(n, grain)
+	sp := obs.SpanFromContext(ctx)
 	if workers == 1 || chunks == 1 {
 		for c := 0; c < chunks; c++ {
 			if err := ctx.Err(); err != nil {
@@ -101,7 +115,7 @@ func ForGrainCtx(ctx context.Context, n, grain int, opts Options, body func(lo, 
 			}
 			lo := c * size
 			hi := min(lo+size, n)
-			if werr := runChunk(0, lo, hi, body); werr != nil {
+			if werr := runChunk(sp, 0, lo, hi, body); werr != nil {
 				return werr
 			}
 		}
@@ -132,7 +146,7 @@ func ForGrainCtx(ctx context.Context, n, grain int, opts Options, body func(lo, 
 				}
 				lo := c * size
 				hi := min(lo+size, n)
-				if werr := runChunk(slot, lo, hi, body); werr != nil {
+				if werr := runChunk(sp, slot, lo, hi, body); werr != nil {
 					werrs[c] = werr
 					aborted.Store(true)
 					return

@@ -33,6 +33,13 @@ type LoadStats struct {
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`
 	P99Millis float64 `json:"p99_ms"`
+	// P95TraceID/P99TraceID name the trace ids of the requests sitting
+	// exactly at the nearest-rank p95/p99 latencies, when the load
+	// generator injected traceparent headers — the join key from a tail
+	// percentile in this artifact to its span waterfall in the trace
+	// stream (dplearn-trace -trace <id>).
+	P95TraceID string `json:"p95_trace_id,omitempty"`
+	P99TraceID string `json:"p99_trace_id,omitempty"`
 	// AdmissionRejectRate is Rejected / Requests.
 	AdmissionRejectRate float64 `json:"admission_reject_rate"`
 	// ByTenant breaks the mix down per tenant, sorted by ID.

@@ -27,9 +27,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -45,8 +47,11 @@ const maxBody = 8 << 20
 
 // requestTickBuckets are the latency-histogram bounds in logical clock
 // ticks (deterministic under LogicalClock; see the obs determinism
-// contract).
-var requestTickBuckets = []float64{4, 16, 64, 256, 1024}
+// contract). The low end is deliberately fine-grained: a spending
+// request's span tree costs tens of clock reads, so the ≥16-tick slots
+// form the exemplar-carrying tail (Histogram.tailBucket) where slow
+// traced requests pin their trace ids.
+var requestTickBuckets = []float64{1, 4, 8, 16, 64, 256, 1024}
 
 // Config assembles one service instance.
 type Config struct {
@@ -65,12 +70,16 @@ type Config struct {
 	// Workers caps the parallel fan-out of learner hot paths (0 = all
 	// CPUs). Results are bit-identical for every setting.
 	Workers int
-	// RetryAfterSeconds is the Retry-After hint on 429/503 responses
-	// (default 1).
+	// RetryAfterSeconds is the Retry-After hint on 503 responses and the
+	// floor of the burn-rate-derived hint on 429s (default 1).
 	RetryAfterSeconds int
 	// Pprof mounts /debug/pprof on the service mux (opt-in, as in the
 	// CLIs).
 	Pprof bool
+	// AccessLog optionally receives one NDJSON "access" line per /v1
+	// request: trace id, tenant, endpoint, status, quoted vs. spent ε,
+	// reservation outcome, and duration. Nil disables access logging.
+	AccessLog *obs.AccessLog
 }
 
 // Server is one live service instance. Safe for concurrent use; build
@@ -86,6 +95,14 @@ type Server struct {
 
 	inflight *obs.Gauge
 	panics   *obs.Counter
+
+	// spends tallies committed ε per in-flight trace id so the access
+	// log's spent_epsilon is the exact sum the accountant composed.
+	spends *traceSpends
+	// startWall anchors the wall-clock burn-rate estimate behind the
+	// 429 Retry-After hint. Wall time never reaches goldened surfaces
+	// (the hint is a response header, like the loadgen's latencies).
+	startWall time.Time
 
 	// testHookInFlight, when set (tests only), runs inside a spending
 	// handler while its reservation is held — the drain test parks a
@@ -105,11 +122,13 @@ func New(cfg Config) (*Server, error) {
 		cfg.RetryAfterSeconds = 1
 	}
 	spec := cfg.Learner.withDefaults()
-	reg, err := newRegistry(cfg.Tenants, spec, cfg.Observer, cfg.Workers)
+	spends := newTraceSpends()
+	reg, err := newRegistry(cfg.Tenants, spec, cfg.Observer, cfg.Workers, spends)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, spec: spec, reg: reg, obs: cfg.Observer}
+	s := &Server{cfg: cfg, spec: spec, reg: reg, obs: cfg.Observer,
+		spends: spends, startWall: time.Now()}
 	mreg := s.obs.Reg()
 	s.inflight = mreg.Gauge("dplearn_serve_inflight_requests",
 		"requests currently being served")
@@ -186,12 +205,31 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 // instrument wraps a handler with the service middleware: the draining
 // gate (503 + Retry-After), method enforcement, panic recovery (a
 // panicking release's deferred reservation cleanup runs during the
-// unwind, so recovery only converts the unwound stack into a 500), and
+// unwind, so recovery only converts the unwound stack into a 500),
 // request metrics (count by endpoint/code, in-flight gauge, latency in
-// logical ticks).
+// logical ticks), and request-scoped tracing — a W3C traceparent is
+// adopted (or the request stays untraced), a request span is opened and
+// carried through the context into the facade, the mechanisms, and the
+// parallel engine's chunks, and one access-log line joins the request
+// to the ε it spent.
+//
+// Determinism: the span is created whether or not a tracer is wired
+// (silent spans consume identical clock reads), and exemplar attachment
+// is keyed on the *request's* traceparent, never on server wiring — so
+// every dplearn_serve_ metric stays a pure function of the request
+// history, byte-identical with tracing on and off.
 func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
+		tc, _ := obs.ParseTraceparent(r.Header.Get("traceparent")) // malformed → untraced
+		sp := s.obs.RequestSpan(endpoint, tc)
+		sp.SetAttr("endpoint", endpoint)
+		ai := &accessInfo{}
+		ctx := withAccessInfo(obs.ContextWithSpan(r.Context(), sp), ai)
+		r = r.WithContext(ctx)
+		if tc.Valid() {
+			s.spends.begin(tc.TraceID())
+		}
 		start := s.obs.Now()
 		s.inflight.Add(1)
 		defer func() {
@@ -203,13 +241,41 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 				}
 			}
 			s.inflight.Add(-1)
+			dur := s.obs.Now() - start
+			sp.SetAttr("status", rec.code)
+			sp.End()
+			if eps, ok := s.spends.take(tc.TraceID()); ok {
+				// The exact committed sum beats any handler-side estimate.
+				ai.spent = eps
+			}
+			if ai.outcome == "" {
+				switch {
+				case rec.code == http.StatusTooManyRequests || rec.code == http.StatusServiceUnavailable:
+					ai.outcome = "refused"
+				case rec.code >= 200 && rec.code < 300:
+					ai.outcome = "free"
+				default:
+					ai.outcome = "error"
+				}
+			}
 			mreg := s.obs.Reg()
 			mreg.Counter("dplearn_serve_requests_total",
 				"requests served by endpoint and status code",
 				"endpoint", endpoint, "code", strconv.Itoa(rec.code)).Inc()
 			mreg.Histogram("dplearn_serve_request_ticks",
 				"request duration in logical clock ticks", requestTickBuckets,
-				"endpoint", endpoint).Observe(float64(s.obs.Now() - start))
+				"endpoint", endpoint).ObserveExemplar(float64(dur), tc.TraceID())
+			s.cfg.AccessLog.Record(obs.AccessRecord{
+				Trace:         tc.TraceID(),
+				Tenant:        ai.tenant,
+				Endpoint:      endpoint,
+				Status:        rec.code,
+				QuotedEpsilon: ai.quoted,
+				SpentEpsilon:  ai.spent,
+				Outcome:       ai.outcome,
+				Start:         start,
+				Duration:      dur,
+			})
 		}()
 		if s.draining.Load() {
 			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
@@ -263,10 +329,19 @@ func status(err error) int {
 }
 
 // writeError renders err with its mapped status; 429 and 503 carry the
-// Retry-After hint, and a budget rejection is counted per tenant.
-func (s *Server) writeError(w http.ResponseWriter, tenantID string, err error) {
+// Retry-After hint, and a budget rejection is counted per tenant. The
+// 429 hint is derived from the tenant's measured wall-clock burn rate
+// (see retryAfter) instead of the constant the 503 drain path uses.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, tenantID string, err error) {
 	code := status(err)
-	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+	switch code {
+	case http.StatusTooManyRequests:
+		quoted := 0.0
+		if ai := accessFrom(r.Context()); ai != nil {
+			quoted = ai.quoted
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(tenantID, quoted)))
+	case http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
 	}
 	if code == http.StatusTooManyRequests && tenantID != "" {
@@ -274,6 +349,39 @@ func (s *Server) writeError(w http.ResponseWriter, tenantID string, err error) {
 			"requests rejected by budget admission control", "tenant", tenantID).Inc()
 	}
 	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// retryAfter estimates a 429 Retry-After hint from the tenant's measured
+// burn rate: the wall-clock ε/second the tenant has actually committed
+// since boot. The hint is the time the rejected request's quoted ε
+// represents at that velocity — "the pace at which this budget turns
+// over" — clamped to [RetryAfterSeconds, 60]. Budgets never replenish,
+// so the hint is advisory: it matters when outstanding reservations may
+// yet release, and it backs off harder the hotter the tenant runs. Wall
+// time is confined to this response header (never a goldened surface),
+// exactly like the loadgen's latency percentiles.
+func (s *Server) retryAfter(tenantID string, quotedEps float64) int {
+	base := s.cfg.RetryAfterSeconds
+	t, ok := s.reg.Get(tenantID)
+	if !ok {
+		return base
+	}
+	elapsed := time.Since(s.startWall).Seconds()
+	if elapsed <= 0 || quotedEps <= 0 {
+		return base
+	}
+	rate := t.Acct.BasicComposition().Epsilon / elapsed
+	if rate <= 0 {
+		return base
+	}
+	hint := int(math.Ceil(quotedEps / rate))
+	if hint < base {
+		hint = base
+	}
+	if hint > 60 {
+		hint = 60
+	}
+	return hint
 }
 
 // decode parses the JSON body into v.
@@ -318,7 +426,12 @@ func (s *Server) injectFault(key int) error {
 // charges exactly the quoted guarantee once the release succeeded. The
 // chaos hook fires while the reservation is held, which is precisely
 // the window the battery must prove never half-spends.
-func (s *Server) spendQuoted(t *Tenant, endpoint string, g mechanism.Guarantee, meta mechanism.SpendMeta, key int, release func() error) error {
+//
+// The release runs under a child span of the request span carried by
+// ctx ("<endpoint>.release"), and the commit is stamped with the span
+// and trace ids, so the resulting ledger record joins back to the
+// request that paid for it.
+func (s *Server) spendQuoted(ctx context.Context, t *Tenant, endpoint string, g mechanism.Guarantee, meta mechanism.SpendMeta, key int, release func(ctx context.Context) error) error {
 	res, err := t.Acct.Reserve(g)
 	if err != nil {
 		return err
@@ -330,12 +443,19 @@ func (s *Server) spendQuoted(t *Tenant, endpoint string, g mechanism.Guarantee, 
 	if err := s.injectFault(key); err != nil {
 		return err
 	}
+	sp := obs.SpanFromContext(ctx).Child(endpoint + ".release")
+	defer sp.End()
 	start := s.obs.Now()
-	if err := release(); err != nil {
+	if err := release(obs.ContextWithSpan(ctx, sp)); err != nil {
 		return err
 	}
 	meta.Duration = s.obs.Now() - start
+	meta.Span = sp.ID()
+	meta.Trace = sp.TraceID()
 	res.Commit(meta)
+	ai := accessFrom(ctx)
+	ai.setSpent(g.Epsilon)
+	ai.setOutcome("committed")
 	t.refreshSpent()
 	return nil
 }
@@ -348,21 +468,24 @@ func (s *Server) spendQuoted(t *Tenant, endpoint string, g mechanism.Guarantee, 
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	var req FitRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, "", err)
+		s.writeError(w, r, "", err)
 		return
 	}
 	t, err := s.tenant(req.Tenant)
 	if err != nil {
-		s.writeError(w, req.Tenant, err)
+		s.writeError(w, r, req.Tenant, err)
 		return
 	}
+	ai := accessFrom(r.Context())
+	ai.setTenant(t.ID)
+	ai.setQuoted(s.spec.Epsilon)
 	d, err := req.Data.dataset()
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	if d.Dim() != s.spec.Dim {
-		s.writeError(w, t.ID, fmt.Errorf("%w: data has %d features, the predictor space has %d",
+		s.writeError(w, r, t.ID, fmt.Errorf("%w: data has %d features, the predictor space has %d",
 			errBadRequest, d.Dim(), s.spec.Dim))
 		return
 	}
@@ -370,7 +493,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if req.Degrade != "" {
 		policy, err = core.ParseDegradePolicy(req.Degrade)
 		if err != nil {
-			s.writeError(w, t.ID, fmt.Errorf("%w: %v", errBadRequest, err))
+			s.writeError(w, r, t.ID, fmt.Errorf("%w: %v", errBadRequest, err))
 			return
 		}
 	}
@@ -378,13 +501,22 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.testHookInFlight("fit")
 	}
 	if err := s.injectFault(int(req.Seed)); err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	fit, err := t.Learner.FitPolicyCtx(r.Context(), d, rng.New(req.Seed), policy)
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
+	}
+	if fit.Degraded {
+		// A degraded fit released without a fresh charge (cached
+		// re-release or widened posterior); the spends tally stays the
+		// authority for traced requests.
+		ai.setOutcome("degraded")
+	} else {
+		ai.setSpent(s.spec.Epsilon)
+		ai.setOutcome("committed")
 	}
 	t.refreshSpent()
 	s.writeJSON(w, http.StatusOK, FitResponse{
@@ -401,27 +533,28 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	var req CertifyRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, "", err)
+		s.writeError(w, r, "", err)
 		return
 	}
 	t, err := s.tenant(req.Tenant)
 	if err != nil {
-		s.writeError(w, req.Tenant, err)
+		s.writeError(w, r, req.Tenant, err)
 		return
 	}
+	accessFrom(r.Context()).setTenant(t.ID)
 	d, err := req.Data.dataset()
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	if d.Dim() != s.spec.Dim {
-		s.writeError(w, t.ID, fmt.Errorf("%w: data has %d features, the predictor space has %d",
+		s.writeError(w, r, t.ID, fmt.Errorf("%w: data has %d features, the predictor space has %d",
 			errBadRequest, d.Dim(), s.spec.Dim))
 		return
 	}
 	cert, err := t.Learner.CertifyCtx(r.Context(), d)
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, CertifyResponse{Certificate: certificateJSON(cert)})
@@ -434,41 +567,44 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, "", err)
+		s.writeError(w, r, "", err)
 		return
 	}
 	t, err := s.tenant(req.Tenant)
 	if err != nil {
-		s.writeError(w, req.Tenant, err)
+		s.writeError(w, r, req.Tenant, err)
 		return
 	}
+	ai := accessFrom(r.Context())
+	ai.setTenant(t.ID)
+	ai.setQuoted(req.Epsilon)
 	if err := validEpsilon(req.Epsilon); err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	d, err := req.Data.dataset()
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	cands, err := candidates(req.Candidates, d.Dim())
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	var selected learn.Candidate
 	loss := learn.ZeroOneLoss{}
-	err = s.spendQuoted(t, "select", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
+	err = s.spendQuoted(r.Context(), t, "select", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
 		Mechanism:   "select",
 		Sensitivity: loss.Bound() / float64(d.Len()),
 		Outcomes:    len(cands),
-	}, int(req.Seed), func() error {
+	}, int(req.Seed), func(context.Context) error {
 		var rerr error
 		selected, rerr = learn.PrivateSelect(cands, loss, d, req.Epsilon, nil, rng.New(req.Seed))
 		return rerr
 	})
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, SelectResponse{
@@ -485,32 +621,35 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 	var req DensityRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, "", err)
+		s.writeError(w, r, "", err)
 		return
 	}
 	t, err := s.tenant(req.Tenant)
 	if err != nil {
-		s.writeError(w, req.Tenant, err)
+		s.writeError(w, r, req.Tenant, err)
 		return
 	}
+	ai := accessFrom(r.Context())
+	ai.setTenant(t.ID)
+	ai.setQuoted(req.Epsilon)
 	if err := validEpsilon(req.Epsilon); err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	d, err := req.Data.dataset()
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	if req.Feature < 0 || req.Feature >= d.Dim() {
-		s.writeError(w, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
+		s.writeError(w, r, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
 		return
 	}
 	if s.testHookInFlight != nil {
 		s.testHookInFlight("density")
 	}
 	if err := s.injectFault(int(req.Seed)); err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	g := rng.New(req.Seed)
@@ -521,7 +660,7 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		if bins == 0 {
 			bins = 16
 		}
-		est, err = core.PrivateHistogramDensity(d, req.Feature, bins, req.Lo, req.Hi, req.Epsilon, t.Acct, g)
+		est, err = core.PrivateHistogramDensityCtx(r.Context(), d, req.Feature, bins, req.Lo, req.Hi, req.Epsilon, t.Acct, g)
 	case "gibbs":
 		choices := req.BinChoices
 		if len(choices) == 0 {
@@ -531,14 +670,16 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		if clip <= 0 {
 			clip = 8
 		}
-		est, _, err = core.GibbsHistogramDensity(d, req.Feature, choices, req.Lo, req.Hi, clip, req.Epsilon, t.Acct, g)
+		est, _, err = core.GibbsHistogramDensityCtx(r.Context(), d, req.Feature, choices, req.Lo, req.Hi, clip, req.Epsilon, t.Acct, g)
 	default:
 		err = fmt.Errorf("%w: unknown density kind %q (want laplace|gibbs)", errBadRequest, req.Kind)
 	}
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
+	ai.setSpent(req.Epsilon)
+	ai.setOutcome("committed")
 	t.refreshSpent()
 	s.writeJSON(w, http.StatusOK, DensityResponse{
 		Lo:      est.Lo,
@@ -557,25 +698,28 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	var req SummaryRequest
 	if err := decode(r, &req); err != nil {
-		s.writeError(w, "", err)
+		s.writeError(w, r, "", err)
 		return
 	}
 	t, err := s.tenant(req.Tenant)
 	if err != nil {
-		s.writeError(w, req.Tenant, err)
+		s.writeError(w, r, req.Tenant, err)
 		return
 	}
+	ai := accessFrom(r.Context())
+	ai.setTenant(t.ID)
+	ai.setQuoted(req.Epsilon)
 	if err := validEpsilon(req.Epsilon); err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	d, err := req.Data.dataset()
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	if req.Feature < 0 || req.Feature >= d.Dim() {
-		s.writeError(w, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
+		s.writeError(w, r, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
 		return
 	}
 	var sum *core.PrivateSummary
@@ -583,12 +727,12 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if bins == 0 {
 		bins = 16
 	}
-	err = s.spendQuoted(t, "summary", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
+	err = s.spendQuoted(r.Context(), t, "summary", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
 		Mechanism: "summary",
 		Outcomes:  bins,
-	}, int(req.Seed), func() error {
+	}, int(req.Seed), func(ctx context.Context) error {
 		var rerr error
-		sum, rerr = core.ReleaseSummary(d, core.SummaryConfig{
+		sum, rerr = core.ReleaseSummaryCtx(ctx, d, core.SummaryConfig{
 			Feature:   req.Feature,
 			Lo:        req.Lo,
 			Hi:        req.Hi,
@@ -599,7 +743,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		return rerr
 	})
 	if err != nil {
-		s.writeError(w, t.ID, err)
+		s.writeError(w, r, t.ID, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, summaryResponse(sum, req.Epsilon))
@@ -609,9 +753,10 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	t, err := s.tenant(r.URL.Query().Get("tenant"))
 	if err != nil {
-		s.writeError(w, "", err)
+		s.writeError(w, r, "", err)
 		return
 	}
+	accessFrom(r.Context()).setTenant(t.ID)
 	s.writeJSON(w, http.StatusOK, budgetStatus(t))
 }
 

@@ -39,7 +39,9 @@ type Tenant struct {
 	Ledger  *obs.Ledger
 	Learner *core.Learner
 
+	observer *obs.Observer
 	spent    *obs.Gauge
+	burn     *obs.Gauge
 	releases *obs.Counter
 }
 
@@ -65,9 +67,18 @@ func (t *Tenant) CrossCheck() error {
 // refreshSpent recomputes the tenant's spend gauge from the canonical
 // composition — a pure function of the spend multiset, so the exposed
 // value is deterministic for a given request history at any worker
-// count. Called after every commit and once more at drain.
+// count. Called after every commit and once more at drain. It also
+// refreshes the budget burn-rate gauge: composed ε per logical tick
+// since boot. Ticks — not wall time — keep the gauge a pure function of
+// the request history (the clock read itself is part of that history,
+// identically placed in every run), so /metrics stays goldenable; the
+// wall-clock burn estimate lives only in the 429 Retry-After header.
 func (t *Tenant) refreshSpent() {
-	t.spent.Set(t.Acct.BasicComposition().Epsilon)
+	g := t.Acct.BasicComposition()
+	t.spent.Set(g.Epsilon)
+	if ticks := t.observer.Now(); ticks > 0 {
+		t.burn.Set(g.Epsilon / float64(ticks))
+	}
 }
 
 // Registry maps tenant IDs to live tenants in a fixed declaration
@@ -178,17 +189,23 @@ func (sp LearnerSpec) withDefaults() LearnerSpec {
 }
 
 // newTenant builds one live tenant: accountant with the hard budget,
-// ledger wired as the spend observer, learner calibrated to the spec.
-func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int) (*Tenant, error) {
+// ledger wired as the spend observer (and, when the observer carries a
+// tracer, into the trace stream), learner calibrated to the spec.
+func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, spends *traceSpends) (*Tenant, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("serve: tenant needs an ID")
 	}
+	var tracer *obs.Tracer
+	if o != nil {
+		tracer = o.Tracer
+	}
 	t := &Tenant{
-		ID:      cfg.ID,
-		Budget:  cfg.Budget,
-		Degrade: cfg.Degrade,
-		Acct:    &mechanism.Accountant{},
-		Ledger:  obs.NewLedger(nil),
+		ID:       cfg.ID,
+		Budget:   cfg.Budget,
+		Degrade:  cfg.Degrade,
+		Acct:     &mechanism.Accountant{},
+		Ledger:   obs.NewLedger(tracer),
+		observer: o,
 	}
 	if err := t.Acct.SetBudget(cfg.Budget); err != nil {
 		return nil, fmt.Errorf("serve: tenant %s: %w", cfg.ID, err)
@@ -196,13 +213,19 @@ func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int) (
 	reg := o.Reg()
 	t.spent = reg.Gauge("dplearn_serve_tenant_spent_epsilon",
 		"canonically composed ε spent by the tenant", "tenant", cfg.ID)
+	t.burn = reg.Gauge("dplearn_serve_tenant_burn_rate_epsilon_per_tick",
+		"committed ε per logical clock tick since boot", "tenant", cfg.ID)
 	reg.Gauge("dplearn_serve_tenant_budget_epsilon",
 		"hard ε budget configured for the tenant", "tenant", cfg.ID).Set(cfg.Budget.Epsilon)
 	t.releases = reg.Counter("dplearn_serve_tenant_releases_total",
 		"accounted releases committed by the tenant", "tenant", cfg.ID)
 	ledger, releases := t.Ledger, t.releases
 	t.Acct.SetObserver(func(r mechanism.SpendRecord) {
-		// Runs under the accountant's lock: record and count, nothing more.
+		// Runs under the accountant's lock: record, tally, count —
+		// nothing more. The trace id stamped on the spend joins the
+		// ledger line to the request span tree, and the traceSpends
+		// tally is how the access log's spent_epsilon reports the exact
+		// committed sum rather than a handler-side estimate.
 		ledger.Record(obs.LedgerRecord{
 			Seq:         r.Seq,
 			Mechanism:   r.Meta.Mechanism,
@@ -212,7 +235,9 @@ func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int) (
 			Outcomes:    r.Meta.Outcomes,
 			Duration:    r.Meta.Duration,
 			Span:        r.Meta.Span,
+			Trace:       r.Meta.Trace,
 		})
+		spends.add(r.Meta.Trace, r.Guarantee)
 		releases.Inc()
 	})
 	grid := learn.NewGrid(-sp.Box, sp.Box, sp.Dim, sp.GridPoints)
@@ -233,7 +258,7 @@ func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int) (
 }
 
 // newRegistry builds the tenant registry in declaration order.
-func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers int) (*Registry, error) {
+func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, spends *traceSpends) (*Registry, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("serve: need at least one tenant")
 	}
@@ -242,7 +267,7 @@ func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers i
 		if _, dup := r.byID[cfg.ID]; dup {
 			return nil, fmt.Errorf("serve: duplicate tenant %q", cfg.ID)
 		}
-		t, err := newTenant(cfg, sp, o, workers)
+		t, err := newTenant(cfg, sp, o, workers, spends)
 		if err != nil {
 			return nil, err
 		}
