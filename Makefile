@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-json certify race cover bench bench-json bench-serve serve-test experiments quick-experiments fmt fmt-check fuzz-smoke chaos
+.PHONY: all build test vet lint lint-json certify race cover bench bench-json bench-serve serve-test experiments quick-experiments fmt fmt-check fuzz-smoke chaos chaos-restart
 
 all: build vet lint test
 
@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogSumExp$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mathx -run '^$$' -fuzz '^FuzzLogNormalize$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/obs -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzWALRepair$$' -fuzztime $(FUZZTIME)
 
 # Chaos battery: deterministic fault injection (worker panics, budget
 # denials, NaN risks, checkpoint-write failures) plus the robustness
@@ -64,7 +65,18 @@ chaos:
 # Serving battery: the multi-tenant release service's integration,
 # race, chaos, and drain suites — all under the race detector.
 serve-test:
-	$(GO) test -race ./internal/serve
+	$(GO) test -race ./internal/serve ./internal/serve/client
+
+# Crash-restart battery: seeded hard-aborts at every WAL phase boundary
+# plus kill/restart cycles over one surviving WAL directory, under the
+# race detector. Proves spent ε is monotone across reboots and never
+# exceeds budget, every request either commits durably or surfaces a
+# 5xx, and idempotent retries of crashed requests charge exactly once.
+# CHAOS_ARTIFACTS names a directory to receive the final cycle's WAL
+# segment and recovery report (CI uploads it).
+chaos-restart:
+	$(GO) test -race -run 'TestWALCrashChaosEveryBoundary|TestWALKillRestartCycles|TestWALRecoveryRoundTrip' ./internal/serve
+	$(GO) test -race ./internal/wal
 
 # Serving benchmark: boot dplearn-serve on a free port with tracing and
 # the ε-attributed access log on, drive the deterministic loadgen mix

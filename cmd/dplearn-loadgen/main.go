@@ -13,6 +13,15 @@
 // every tenant's books via /v1/crosscheck; a failed audit exits
 // non-zero.
 //
+// Requests ride the retry-aware serve client: 429/503 responses back
+// off with jitter honoring the server's Retry-After hint (capped by
+// -max-retry-wait), spending requests carry deterministic
+// Idempotency-Key headers ("lg-<seed>") so 5xx retries settle to the
+// original outcome instead of buying a second release, and every
+// logical request gets a -deadline. The artifact reports retry counts,
+// replayed responses, and goodput (fresh successes per second) beside
+// raw QPS.
+//
 // Every request carries a W3C traceparent header whose trace id is
 // derived deterministically from the request's seed (disable with
 // -no-traceparent), so a traced server run can be joined request-for-
@@ -23,7 +32,7 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +50,7 @@ import (
 	"repro/internal/obsglue"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/serve/client"
 )
 
 // request is one pre-generated unit of load.
@@ -48,15 +58,20 @@ type request struct {
 	tenant   string
 	endpoint string
 	body     []byte
+	// key is the Idempotency-Key stamped on spending requests
+	// ("lg-<seed>"), making their retries exactly-once by protocol.
+	key string
 	// tc is the deterministic trace context injected as the request's
 	// traceparent header (invalid when injection is disabled).
 	tc obs.TraceContext
 }
 
-// outcome is the measured result of one request.
+// outcome is the measured result of one logical request (all attempts).
 type outcome struct {
 	code     int
 	degraded bool
+	retries  int
+	replayed bool
 	millis   float64
 	trace    string
 }
@@ -74,6 +89,10 @@ func main() {
 	degrade := flag.String("degrade", "", "degrade override stamped on fit requests (refuse|fallback|widen; empty = tenant default)")
 	out := flag.String("out", "BENCH_serve.json", "bench artifact path")
 	noTrace := flag.Bool("no-traceparent", false, "do not inject deterministic traceparent headers")
+	retries := flag.Int("retries", 3, "max HTTP attempts per logical request (429/503 back off honoring Retry-After; 5xx retried under the idempotency key)")
+	maxRetryWait := flag.Duration("max-retry-wait", 500*time.Millisecond, "cap on how long a server Retry-After hint is honored")
+	deadline := flag.Duration("deadline", 30*time.Second, "per-request deadline including all retries and backoff")
+	noIdem := flag.Bool("no-idempotency", false, "do not stamp Idempotency-Key headers (disables 5xx retries)")
 	var obsFlags obsglue.Flags
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
@@ -101,7 +120,7 @@ func main() {
 		fatal(err)
 	}
 
-	reqs, err := generate(*seed, *requests, ids, endpoints, weights, *rows, *dim, *reqEps, *degrade, !*noTrace)
+	reqs, err := generate(*seed, *requests, ids, endpoints, weights, *rows, *dim, *reqEps, *degrade, !*noTrace, !*noIdem)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,8 +128,17 @@ func main() {
 		len(reqs), len(ids), *addr)
 
 	outcomes := make([]outcome, len(reqs))
-	client := &http.Client{Timeout: 60 * time.Second}
 	base := "http://" + *addr
+	// One retry-aware client shared by all workers: the breaker and the
+	// jitter stream are deliberately fleet-wide, so a crashed server is
+	// backed off by everyone at once.
+	rc := client.New(client.Config{
+		BaseURL:       base,
+		MaxAttempts:   *retries,
+		Deadline:      *deadline,
+		MaxRetryAfter: *maxRetryWait,
+		Seed:          *seed,
+	})
 	var wg sync.WaitGroup
 	next := make(chan int)
 	start := time.Now()
@@ -119,7 +147,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				outcomes[i] = issue(client, base, rt.Obs, reqs[i])
+				outcomes[i] = issue(rc, rt.Obs, reqs[i])
 			}
 		}()
 	}
@@ -131,7 +159,7 @@ func main() {
 	elapsed := time.Since(start).Seconds()
 
 	stats := aggregate(reqs, outcomes, elapsed)
-	stats.CrossCheckOK = crossCheck(client, base)
+	stats.CrossCheckOK = crossCheck(&http.Client{Timeout: 60 * time.Second}, base)
 
 	if err := serve.WriteLoadReport(*out, "serve_load", map[string]any{
 		"addr":        *addr,
@@ -148,8 +176,10 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "dplearn-loadgen: %d ok, %d rejected (429), %d degraded, %d errors in %.2fs (%.1f qps)\n",
-		stats.OK, stats.Rejected, stats.Degraded, stats.Errors, stats.ElapsedSeconds, stats.QPS)
+	fmt.Fprintf(os.Stderr, "dplearn-loadgen: %d ok, %d rejected (429), %d degraded, %d errors in %.2fs (%.1f qps, %.1f goodput)\n",
+		stats.OK, stats.Rejected, stats.Degraded, stats.Errors, stats.ElapsedSeconds, stats.QPS, stats.GoodputQPS)
+	fmt.Fprintf(os.Stderr, "dplearn-loadgen: %d retry attempt(s), %d response(s) replayed from the idempotency store\n",
+		stats.Retries, stats.Replayed)
 	fmt.Fprintf(os.Stderr, "dplearn-loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms, reject rate %.3f\n",
 		stats.P50Millis, stats.P95Millis, stats.P99Millis, stats.AdmissionRejectRate)
 	for _, t := range stats.ByTenant {
@@ -208,7 +238,7 @@ func parseMix(s string) ([]string, []float64, error) {
 // When inject is true every request carries a TraceContext derived
 // deterministically from its seed, so the trace ids a traced server
 // emits are reproducible from the generator's configuration alone.
-func generate(seed int64, n int, ids, endpoints []string, weights []float64, rows, dim int, reqEps float64, degrade string, inject bool) ([]request, error) {
+func generate(seed int64, n int, ids, endpoints []string, weights []float64, rows, dim int, reqEps float64, degrade string, inject, idem bool) ([]request, error) {
 	master := rng.New(seed)
 	reqs := make([]request, n)
 	for i := range reqs {
@@ -244,6 +274,12 @@ func generate(seed int64, n int, ids, endpoints []string, weights []float64, row
 			return nil, err
 		}
 		reqs[i] = request{tenant: tenant, endpoint: endpoint, body: body}
+		if idem && endpoint != "certify" {
+			// Certify is free — no charge to protect. Every spending request
+			// gets a key derived from its unique seed, so a retried 5xx
+			// settles to the original outcome instead of a second release.
+			reqs[i].key = fmt.Sprintf("lg-%d", reqSeed)
+		}
 		if inject {
 			reqs[i].tc = obs.DeriveTraceContext(reqSeed)
 		}
@@ -269,40 +305,41 @@ func synthData(g *rng.RNG, rows, dim int) serve.DataJSON {
 	return d
 }
 
-// issue sends one request and measures it. The request's trace context
-// (when valid) travels as the traceparent header, and the client's side
-// is captured as a request span under the same trace id when -trace is
-// on, so a merged client+server trace shows both halves of each call.
-func issue(client *http.Client, base string, o *obs.Observer, r request) outcome {
+// issue sends one logical request through the retry-aware client and
+// measures it end to end (all attempts and backoff sleeps included —
+// the latency a caller would actually wait). The request's trace
+// context (when valid) travels as the traceparent header on every
+// attempt, and the client's side is captured as a request span under
+// the same trace id when -trace is on, so a merged client+server trace
+// shows both halves of each call.
+func issue(rc *client.Client, o *obs.Observer, r request) outcome {
 	sp := o.RequestSpan(r.endpoint, r.tc)
 	sp.SetAttr("tenant", r.tenant)
 	defer sp.End()
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/"+r.endpoint, bytes.NewReader(r.body))
-	if err != nil {
-		return outcome{code: 0, trace: r.tc.TraceID()}
-	}
-	req.Header.Set("Content-Type", "application/json")
+	var header http.Header
 	if r.tc.Valid() {
-		req.Header.Set("traceparent", r.tc.Traceparent())
+		header = http.Header{"Traceparent": []string{r.tc.Traceparent()}}
 	}
 	start := time.Now()
-	resp, err := client.Do(req)
+	res, err := rc.PostRaw(context.Background(), "/v1/"+r.endpoint, r.body, r.key, header)
+	millis := float64(time.Since(start).Microseconds()) / 1000
 	if err != nil {
-		return outcome{code: 0, millis: float64(time.Since(start).Microseconds()) / 1000, trace: r.tc.TraceID()}
+		retries := 0
+		if res != nil {
+			retries = res.Retries()
+		}
+		return outcome{code: 0, retries: retries, millis: millis, trace: r.tc.TraceID()}
 	}
 	degraded := false
-	if r.endpoint == "fit" && resp.StatusCode == http.StatusOK {
+	if r.endpoint == "fit" && res.Status == http.StatusOK {
 		var fr serve.FitResponse
-		if json.NewDecoder(resp.Body).Decode(&fr) == nil {
+		if json.Unmarshal(res.Body, &fr) == nil {
 			degraded = fr.Degraded
 		}
-	} else {
-		_, _ = io.Copy(io.Discard, resp.Body) //dplint:ignore errdrop draining the body only recycles the connection
 	}
-	_ = resp.Body.Close() //dplint:ignore errdrop response already consumed; a close error cannot lose data
-	sp.SetAttr("status", resp.StatusCode)
-	return outcome{code: resp.StatusCode, degraded: degraded,
-		millis: float64(time.Since(start).Microseconds()) / 1000, trace: r.tc.TraceID()}
+	sp.SetAttr("status", res.Status)
+	return outcome{code: res.Status, degraded: degraded, retries: res.Retries(),
+		replayed: res.Replayed, millis: millis, trace: r.tc.TraceID()}
 }
 
 // aggregate folds the outcomes into the report stats.
@@ -326,6 +363,7 @@ func aggregate(reqs []request, outcomes []outcome, elapsed float64) *serve.LoadS
 		t.Requests++
 		e.Requests++
 		latencies = append(latencies, o.millis)
+		stats.Retries += o.retries
 		switch {
 		case o.code >= 200 && o.code < 300:
 			stats.OK++
@@ -333,6 +371,9 @@ func aggregate(reqs []request, outcomes []outcome, elapsed float64) *serve.LoadS
 			e.OK++
 			if o.degraded {
 				stats.Degraded++
+			}
+			if o.replayed {
+				stats.Replayed++
 			}
 		case o.code == http.StatusTooManyRequests:
 			stats.Rejected++
@@ -346,6 +387,7 @@ func aggregate(reqs []request, outcomes []outcome, elapsed float64) *serve.LoadS
 	}
 	if elapsed > 0 {
 		stats.QPS = float64(stats.Requests) / elapsed
+		stats.GoodputQPS = float64(stats.OK-stats.Replayed) / elapsed
 	}
 	stats.P50Millis = serve.Percentile(latencies, 50)
 	stats.P95Millis = serve.Percentile(latencies, 95)

@@ -19,6 +19,23 @@
 // -addr-file writes the bound address (useful with -addr :0) so
 // scripts can wait for readiness; see `make bench-serve`.
 //
+// -wal-dir makes budgets crash-safe: every spending request writes a
+// reserve record before the mechanism runs and a commit record —
+// carrying the exact charges and the response fingerprint — before any
+// response byte escapes. On boot the WAL is replayed: committed charges
+// are rebuilt bit-for-bit (verified against the canonical composition;
+// a mismatch refuses to serve), stranded in-flight requests are voided,
+// and Idempotency-Key outcomes are restored so client retries replay
+// the original response instead of buying a second release. A per-tenant
+// recovery report prints at boot.
+//
+// -tenants-file names a declaration file (same id=eps syntax as
+// -tenants, entries separated by commas or newlines, # comments).
+// SIGHUP re-reads it live: new tenants are added (WAL attached when
+// -wal-dir is set) and existing budgets may be raised; lowering below
+// the current cap is refused, because admissions already made against
+// the old budget must stay sound.
+//
 // Observability rides the shared obsglue flag surface: -trace writes
 // the NDJSON trace stream (request spans, release child spans, and
 // trace-stamped ledger lines — the input of dplearn-trace),
@@ -36,7 +53,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -48,7 +68,9 @@ import (
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address (use :0 for a free port with -addr-file)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
-	tenants := flag.String("tenants", "", "tenant declaration id=eps[,id=eps...] (required)")
+	tenants := flag.String("tenants", "", "tenant declaration id=eps[,id=eps...] (required unless -tenants-file is set)")
+	tenantsFile := flag.String("tenants-file", "", "tenant declaration file (same syntax, newlines allowed); SIGHUP re-reads it live")
+	walDir := flag.String("wal-dir", "", "write-ahead privacy ledger directory: crash-safe budgets, idempotent retries, recovery on boot")
 	degrade := flag.String("degrade", "refuse", "default degrade policy when a budget cannot admit a fit: refuse, fallback, or widen")
 	dim := flag.Int("dim", 2, "feature dimension of the predictor space")
 	gridPts := flag.Int("grid", 5, "grid points per dimension")
@@ -64,8 +86,8 @@ func main() {
 	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *tenants == "" {
-		fmt.Fprintln(os.Stderr, "dplearn-serve: -tenants is required")
+	if *tenants == "" && *tenantsFile == "" {
+		fmt.Fprintln(os.Stderr, "dplearn-serve: -tenants or -tenants-file is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -73,7 +95,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfgs, err := serve.ParseTenantBudgets(*tenants, policy)
+	decl := *tenants
+	if *tenantsFile != "" {
+		decl, err = readTenantsFile(*tenantsFile)
+		if err != nil {
+			fatal(err)
+		}
+		if *tenants != "" {
+			fmt.Fprintln(os.Stderr, "dplearn-serve: both -tenants and -tenants-file given; the file wins (it is the SIGHUP reload source)")
+		}
+	}
+	cfgs, err := serve.ParseTenantBudgets(decl, policy)
 	if err != nil {
 		fatal(err)
 	}
@@ -118,9 +150,39 @@ func main() {
 		RetryAfterSeconds: *retryAfter,
 		Pprof:             obsFlags.Pprof,
 		AccessLog:         alog,
+		WALDir:            *walDir,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	for _, rep := range s.RecoveryReports() {
+		fmt.Fprintf(os.Stderr,
+			"dplearn-serve: tenant %s recovered: %d commit(s) carrying %d charge(s) (eps=%.4g), %d stranded reserve(s) voided, %d idempotency key(s) restored\n",
+			rep.Tenant, rep.Commits, rep.Charges, rep.Epsilon, rep.Unsettled, rep.RestoredKeys)
+	}
+
+	if *tenantsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				decl, err := readTenantsFile(*tenantsFile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dplearn-serve: reload: %v\n", err)
+					continue
+				}
+				cfgs, err := serve.ParseTenantBudgets(decl, policy)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dplearn-serve: reload: %v\n", err)
+					continue
+				}
+				added, raised, err := s.ReloadTenants(cfgs)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dplearn-serve: reload (partially applied): %v\n", err)
+				}
+				fmt.Fprintf(os.Stderr, "dplearn-serve: reload: %d tenant(s) added, %d budget(s) raised\n", added, raised)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -165,7 +227,7 @@ func main() {
 	for _, t := range s.Tenants().Tenants() {
 		spent := t.Acct.BasicComposition()
 		fmt.Fprintf(os.Stderr, "dplearn-serve: tenant %s spent eps=%.4g of %.4g across %d release(s)\n",
-			t.ID, spent.Epsilon, t.Budget.Epsilon, t.Acct.Count())
+			t.ID, spent.Epsilon, t.Budget().Epsilon, t.Acct.Count())
 	}
 	if err := s.Tenants().CrossCheckAll(); err != nil {
 		fatal(err)
@@ -183,6 +245,31 @@ func main() {
 	if err := rt.Close(os.Stderr); err != nil {
 		fatal(err)
 	}
+}
+
+// readTenantsFile reads a tenant declaration file: id=eps entries
+// separated by commas or newlines, blank lines and # comments ignored.
+// The normalized declaration feeds serve.ParseTenantBudgets.
+func readTenantsFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("tenants file: %w", err)
+	}
+	var entries []string
+	for _, line := range strings.Split(string(b), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, part := range strings.Split(line, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				entries = append(entries, part)
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return "", fmt.Errorf("tenants file %s declares no tenants", path)
+	}
+	return strings.Join(entries, ","), nil
 }
 
 // writeAddrFile publishes the bound address atomically (write + rename)

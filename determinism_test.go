@@ -9,9 +9,15 @@ package dplearn
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/channel"
@@ -21,6 +27,7 @@ import (
 	"repro/internal/mechanism"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/serve"
 )
 
 // goldenRun is the bit-level snapshot of one pipeline execution.
@@ -402,5 +409,165 @@ func TestBudgetedLedgerMatchesAccountant(t *testing.T) {
 				t.Fatalf("workers=%d: record %d has seq %d", workers, i, r.Seq)
 			}
 		}
+	}
+}
+
+// recoveryMetrics scrapes /metrics and keeps the dplearn_serve_ and
+// dplearn_wal_ families — the surface that must be a pure function of
+// the WAL content, independent of the recovered server's worker count.
+func recoveryMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep []string
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.Contains(line, "dplearn_serve_") || strings.Contains(line, "dplearn_wal_") {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n") + "\n"
+}
+
+// TestRecoveryDeterminismAcrossWorkers builds one write-ahead privacy
+// ledger — committed releases, a stranded reserve, and a torn final
+// line, the full signature of a killed process — then recovers it at
+// Workers=1 and Workers=8. Recovery replay is single-threaded by
+// construction, so both boots must rebuild the identical accountant
+// state (composition compared by bit pattern) and expose byte-identical
+// dplearn_serve_ / dplearn_wal_ metric families.
+func TestRecoveryDeterminismAcrossWorkers(t *testing.T) {
+	tenants := []serve.TenantConfig{
+		{ID: "alpha", Budget: mechanism.Guarantee{Epsilon: 8}},
+		{ID: "beta", Budget: mechanism.Guarantee{Epsilon: 4}},
+	}
+	freshObs := func() *obs.Observer {
+		return &obs.Observer{Metrics: obs.NewRegistry(), Clock: &obs.LogicalClock{}}
+	}
+	post := func(ts *httptest.Server, path string, payload any, key string) (*http.Response, []byte) {
+		t.Helper()
+		b, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Phase 1: write the WAL with a fixed request script.
+	seedDir := t.TempDir()
+	s, err := serve.New(serve.Config{Tenants: tenants, Observer: freshObs(), WALDir: seedDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	data := serve.DataJSON{X: [][]float64{{0.2, -0.4}, {-0.6, 0.8}, {0.1, 0.3}, {0.5, -0.9}},
+		Y: []float64{1, -1, 1, -1}}
+	for i, tenant := range []string{"alpha", "beta", "alpha"} {
+		resp, body := post(ts, "/v1/fit", serve.FitRequest{Tenant: tenant, Seed: int64(20 + i), Data: data},
+			"det-"+tenant+string(rune('0'+i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fit %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if resp, body := post(ts, "/v1/summary", serve.SummaryRequest{Tenant: "beta", Seed: 5, Feature: 0,
+		Lo: -1, Hi: 1, Quantiles: []float64{0.5}, Epsilon: 0.25, Data: data}, ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary: HTTP %d: %s", resp.StatusCode, body)
+	}
+	ts.Close()
+	s.CloseWALs()
+
+	// A killed writer leaves work in flight: a stranded reserve and a
+	// torn final line, both of which recovery must settle identically.
+	alphaWAL := filepath.Join(seedDir, "alpha.wal")
+	f, err := os.OpenFile(alphaWAL, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"reserve","lsn":9999,"key":"stranded","endpoint":"fit","seed":77,"epsilon":0.5}` + "\n" +
+		`{"op":"commit","lsn":10000,"ref":9999,"charges":[{"eps`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	seedWALs := map[string][]byte{}
+	for _, id := range []string{"alpha", "beta"} {
+		b, err := os.ReadFile(filepath.Join(seedDir, id+".wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seedWALs[id] = b
+	}
+
+	// Phase 2: recover the identical WAL bytes at each worker count.
+	type recovered struct {
+		comp    map[string][]uint64
+		metrics string
+	}
+	runs := map[int]recovered{}
+	for _, workers := range []int{1, 8} {
+		dir := t.TempDir()
+		for id, b := range seedWALs {
+			if err := os.WriteFile(filepath.Join(dir, id+".wal"), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := serve.New(serve.Config{Tenants: tenants, Observer: freshObs(), WALDir: dir, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: recovery boot: %v", workers, err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		r := recovered{comp: map[string][]uint64{}, metrics: recoveryMetrics(t, ts.URL)}
+		for _, tn := range s.Tenants().Tenants() {
+			g := tn.Acct.BasicComposition()
+			r.comp[tn.ID] = float64Bits(g.Epsilon, g.Delta)
+			if tn.Acct.Count() == 0 {
+				t.Fatalf("workers=%d: tenant %s recovered nothing", workers, tn.ID)
+			}
+			if err := tn.CrossCheck(); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+		}
+		for _, rep := range s.RecoveryReports() {
+			if rep.Tenant == "alpha" && rep.Unsettled != 1 {
+				t.Fatalf("workers=%d: alpha recovery settled %d stranded reserve(s), want 1", workers, rep.Unsettled)
+			}
+		}
+		ts.Close()
+		s.CloseWALs()
+		runs[workers] = r
+	}
+
+	ref := runs[1]
+	got := runs[8]
+	for id, want := range ref.comp {
+		if !bitsEqual(got.comp[id], want) {
+			t.Errorf("tenant %s: recovered composition bits differ between Workers=1 and Workers=8", id)
+		}
+	}
+	if ref.metrics != got.metrics {
+		t.Errorf("recovered metric families differ between Workers=1 and Workers=8:\n--- workers=1\n%s\n--- workers=8\n%s",
+			ref.metrics, got.metrics)
 	}
 }

@@ -531,7 +531,7 @@ func (st *epsBoundState) mayCharge(key string) bool {
 			direct := false
 			ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
 				if call, ok := n.(*ast.CallExpr); ok {
-					if _, ok := chargeOp(node.Pkg, call); ok {
+					if _, _, ok := chargeOp(node.Pkg, call); ok {
 						direct = true
 					}
 				}
@@ -1065,41 +1065,55 @@ func (cx *costCtx) substBound(b *bound, call *ast.CallExpr) *bound {
 // Charge recognition.
 
 // chargeOp reports whether call charges budget against an accountant: a
-// Spend/SpendDetail whose (first) parameter is a Guarantee, or a two-phase
-// Reserve returning a Reservation. Commit is deliberately NOT a charge —
-// the guarantee was counted at Reserve time, and acctlint separately
-// enforces the Reserve/Commit pairing.
-func chargeOp(pkg *Package, call *ast.CallExpr) (string, bool) {
+// Spend/SpendDetail whose first parameter is a Guarantee, or a
+// two-phase Reserve returning a hold — a named Reservation, or any type
+// following the hold protocol structurally (the WAL-logged wal.Txn;
+// see isTwoPhaseHold). The returned index names the Guarantee-typed
+// argument carrying the price (WAL-logged Reserve wrappers take the
+// accountant first, so the guarantee is not always argument zero).
+// Commit is deliberately NOT a charge — the guarantee was counted at
+// Reserve time, and acctlint separately enforces the Reserve/Commit
+// pairing.
+func chargeOp(pkg *Package, call *ast.CallExpr) (string, int, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", false
+		return "", 0, false
 	}
 	name := sel.Sel.Name
 	switch name {
 	case "Spend", "SpendDetail", "Reserve":
 	default:
-		return "", false
+		return "", 0, false
 	}
 	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !ok {
-		return "", false
+		return "", 0, false
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Params().Len() < 1 {
-		return "", false
-	}
-	if namedName(sig.Params().At(0).Type()) != "Guarantee" {
-		return "", false
-	}
-	if name == "Spend" && sig.Params().Len() != 1 {
-		return "", false
+		return "", 0, false
 	}
 	if name == "Reserve" {
-		if sig.Results().Len() < 1 || namedName(sig.Results().At(0).Type()) != "Reservation" {
-			return "", false
+		if sig.Results().Len() < 1 {
+			return "", 0, false
 		}
+		if res := sig.Results().At(0).Type(); namedName(res) != "Reservation" && !isTwoPhaseHold(res) {
+			return "", 0, false
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if namedName(sig.Params().At(i).Type()) == "Guarantee" {
+				return name, i, true
+			}
+		}
+		return "", 0, false
 	}
-	return name, true
+	if namedName(sig.Params().At(0).Type()) != "Guarantee" {
+		return "", 0, false
+	}
+	if name == "Spend" && sig.Params().Len() != 1 {
+		return "", 0, false
+	}
+	return name, 0, true
 }
 
 // ---------------------------------------------------------------------------
@@ -1332,38 +1346,49 @@ func (cx *costCtx) nodeCost(n ast.Node) costBound {
 }
 
 // callCost charges one call: a direct charge op quotes its Guarantee
-// argument; a resolved callee contributes its substituted summary;
-// an immediately-invoked literal is inlined.
+// argument; a resolved callee contributes its substituted summary; an
+// immediately-invoked literal is inlined. A call whose callee adds no
+// charge of its own but receives function-literal arguments is an
+// envelope — the serve layer's durable() wrapper reserves, runs the
+// closure it was handed, and commits — so the literals are inlined at
+// the call site: their charges are the call's charges, priced in the
+// caller's own symbol space. When the callee itself charges (the
+// spendQuoted accountant-wrapper pattern), its literal arguments are
+// already priced by the wrapper's reservation and stay skipped.
 func (cx *costCtx) callCost(call *ast.CallExpr) costBound {
 	if lit, ok := unparen(call.Fun).(*ast.FuncLit); ok {
 		return cx.stmtsCost(lit.Body.List)
 	}
-	if op, ok := chargeOp(cx.pkg, call); ok && len(call.Args) > 0 {
-		g := cx.guaranteeCost(call.Args[0])
+	if op, gi, ok := chargeOp(cx.pkg, call); ok && len(call.Args) > gi {
+		g := cx.guaranteeCost(call.Args[gi])
 		cx.event(call.Pos(), 0, fmt.Sprintf("%s ε=%s δ=%s", op, cx.render(g.eps), cx.render(g.delta)))
 		return g
 	}
 	fn := calleeFunc(cx.pkg, call)
-	if fn == nil {
-		return zeroCost()
+	if fn != nil && cx.st.mayCharge(funcKey(fn)) {
+		sum := cx.st.summary(funcKey(fn))
+		if !sum.cost.isZero() {
+			out := costBound{
+				eps:   cx.substBound(sum.cost.eps, call),
+				delta: cx.substBound(sum.cost.delta, call),
+			}
+			cx.event(call.Pos(), 0, fmt.Sprintf("call %s ⇒ ε=%s", calleeLabel(fn), cx.render(out.eps)))
+			for _, ev := range sum.events {
+				cx.eventAt(ev.pos, ev.depth+1, ev.desc)
+			}
+			return out
+		}
 	}
-	key := funcKey(fn)
-	if !cx.st.mayCharge(key) {
-		return zeroCost()
+	if fn != nil && cx.st.prog.isObserverFunc(fn) {
+		return zeroCost() // measurement harness; its closures observe, not release
 	}
-	sum := cx.st.summary(key)
-	if sum.cost.isZero() {
-		return zeroCost()
+	total := zeroCost()
+	for _, a := range call.Args {
+		if lit, ok := unparen(a).(*ast.FuncLit); ok {
+			total = total.add(cx.stmtsCost(lit.Body.List))
+		}
 	}
-	out := costBound{
-		eps:   cx.substBound(sum.cost.eps, call),
-		delta: cx.substBound(sum.cost.delta, call),
-	}
-	cx.event(call.Pos(), 0, fmt.Sprintf("call %s ⇒ ε=%s", calleeLabel(fn), cx.render(out.eps)))
-	for _, ev := range sum.events {
-		cx.eventAt(ev.pos, ev.depth+1, ev.desc)
-	}
-	return out
+	return total
 }
 
 func calleeLabel(fn *types.Func) string {

@@ -330,3 +330,57 @@ type NotARecordLog struct{ probe Mech }
 func (l *NotARecordLog) Record(line string, d *Dataset, g *RNG) float64 {
 	return l.probe.Release(d, g) // want "un-accounted release"
 }
+
+// Txn is a durable two-phase hold: the WAL-logged wrapper that couples
+// a write-ahead reserve record to an in-memory hold. It bears no
+// Guarantee method, and its name is deliberately not Reservation — the
+// Commit/Release/Amount→Guarantee shape alone makes Commit an
+// accounting act.
+type Txn struct {
+	a *Accountant
+	g Guarantee
+}
+
+// Commit fsyncs the commit record and records the spend.
+func (t *Txn) Commit(status int) { t.a.spent = append(t.a.spent, t.g) }
+
+// Release voids an uncommitted hold.
+func (t *Txn) Release() {}
+
+// Amount reports the held guarantee — the shape anchor.
+func (t *Txn) Amount() Guarantee { return t.g }
+
+// Ledger is the write-ahead log; Begin admits the guarantee and fsyncs
+// the reserve record before the mechanism runs.
+type Ledger struct{}
+
+// Begin opens a durable hold against the accountant.
+func (l *Ledger) Begin(a *Accountant, g Guarantee) (*Txn, error) {
+	return &Txn{a: a, g: g}, nil
+}
+
+// DurableAccounted pays through the WAL-logged hold: Commit on a
+// structural hold satisfies must-spend exactly like Reservation.Commit.
+func DurableAccounted(d *Dataset, acct *Accountant, wal *Ledger, g *RNG) (float64, error) {
+	m := &Mech{Epsilon: 1}
+	tx, err := wal.Begin(acct, m.Guarantee())
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Release()
+	v := m.Release(d, g)
+	tx.Commit(200)
+	return v, nil
+}
+
+// DurableNeverCommitted voids the durable hold without committing: the
+// release stays unrecorded, so it still leaks.
+func DurableNeverCommitted(d *Dataset, acct *Accountant, wal *Ledger, g *RNG) (float64, error) {
+	m := &Mech{Epsilon: 1}
+	tx, err := wal.Begin(acct, m.Guarantee())
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Release()
+	return m.Release(d, g), nil // want "un-accounted release"
+}

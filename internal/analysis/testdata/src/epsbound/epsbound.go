@@ -110,3 +110,46 @@ func ChargeFree(xs []float64) float64 {
 	}
 	return total
 }
+
+// Txn is the durable hold returned by the write-ahead ledger: the
+// Commit/Release/Amount→Guarantee shape marks it a two-phase hold
+// structurally, without the name Reservation.
+type Txn struct{ g Guarantee }
+
+func (t *Txn) Commit(meta SpendMeta) {}
+func (t *Txn) Release()              {}
+func (t *Txn) Amount() Guarantee     { return t.g }
+
+// Ledger stands in for the write-ahead log. Its Reserve takes the
+// accountant first, so the Guarantee is not argument zero — the
+// analysis must find the price by type, not by position.
+type Ledger struct{}
+
+func (l *Ledger) Reserve(a *Accountant, g Guarantee) (*Txn, error) {
+	a.spent = append(a.spent, g)
+	return &Txn{g: g}, nil
+}
+
+// DurableQuoted charges through the WAL-logged Reserve: the bound is
+// exactly eps, read from argument index 1.
+func DurableQuoted(a *Accountant, wal *Ledger, eps float64) error {
+	tx, err := wal.Reserve(a, Guarantee{Epsilon: eps})
+	if err != nil {
+		return err
+	}
+	defer tx.Release()
+	tx.Commit(SpendMeta{})
+	return nil
+}
+
+// DurableLoop charges per iteration through the durable hold with no
+// declared trip count: still a finding.
+func DurableLoop(a *Accountant, wal *Ledger, eps float64, done func() bool) {
+	for !done() { // want "no //dp:loopbound"
+		tx, err := wal.Reserve(a, Guarantee{Epsilon: eps})
+		if err != nil {
+			return
+		}
+		tx.Commit(SpendMeta{})
+	}
+}

@@ -223,3 +223,57 @@ func SuppressedLeak(acct *Accountant, m *Mech) float64 {
 	}
 	return res.Amount()
 }
+
+// Txn is a durable hold following the Reservation protocol by shape:
+// Commit/Release plus Amount returning the held Guarantee. The check
+// recognizes it structurally — the name does not matter, the
+// settle-exactly-once obligation does.
+type Txn struct{ g Guarantee }
+
+// Log is the write-ahead ledger; Begin fsyncs a reserve record and
+// returns the durable hold.
+type Log struct{}
+
+// Begin opens a durable hold. The accountant comes first: the check
+// keys on the result type, not the argument layout.
+func (l *Log) Begin(a *Accountant, g Guarantee) (*Txn, error) {
+	return &Txn{g: g}, nil
+}
+
+// Commit fsyncs the commit record, settling the hold.
+func (t *Txn) Commit(status int) {}
+
+// Release voids an uncommitted hold.
+func (t *Txn) Release() {}
+
+// Amount reports the held guarantee.
+func (t *Txn) Amount() Guarantee { return t.g }
+
+// DurableCovered is the serve envelope: reserve durably, defer the
+// void, release, commit. Clean on every path including panics.
+func DurableCovered(d *Dataset, acct *Accountant, wal *Log, g *RNG) (float64, error) {
+	m := &Mech{Epsilon: 1}
+	tx, err := wal.Begin(acct, m.Guarantee())
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Release()
+	out := m.Release(d, g)
+	tx.Commit(200)
+	return out, nil
+}
+
+// DurableLeak abandons the durable hold on the fast path: recovery
+// will void the stranded reserve record at next boot, but this process
+// leaked headroom nothing will settle.
+func DurableLeak(acct *Accountant, wal *Log, m *Mech, fast bool) (float64, error) {
+	tx, err := wal.Begin(acct, m.Guarantee()) // want "reservation leak.*neither committed nor released"
+	if err != nil {
+		return 0, err
+	}
+	if fast {
+		return 0, nil
+	}
+	tx.Commit(200)
+	return 1, nil
+}

@@ -508,8 +508,16 @@ func (rf *resFlow) escapeWalk(n ast.Node, fact *resFact, exempt map[types.Object
 // ---------------------------------------------------------------------------
 // Structural recognition.
 
-// isReservationType reports whether t is a (pointer to) named Reservation.
-func isReservationType(t types.Type) bool { return namedName(t) == "Reservation" }
+// isReservationType reports whether t is a two-phase budget hold: a
+// (pointer to) named Reservation, or any type following the hold
+// protocol structurally (Commit/Release/Amount→Guarantee — see
+// isTwoPhaseHold), such as the WAL-logged wal.Txn. A durable hold must
+// obey the same reach-exactly-one-settlement discipline as the
+// in-memory one: a Txn that escapes uncommitted and unreleased is a
+// reserve record recovery will void, i.e. a leaked intent.
+func isReservationType(t types.Type) bool {
+	return namedName(t) == "Reservation" || isTwoPhaseHold(t)
+}
 
 // returnsReservation reports whether call's results include a reservation
 // handle: Accountant.Reserve itself, or any helper forwarding one (the

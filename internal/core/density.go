@@ -94,6 +94,7 @@ func PrivateHistogramDensityCtx(ctx context.Context, d *dataset.Dataset, j, bins
 		Outcomes:    bins,
 		Span:        sp.ID(),
 		Trace:       sp.TraceID(),
+		Charge:      mechanism.ChargeScopeFrom(ctx),
 	})
 	var total float64
 	for i, v := range noisy {
@@ -206,6 +207,7 @@ func GibbsHistogramDensityCtx(ctx context.Context, d *dataset.Dataset, j int, bi
 		Outcomes:    len(cands),
 		Span:        sp.ID(),
 		Trace:       sp.TraceID(),
+		Charge:      mechanism.ChargeScopeFrom(ctx),
 	})
 	return cands[idx], binChoices[idx], nil
 }

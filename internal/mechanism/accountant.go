@@ -32,6 +32,12 @@ type SpendMeta struct {
 	// spend back to the exact request — across the access log, the span
 	// tree, and the ledger — in per-request ε attribution.
 	Trace string
+	// Charge is the durable-charge scope id of the request the spend
+	// belongs to ("" outside any write-ahead-logged request). The serve
+	// layer stamps it via WithChargeScope so every guarantee a facade
+	// call commits — however it recomputes ε internally — is collected
+	// onto the request's WAL commit record exactly.
+	Charge string
 }
 
 // SpendRecord is one accounted release: the guarantee, its metadata,

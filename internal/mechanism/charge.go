@@ -1,0 +1,30 @@
+package mechanism
+
+import "context"
+
+// chargeScopeKey carries the durable-charge scope id of the request a
+// context belongs to. The serve layer opens a scope per WAL-logged
+// request; facade commit sites stamp SpendMeta.Charge from it, so the
+// exact guarantees a request commits — which may differ in the low bits
+// from its quoted ε (a widened fit charges the remaining headroom, a
+// Gibbs density its recalibrated 2·Δq·(ε/2Δq)) — can be collected onto
+// the request's write-ahead commit record bit for bit.
+type chargeScopeKey struct{}
+
+// WithChargeScope returns ctx carrying the charge scope id.
+func WithChargeScope(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, chargeScopeKey{}, id)
+}
+
+// ChargeScopeFrom returns the charge scope id carried by ctx ("" when
+// the request is not durably logged).
+func ChargeScopeFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(chargeScopeKey{}).(string)
+	return id
+}

@@ -29,9 +29,14 @@ type AccessRecord struct {
 	// budget (0 when the request was refused, failed, or was free).
 	SpentEpsilon float64 `json:"spent_epsilon,omitempty"`
 	// Outcome is the reservation outcome: "committed" (budget charged),
-	// "refused" (admission denied), "free" (no-spend endpoint), or
-	// "error" (request failed before or during the release).
+	// "refused" (admission denied), "free" (no-spend endpoint),
+	// "replayed" (idempotent retry served from the durable outcome store
+	// without a second charge), or "error" (request failed before or
+	// during the release).
 	Outcome string `json:"outcome,omitempty"`
+	// IdempotencyKey is the client-supplied Idempotency-Key header (""
+	// when the request carried none).
+	IdempotencyKey string `json:"idem_key,omitempty"`
 	// Start is the request's start timestamp in clock units.
 	Start int64 `json:"start"`
 	// Duration is the request's duration in clock units (ns under

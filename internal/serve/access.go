@@ -19,6 +19,7 @@ type accessInfo struct {
 	quoted  float64
 	spent   float64
 	outcome string
+	idemKey string
 }
 
 // accessKey is the context key carrying the request's accessInfo.
@@ -60,6 +61,12 @@ func (ai *accessInfo) setSpent(eps float64) {
 func (ai *accessInfo) setOutcome(o string) {
 	if ai != nil {
 		ai.outcome = o
+	}
+}
+
+func (ai *accessInfo) setIdemKey(k string) {
+	if ai != nil {
+		ai.idemKey = k
 	}
 }
 

@@ -25,10 +25,21 @@ type LoadStats struct {
 	Degraded int `json:"degraded"`
 	// Errors counts every other non-2xx response.
 	Errors int `json:"errors"`
+	// Retries counts extra HTTP attempts beyond each request's first
+	// (backoff on 429/503 honoring Retry-After, keyed retries of 5xx).
+	Retries int `json:"retries"`
+	// Replayed counts 2xx responses served from the server's durable
+	// idempotency store rather than a fresh release — retries that were
+	// answered without spending ε a second time.
+	Replayed int `json:"replayed"`
 	// ElapsedSeconds is the wall-clock span of the run.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// QPS is Requests / ElapsedSeconds.
 	QPS float64 `json:"qps"`
+	// GoodputQPS is fresh successful releases per second: (OK − Replayed)
+	// / ElapsedSeconds. Under retry pressure QPS counts traffic; goodput
+	// counts work the budget actually paid for.
+	GoodputQPS float64 `json:"goodput_qps"`
 	// P50/P95/P99 are latency percentiles in milliseconds.
 	P50Millis float64 `json:"p50_ms"`
 	P95Millis float64 `json:"p95_ms"`

@@ -80,6 +80,13 @@ type Config struct {
 	// request: trace id, tenant, endpoint, status, quoted vs. spent ε,
 	// reservation outcome, and duration. Nil disables access logging.
 	AccessLog *obs.AccessLog
+	// WALDir, when set, attaches a write-ahead privacy ledger per tenant
+	// under this directory (<id>.wal): budget state becomes
+	// crash-recoverable (New replays surviving logs and rebuilds each
+	// accountant bit-identically before serving) and idempotency-keyed
+	// responses replay across restarts. Empty disables durability; the
+	// request flow is identical either way.
+	WALDir string
 }
 
 // Server is one live service instance. Safe for concurrent use; build
@@ -99,6 +106,12 @@ type Server struct {
 	// spends tallies committed ε per in-flight trace id so the access
 	// log's spent_epsilon is the exact sum the accountant composed.
 	spends *traceSpends
+	// charges tallies the exact committed guarantees per in-flight
+	// durable request, so a WAL commit record carries precisely what the
+	// accountant composed (see chargeSpends).
+	charges *chargeSpends
+	// recovery holds the per-tenant WAL recovery summaries from boot.
+	recovery []RecoveryReport
 	// startWall anchors the wall-clock burn-rate estimate behind the
 	// 429 Retry-After hint. Wall time never reaches goldened surfaces
 	// (the hint is a response header, like the loadgen's latencies).
@@ -123,12 +136,27 @@ func New(cfg Config) (*Server, error) {
 	}
 	spec := cfg.Learner.withDefaults()
 	spends := newTraceSpends()
-	reg, err := newRegistry(cfg.Tenants, spec, cfg.Observer, cfg.Workers, spends)
+	charges := newChargeSpends()
+	reg, err := newRegistry(cfg.Tenants, spec, cfg.Observer, cfg.Workers, spends, charges)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, spec: spec, reg: reg, obs: cfg.Observer,
-		spends: spends, startWall: time.Now()}
+		spends: spends, charges: charges, startWall: time.Now()}
+	if cfg.WALDir != "" {
+		// Recovery before traffic: replay each tenant's surviving WAL,
+		// rebuild its accountant bit-identically (verified against
+		// ComposeBasic), settle stranded reserves, restore idempotency
+		// outcomes. A tenant whose books cannot be audited fails the boot.
+		for _, t := range reg.Tenants() {
+			rep, err := s.attachWAL(t, cfg.WALDir)
+			if err != nil {
+				return nil, err
+			}
+			s.recovery = append(s.recovery, rep)
+			t.refreshSpent()
+		}
+	}
 	mreg := s.obs.Reg()
 	s.inflight = mreg.Gauge("dplearn_serve_inflight_requests",
 		"requests currently being served")
@@ -266,15 +294,16 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 				"request duration in logical clock ticks", requestTickBuckets,
 				"endpoint", endpoint).ObserveExemplar(float64(dur), tc.TraceID())
 			s.cfg.AccessLog.Record(obs.AccessRecord{
-				Trace:         tc.TraceID(),
-				Tenant:        ai.tenant,
-				Endpoint:      endpoint,
-				Status:        rec.code,
-				QuotedEpsilon: ai.quoted,
-				SpentEpsilon:  ai.spent,
-				Outcome:       ai.outcome,
-				Start:         start,
-				Duration:      dur,
+				Trace:          tc.TraceID(),
+				Tenant:         ai.tenant,
+				Endpoint:       endpoint,
+				Status:         rec.code,
+				QuotedEpsilon:  ai.quoted,
+				SpentEpsilon:   ai.spent,
+				Outcome:        ai.outcome,
+				IdempotencyKey: ai.idemKey,
+				Start:          start,
+				Duration:       dur,
 			})
 		}()
 		if s.draining.Load() {
@@ -317,6 +346,8 @@ func status(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, errUnknownTenant):
 		return http.StatusNotFound
+	case errors.Is(err, errDuplicateKey):
+		return http.StatusConflict
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, core.ErrBadConfig),
 		errors.Is(err, core.ErrNonFiniteInput):
@@ -452,6 +483,7 @@ func (s *Server) spendQuoted(ctx context.Context, t *Tenant, endpoint string, g 
 	meta.Duration = s.obs.Now() - start
 	meta.Span = sp.ID()
 	meta.Trace = sp.TraceID()
+	meta.Charge = mechanism.ChargeScopeFrom(ctx)
 	res.Commit(meta)
 	ai := accessFrom(ctx)
 	ai.setSpent(g.Epsilon)
@@ -497,34 +529,34 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if s.testHookInFlight != nil {
-		s.testHookInFlight("fit")
-	}
-	if err := s.injectFault(int(req.Seed)); err != nil {
-		s.writeError(w, r, t.ID, err)
-		return
-	}
-	fit, err := t.Learner.FitPolicyCtx(r.Context(), d, rng.New(req.Seed), policy)
-	if err != nil {
-		s.writeError(w, r, t.ID, err)
-		return
-	}
-	if fit.Degraded {
-		// A degraded fit released without a fresh charge (cached
-		// re-release or widened posterior); the spends tally stays the
-		// authority for traced requests.
-		ai.setOutcome("degraded")
-	} else {
-		ai.setSpent(s.spec.Epsilon)
-		ai.setOutcome("committed")
-	}
-	t.refreshSpent()
-	s.writeJSON(w, http.StatusOK, FitResponse{
-		Theta:       fit.Theta,
-		Index:       fit.Index,
-		Degraded:    fit.Degraded,
-		Policy:      fit.Policy.String(),
-		Certificate: certificateJSON(fit.Certificate),
+	s.durable(w, r, t, "fit", req.Seed, s.spec.Epsilon, func(ctx context.Context) (any, error) {
+		if s.testHookInFlight != nil {
+			s.testHookInFlight("fit")
+		}
+		if err := s.injectFault(int(req.Seed)); err != nil {
+			return nil, err
+		}
+		fit, err := t.Learner.FitPolicyCtx(ctx, d, rng.New(req.Seed), policy)
+		if err != nil {
+			return nil, err
+		}
+		if fit.Degraded {
+			// A degraded fit released without a fresh charge (cached
+			// re-release or widened posterior); the spends tally stays the
+			// authority for traced requests.
+			ai.setOutcome("degraded")
+		} else {
+			ai.setSpent(s.spec.Epsilon)
+			ai.setOutcome("committed")
+		}
+		t.refreshSpent()
+		return FitResponse{
+			Theta:       fit.Theta,
+			Index:       fit.Index,
+			Degraded:    fit.Degraded,
+			Policy:      fit.Policy.String(),
+			Certificate: certificateJSON(fit.Certificate),
+		}, nil
 	})
 }
 
@@ -592,25 +624,26 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, t.ID, err)
 		return
 	}
-	var selected learn.Candidate
-	loss := learn.ZeroOneLoss{}
-	err = s.spendQuoted(r.Context(), t, "select", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
-		Mechanism:   "select",
-		Sensitivity: loss.Bound() / float64(d.Len()),
-		Outcomes:    len(cands),
-	}, int(req.Seed), func(context.Context) error {
-		var rerr error
-		selected, rerr = learn.PrivateSelect(cands, loss, d, req.Epsilon, nil, rng.New(req.Seed))
-		return rerr
-	})
-	if err != nil {
-		s.writeError(w, r, t.ID, err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, SelectResponse{
-		Name:    selected.Name,
-		Theta:   selected.Theta,
-		Epsilon: req.Epsilon,
+	s.durable(w, r, t, "select", req.Seed, req.Epsilon, func(ctx context.Context) (any, error) {
+		var selected learn.Candidate
+		loss := learn.ZeroOneLoss{}
+		err := s.spendQuoted(ctx, t, "select", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
+			Mechanism:   "select",
+			Sensitivity: loss.Bound() / float64(d.Len()),
+			Outcomes:    len(cands),
+		}, int(req.Seed), func(context.Context) error {
+			var rerr error
+			selected, rerr = learn.PrivateSelect(cands, loss, d, req.Epsilon, nil, rng.New(req.Seed))
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return SelectResponse{
+			Name:    selected.Name,
+			Theta:   selected.Theta,
+			Epsilon: req.Epsilon,
+		}, nil
 	})
 }
 
@@ -645,48 +678,49 @@ func (s *Server) handleDensity(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
 		return
 	}
-	if s.testHookInFlight != nil {
-		s.testHookInFlight("density")
-	}
-	if err := s.injectFault(int(req.Seed)); err != nil {
-		s.writeError(w, r, t.ID, err)
-		return
-	}
-	g := rng.New(req.Seed)
-	var est *core.DensityEstimate
-	switch req.Kind {
-	case "", "laplace":
-		bins := req.Bins
-		if bins == 0 {
-			bins = 16
+	s.durable(w, r, t, "density", req.Seed, req.Epsilon, func(ctx context.Context) (any, error) {
+		if s.testHookInFlight != nil {
+			s.testHookInFlight("density")
 		}
-		est, err = core.PrivateHistogramDensityCtx(r.Context(), d, req.Feature, bins, req.Lo, req.Hi, req.Epsilon, t.Acct, g)
-	case "gibbs":
-		choices := req.BinChoices
-		if len(choices) == 0 {
-			choices = []int{4, 8, 16, 32}
+		if err := s.injectFault(int(req.Seed)); err != nil {
+			return nil, err
 		}
-		clip := req.Clip
-		if clip <= 0 {
-			clip = 8
+		g := rng.New(req.Seed)
+		var est *core.DensityEstimate
+		var err error
+		switch req.Kind {
+		case "", "laplace":
+			bins := req.Bins
+			if bins == 0 {
+				bins = 16
+			}
+			est, err = core.PrivateHistogramDensityCtx(ctx, d, req.Feature, bins, req.Lo, req.Hi, req.Epsilon, t.Acct, g)
+		case "gibbs":
+			choices := req.BinChoices
+			if len(choices) == 0 {
+				choices = []int{4, 8, 16, 32}
+			}
+			clip := req.Clip
+			if clip <= 0 {
+				clip = 8
+			}
+			est, _, err = core.GibbsHistogramDensityCtx(ctx, d, req.Feature, choices, req.Lo, req.Hi, clip, req.Epsilon, t.Acct, g)
+		default:
+			err = fmt.Errorf("%w: unknown density kind %q (want laplace|gibbs)", errBadRequest, req.Kind)
 		}
-		est, _, err = core.GibbsHistogramDensityCtx(r.Context(), d, req.Feature, choices, req.Lo, req.Hi, clip, req.Epsilon, t.Acct, g)
-	default:
-		err = fmt.Errorf("%w: unknown density kind %q (want laplace|gibbs)", errBadRequest, req.Kind)
-	}
-	if err != nil {
-		s.writeError(w, r, t.ID, err)
-		return
-	}
-	ai.setSpent(req.Epsilon)
-	ai.setOutcome("committed")
-	t.refreshSpent()
-	s.writeJSON(w, http.StatusOK, DensityResponse{
-		Lo:      est.Lo,
-		Hi:      est.Hi,
-		Bins:    len(est.Density),
-		Density: est.Density,
-		Epsilon: req.Epsilon,
+		if err != nil {
+			return nil, err
+		}
+		ai.setSpent(req.Epsilon)
+		ai.setOutcome("committed")
+		t.refreshSpent()
+		return DensityResponse{
+			Lo:      est.Lo,
+			Hi:      est.Hi,
+			Bins:    len(est.Density),
+			Density: est.Density,
+			Epsilon: req.Epsilon,
+		}, nil
 	})
 }
 
@@ -722,31 +756,32 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, t.ID, fmt.Errorf("%w: feature %d outside [0, %d)", errBadRequest, req.Feature, d.Dim()))
 		return
 	}
-	var sum *core.PrivateSummary
-	bins := req.Bins
-	if bins == 0 {
-		bins = 16
-	}
-	err = s.spendQuoted(r.Context(), t, "summary", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
-		Mechanism: "summary",
-		Outcomes:  bins,
-	}, int(req.Seed), func(ctx context.Context) error {
-		var rerr error
-		sum, rerr = core.ReleaseSummaryCtx(ctx, d, core.SummaryConfig{
-			Feature:   req.Feature,
-			Lo:        req.Lo,
-			Hi:        req.Hi,
-			Bins:      req.Bins,
-			Quantiles: req.Quantiles,
-			Epsilon:   req.Epsilon,
-		}, rng.New(req.Seed))
-		return rerr
+	s.durable(w, r, t, "summary", req.Seed, req.Epsilon, func(ctx context.Context) (any, error) {
+		var sum *core.PrivateSummary
+		bins := req.Bins
+		if bins == 0 {
+			bins = 16
+		}
+		err := s.spendQuoted(ctx, t, "summary", quotedGuarantee(req.Epsilon), mechanism.SpendMeta{
+			Mechanism: "summary",
+			Outcomes:  bins,
+		}, int(req.Seed), func(ctx context.Context) error {
+			var rerr error
+			sum, rerr = core.ReleaseSummaryCtx(ctx, d, core.SummaryConfig{
+				Feature:   req.Feature,
+				Lo:        req.Lo,
+				Hi:        req.Hi,
+				Bins:      req.Bins,
+				Quantiles: req.Quantiles,
+				Epsilon:   req.Epsilon,
+			}, rng.New(req.Seed))
+			return rerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return summaryResponse(sum, req.Epsilon), nil
 	})
-	if err != nil {
-		s.writeError(w, r, t.ID, err)
-		return
-	}
-	s.writeJSON(w, http.StatusOK, summaryResponse(sum, req.Epsilon))
 }
 
 // handleBudget reports one tenant's books (?tenant=<id>).

@@ -196,8 +196,8 @@ func TestTenantIsolationBooks(t *testing.T) {
 		checkBooks(t, tn)
 	}
 	alpha, _ := s.Tenants().Get("alpha")
-	if g := alpha.Acct.BasicComposition(); g.Epsilon > alpha.Budget.Epsilon {
-		t.Errorf("alpha overspent: %.17g > %.17g", g.Epsilon, alpha.Budget.Epsilon)
+	if g := alpha.Acct.BasicComposition(); g.Epsilon > alpha.Budget().Epsilon {
+		t.Errorf("alpha overspent: %.17g > %.17g", g.Epsilon, alpha.Budget().Epsilon)
 	}
 }
 

@@ -5,11 +5,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/learn"
 	"repro/internal/mechanism"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // TenantConfig declares one tenant of the release service: an isolation
@@ -30,10 +32,9 @@ type TenantConfig struct {
 // budget, the NDJSON privacy ledger mirroring every spend, and a
 // Learner configured against the accountant. All fields are safe for
 // concurrent use; isolation between tenants is structural — no shared
-// accountant, ledger, or fallback cache.
+// accountant, ledger, fallback cache, or write-ahead log.
 type Tenant struct {
 	ID      string
-	Budget  mechanism.Guarantee
 	Degrade core.DegradePolicy
 	Acct    *mechanism.Accountant
 	Ledger  *obs.Ledger
@@ -42,7 +43,22 @@ type Tenant struct {
 	observer *obs.Observer
 	spent    *obs.Gauge
 	burn     *obs.Gauge
+	budget   *obs.Gauge
 	releases *obs.Counter
+
+	// wal is the tenant's write-ahead privacy ledger (nil without
+	// -wal-dir; every call is then a no-op) and idem its idempotency
+	// index, rebuilt from the WAL at recovery.
+	wal  *wal.Log
+	idem *idemStore
+}
+
+// Budget returns the tenant's hard (ε, δ) cap. It reads the accountant
+// — the single authority, mutex-guarded — so hot-reloaded raises are
+// visible immediately and race-free.
+func (t *Tenant) Budget() mechanism.Guarantee {
+	g, _ := t.Acct.Budget()
+	return g
 }
 
 // CrossCheck verifies the tenant's ledger against its accountant: the
@@ -83,25 +99,45 @@ func (t *Tenant) refreshSpent() {
 
 // Registry maps tenant IDs to live tenants in a fixed declaration
 // order (map iteration order must never leak into responses, metrics,
-// or audit reports).
+// or audit reports). The lock exists for hot-reload: lookups are
+// read-locked, and ReloadTenants may append tenants while requests are
+// in flight. Tenants are never removed — an isolation domain with spent
+// budget must outlive its config entry.
 type Registry struct {
+	mu    sync.RWMutex
 	order []string
 	byID  map[string]*Tenant
 }
 
 // Get resolves a tenant by ID.
 func (r *Registry) Get(id string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	t, ok := r.byID[id]
 	return t, ok
 }
 
 // Tenants returns the live tenants in declaration order.
 func (r *Registry) Tenants() []*Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*Tenant, 0, len(r.order))
 	for _, id := range r.order {
 		out = append(out, r.byID[id])
 	}
 	return out
+}
+
+// add appends a live tenant (hot-reload only; duplicate IDs rejected).
+func (r *Registry) add(t *Tenant) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byID[t.ID]; dup {
+		return fmt.Errorf("serve: duplicate tenant %q", t.ID)
+	}
+	r.byID[t.ID] = t
+	r.order = append(r.order, t.ID)
+	return nil
 }
 
 // CrossCheckAll audits every tenant's books, joining all failures in
@@ -191,7 +227,7 @@ func (sp LearnerSpec) withDefaults() LearnerSpec {
 // newTenant builds one live tenant: accountant with the hard budget,
 // ledger wired as the spend observer (and, when the observer carries a
 // tracer, into the trace stream), learner calibrated to the spec.
-func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, spends *traceSpends) (*Tenant, error) {
+func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, spends *traceSpends, charges *chargeSpends) (*Tenant, error) {
 	if cfg.ID == "" {
 		return nil, fmt.Errorf("serve: tenant needs an ID")
 	}
@@ -201,11 +237,11 @@ func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, s
 	}
 	t := &Tenant{
 		ID:       cfg.ID,
-		Budget:   cfg.Budget,
 		Degrade:  cfg.Degrade,
 		Acct:     &mechanism.Accountant{},
 		Ledger:   obs.NewLedger(tracer),
 		observer: o,
+		idem:     newIdemStore(),
 	}
 	if err := t.Acct.SetBudget(cfg.Budget); err != nil {
 		return nil, fmt.Errorf("serve: tenant %s: %w", cfg.ID, err)
@@ -215,17 +251,20 @@ func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, s
 		"canonically composed ε spent by the tenant", "tenant", cfg.ID)
 	t.burn = reg.Gauge("dplearn_serve_tenant_burn_rate_epsilon_per_tick",
 		"committed ε per logical clock tick since boot", "tenant", cfg.ID)
-	reg.Gauge("dplearn_serve_tenant_budget_epsilon",
-		"hard ε budget configured for the tenant", "tenant", cfg.ID).Set(cfg.Budget.Epsilon)
+	t.budget = reg.Gauge("dplearn_serve_tenant_budget_epsilon",
+		"hard ε budget configured for the tenant", "tenant", cfg.ID)
+	t.budget.Set(cfg.Budget.Epsilon)
 	t.releases = reg.Counter("dplearn_serve_tenant_releases_total",
 		"accounted releases committed by the tenant", "tenant", cfg.ID)
 	ledger, releases := t.Ledger, t.releases
 	t.Acct.SetObserver(func(r mechanism.SpendRecord) {
 		// Runs under the accountant's lock: record, tally, count —
 		// nothing more. The trace id stamped on the spend joins the
-		// ledger line to the request span tree, and the traceSpends
-		// tally is how the access log's spent_epsilon reports the exact
-		// committed sum rather than a handler-side estimate.
+		// ledger line to the request span tree; the traceSpends tally is
+		// how the access log's spent_epsilon reports the exact committed
+		// sum rather than a handler-side estimate; and the chargeSpends
+		// tally is how a durable request's WAL commit record carries the
+		// exact guarantees the accountant composed.
 		ledger.Record(obs.LedgerRecord{
 			Seq:         r.Seq,
 			Mechanism:   r.Meta.Mechanism,
@@ -238,6 +277,13 @@ func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, s
 			Trace:       r.Meta.Trace,
 		})
 		spends.add(r.Meta.Trace, r.Guarantee)
+		charges.add(r.Meta.Charge, wal.Charge{
+			Mechanism:   r.Meta.Mechanism,
+			Sensitivity: r.Meta.Sensitivity,
+			Outcomes:    r.Meta.Outcomes,
+			Epsilon:     r.Guarantee.Epsilon,
+			Delta:       r.Guarantee.Delta,
+		})
 		releases.Inc()
 	})
 	grid := learn.NewGrid(-sp.Box, sp.Box, sp.Dim, sp.GridPoints)
@@ -258,7 +304,7 @@ func newTenant(cfg TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, s
 }
 
 // newRegistry builds the tenant registry in declaration order.
-func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, spends *traceSpends) (*Registry, error) {
+func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers int, spends *traceSpends, charges *chargeSpends) (*Registry, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("serve: need at least one tenant")
 	}
@@ -267,7 +313,7 @@ func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers i
 		if _, dup := r.byID[cfg.ID]; dup {
 			return nil, fmt.Errorf("serve: duplicate tenant %q", cfg.ID)
 		}
-		t, err := newTenant(cfg, sp, o, workers, spends)
+		t, err := newTenant(cfg, sp, o, workers, spends, charges)
 		if err != nil {
 			return nil, err
 		}
@@ -275,4 +321,59 @@ func newRegistry(cfgs []TenantConfig, sp LearnerSpec, o *obs.Observer, workers i
 		r.order = append(r.order, cfg.ID)
 	}
 	return r, nil
+}
+
+// ReloadTenants applies a new tenant declaration live: unknown IDs
+// become new tenants (with a WAL attached when the server runs one) and
+// known IDs may RAISE their ε budget. Lowering is refused per entry —
+// never below what the tenant has already spent or held, and more
+// conservatively never below the current cap, because admission
+// decisions already made against the old budget must stay sound. The
+// first error is returned after all applicable entries are applied, so
+// one bad entry cannot block a fleet-wide raise.
+func (s *Server) ReloadTenants(cfgs []TenantConfig) (added, raised int, err error) {
+	var errs []string
+	for _, cfg := range cfgs {
+		t, ok := s.reg.Get(cfg.ID)
+		if !ok {
+			nt, nerr := newTenant(cfg, s.spec, s.obs, s.cfg.Workers, s.spends, s.charges)
+			if nerr != nil {
+				errs = append(errs, nerr.Error())
+				continue
+			}
+			if s.cfg.WALDir != "" {
+				rep, werr := s.attachWAL(nt, s.cfg.WALDir)
+				if werr != nil {
+					errs = append(errs, werr.Error())
+					continue
+				}
+				s.recovery = append(s.recovery, rep)
+			}
+			if aerr := s.reg.add(nt); aerr != nil {
+				errs = append(errs, aerr.Error())
+				continue
+			}
+			added++
+			continue
+		}
+		cur := t.Budget()
+		if cfg.Budget.Epsilon < cur.Epsilon || cfg.Budget.Delta < cur.Delta {
+			errs = append(errs, fmt.Sprintf("serve: tenant %s: refusing to lower budget (ε=%g, δ=%g) below current (ε=%g, δ=%g)",
+				cfg.ID, cfg.Budget.Epsilon, cfg.Budget.Delta, cur.Epsilon, cur.Delta))
+			continue
+		}
+		if cfg.Budget == cur {
+			continue
+		}
+		if serr := t.Acct.SetBudget(cfg.Budget); serr != nil {
+			errs = append(errs, fmt.Sprintf("serve: tenant %s: %v", cfg.ID, serr))
+			continue
+		}
+		t.budget.Set(cfg.Budget.Epsilon)
+		raised++
+	}
+	if len(errs) > 0 {
+		return added, raised, fmt.Errorf("serve: reload: %s", strings.Join(errs, "; "))
+	}
+	return added, raised, nil
 }

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/mechanism"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// idempotencyHeader is the client-supplied retry-correlation header: two
+// requests carrying the same key are the same logical request, and the
+// second must return the first's outcome without re-spending ε.
+const idempotencyHeader = "Idempotency-Key"
+
+// replayedHeader marks a response served from the durable outcome store
+// rather than a fresh release.
+const replayedHeader = "Idempotency-Replayed"
+
+// errDuplicateKey reports a request whose idempotency key is already in
+// flight: the retry arrived before the original settled, and running
+// both would risk a double release. Mapped to 409.
+var errDuplicateKey = errors.New("serve: idempotency key already in flight")
+
+// chargeSpends collects the exact guarantees committed under each
+// in-flight durable request, keyed by a server-assigned charge-scope id
+// (mirroring traceSpends, which does the same for the access log's ε
+// sum). The durable envelope opens a scope, the facade's commit sites
+// stamp SpendMeta.Charge from the request context, the tenant's
+// accountant observer deposits each committed guarantee here, and the
+// envelope collects them onto the WAL commit record — so the record
+// carries the guarantees the accountant actually composed, bit for bit,
+// even when the mechanism recomputed ε internally (a widened fit, a
+// recalibrated Gibbs density).
+type chargeSpends struct {
+	mu  sync.Mutex
+	seq uint64
+	m   map[string][]wal.Charge
+}
+
+func newChargeSpends() *chargeSpends {
+	return &chargeSpends{m: make(map[string][]wal.Charge)}
+}
+
+// begin opens a fresh charge scope and returns its id.
+func (cs *chargeSpends) begin() string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.seq++
+	id := "c" + strconv.FormatUint(cs.seq, 10)
+	cs.m[id] = nil
+	return id
+}
+
+// add deposits one committed guarantee under scope id. Unregistered
+// scopes are ignored (spends outside any durable envelope).
+func (cs *chargeSpends) add(id string, c wal.Charge) {
+	if cs == nil || id == "" {
+		return
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if _, ok := cs.m[id]; ok {
+		cs.m[id] = append(cs.m[id], c)
+	}
+}
+
+// take closes the scope and returns its collected charges in commit
+// order.
+func (cs *chargeSpends) take(id string) []wal.Charge {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := cs.m[id]
+	delete(cs.m, id)
+	return out
+}
+
+// drop closes the scope discarding its charges (deferred cleanup for
+// error paths; a no-op after take).
+func (cs *chargeSpends) drop(id string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	delete(cs.m, id)
+}
+
+// idemOutcome is one settled response held for replay.
+type idemOutcome struct {
+	status      int
+	fingerprint string
+	body        []byte
+}
+
+// idemStore is a tenant's idempotency index: settled outcomes by client
+// key (for replay) plus the keys currently in flight (to refuse a
+// concurrent duplicate with 409 instead of racing two releases). The
+// durable copy of the settled outcomes lives on the WAL's commit
+// records; this is the in-memory view, rebuilt by recovery — so the
+// store works across restarts exactly when a WAL is attached, and
+// within one process lifetime without one.
+type idemStore struct {
+	mu       sync.Mutex
+	done     map[string]idemOutcome
+	inflight map[string]bool
+}
+
+func newIdemStore() *idemStore {
+	return &idemStore{done: make(map[string]idemOutcome), inflight: make(map[string]bool)}
+}
+
+// claim resolves a key: a settled outcome replays, an in-flight key is
+// refused, a fresh key is claimed (the caller must settle or abandon).
+func (st *idemStore) claim(key string) (out idemOutcome, replay bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if o, ok := st.done[key]; ok {
+		return o, true, nil
+	}
+	if st.inflight[key] {
+		return idemOutcome{}, false, fmt.Errorf("%w: %q", errDuplicateKey, key)
+	}
+	st.inflight[key] = true
+	return idemOutcome{}, false, nil
+}
+
+// settle records the committed outcome and releases the in-flight claim.
+func (st *idemStore) settle(key string, out idemOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.done[key] = out
+	delete(st.inflight, key)
+}
+
+// abandon releases an in-flight claim without an outcome (the request
+// refused, failed, or crashed — a retry may run it afresh). After a
+// settle it is a no-op, so callers may defer it unconditionally.
+func (st *idemStore) abandon(key string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.inflight, key)
+}
+
+// restore seeds the settled outcomes from WAL recovery.
+func (st *idemStore) restore(outs map[string]wal.ReplayOutcome) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k, o := range outs {
+		st.done[k] = idemOutcome{status: o.Status, fingerprint: o.Fingerprint, body: o.Response}
+	}
+}
+
+// RecoveryReport summarizes one tenant's WAL recovery at boot.
+type RecoveryReport struct {
+	Tenant string `json:"tenant"`
+	// Commits is the number of commit records replayed; Charges the
+	// number of guarantees they carried (one commit may hold several).
+	Commits int `json:"commits"`
+	Charges int `json:"charges"`
+	// Voided counts reserves the log had settled with explicit voids;
+	// Unsettled counts the in-flight reserves the crash stranded, which
+	// recovery settled as voids (their releases never escaped).
+	Voided    int `json:"voided"`
+	Unsettled int `json:"unsettled"`
+	// RestoredKeys is the number of idempotency outcomes restored.
+	RestoredKeys int `json:"restored_keys"`
+	// Epsilon and Delta are the recovered canonical composition —
+	// verified bit-for-bit against obs.ComposeBasic of the WAL's commit
+	// charges before the server accepts traffic.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+// attachWAL opens (or creates) the tenant's write-ahead ledger under
+// dir, replays it to rebuild the accountant, and wires the log into the
+// tenant. Replay drives every recovered charge through SpendDetail — the
+// same observer path live commits take — so the NDJSON privacy ledger
+// mirrors the recovered spends and CrossCheck holds from the first
+// request. The rebuilt composition is verified bit-for-bit against
+// obs.ComposeBasic of the commit records' charges; a mismatch fails the
+// boot, because books that cannot be audited must not serve. Stranded
+// reserves are settled with explicit void records, so recovery itself
+// is idempotent: a second replay of the repaired log reaches the same
+// state.
+func (s *Server) attachWAL(t *Tenant, dir string) (RecoveryReport, error) {
+	rep := RecoveryReport{Tenant: t.ID}
+	l, recs, err := wal.Open(filepath.Join(dir, t.ID+".wal"))
+	if err != nil {
+		return rep, fmt.Errorf("serve: tenant %s: %w", t.ID, err)
+	}
+	st := wal.Replay(recs)
+	var eps, del []float64
+	for _, rec := range st.Commits {
+		for _, ch := range rec.Charges {
+			t.Acct.SpendDetail(mechanism.Guarantee{Epsilon: ch.Epsilon, Delta: ch.Delta}, mechanism.SpendMeta{
+				Mechanism:   ch.Mechanism,
+				Sensitivity: ch.Sensitivity,
+				Outcomes:    ch.Outcomes,
+			})
+			eps = append(eps, ch.Epsilon)
+			del = append(del, ch.Delta)
+		}
+	}
+	g := t.Acct.BasicComposition()
+	ce, cd := obs.ComposeBasic(eps, del)
+	//dplint:ignore floateq bit-exact recovery-vs-ledger agreement is the audited property
+	if g.Epsilon != ce || g.Delta != cd {
+		_ = l.Close()
+		return rep, fmt.Errorf("serve: tenant %s: recovered accountant composes to (%.17g, %.17g), WAL commits to (%.17g, %.17g)",
+			t.ID, g.Epsilon, g.Delta, ce, cd)
+	}
+	for _, res := range st.Unsettled {
+		if _, err := l.Append(wal.Record{Op: wal.OpVoid, Ref: res.LSN}); err != nil {
+			_ = l.Close()
+			return rep, fmt.Errorf("serve: tenant %s: settling stranded reserve %d: %w", t.ID, res.LSN, err)
+		}
+	}
+	t.idem.restore(st.Outcomes)
+	rep.Commits = len(st.Commits)
+	rep.Charges = len(eps)
+	rep.Voided = st.Voided
+	rep.Unsettled = len(st.Unsettled)
+	rep.RestoredKeys = len(st.Outcomes)
+	rep.Epsilon = g.Epsilon
+	rep.Delta = g.Delta
+
+	mreg := s.obs.Reg()
+	appends := mreg.Counter("dplearn_wal_appends_total",
+		"write-ahead ledger records appended", "tenant", t.ID)
+	fsyncs := mreg.Counter("dplearn_wal_fsync_total",
+		"write-ahead ledger fsyncs", "tenant", t.ID)
+	fsyncErrs := mreg.Counter("dplearn_wal_fsync_errors_total",
+		"write-ahead ledger fsync failures", "tenant", t.ID)
+	l.SetHooks(func(wal.Record) { appends.Inc() }, func(err error) {
+		fsyncs.Inc()
+		if err != nil {
+			fsyncErrs.Inc()
+		}
+	})
+	mreg.Gauge("dplearn_wal_recovered_commits",
+		"commit records replayed at the last recovery", "tenant", t.ID).Set(float64(rep.Commits))
+	mreg.Gauge("dplearn_wal_recovered_voids",
+		"stranded reserves settled as voids at the last recovery", "tenant", t.ID).Set(float64(rep.Unsettled))
+	mreg.Gauge("dplearn_wal_recovered_epsilon",
+		"canonically composed ε rebuilt from the WAL at the last recovery", "tenant", t.ID).Set(rep.Epsilon)
+	t.wal = l
+	return rep, nil
+}
+
+// RecoveryReports returns the per-tenant WAL recovery summaries from
+// boot (nil when the server runs without a WAL).
+func (s *Server) RecoveryReports() []RecoveryReport {
+	return s.recovery
+}
+
+// CloseWALs releases every tenant's write-ahead log file. For orderly
+// shutdown (and test supervisors cycling servers over one WAL dir); a
+// crashed process never gets to call it, which is the point of the WAL.
+func (s *Server) CloseWALs() {
+	for _, t := range s.reg.Tenants() {
+		_ = t.wal.Close()
+	}
+}
+
+// crash fires a simulated process death at a WAL phase boundary: the
+// tenant's log is frozen first — as if the file descriptor died with
+// the process, so no deferred cleanup can append records a real crash
+// would never have produced — and the handler aborts by panic. The
+// middleware's recover converts the abort into a 500, standing in for
+// the connection dying: either way, no response bytes escaped.
+func (s *Server) crash(c faults.Class, key int, t *Tenant) {
+	sched := s.cfg.Faults
+	if sched == nil || !sched.Hit(c, key) {
+		return
+	}
+	t.wal.Freeze()
+	panic(fmt.Errorf("%w: %s at site %d (simulated process death)", faults.ErrInjected, c, key))
+}
+
+// writeRaw writes pre-encoded JSON response bytes.
+func (s *Server) writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		// The client went away mid-response; there is no one to tell.
+		return
+	}
+}
+
+// durable wraps one spending endpoint body in the write-ahead envelope
+// that makes its charge crash-recoverable and its retry idempotent. The
+// ordering is the whole argument:
+//
+//  1. idempotency: a settled key replays the stored response (no second
+//     charge, across restarts); an in-flight key is refused with 409.
+//  2. a reserve record is appended and fsynced BEFORE the body runs —
+//     before admission, before any noise — so a crash anywhere past
+//     this point leaves durable evidence of the in-flight intent.
+//  3. the body runs: in-memory admission (429 on refusal), the
+//     mechanism, the in-memory two-phase commit. Every guarantee it
+//     commits is collected under this request's charge scope.
+//  4. the response is marshaled, and a commit record carrying its
+//     status, fingerprint, body, and exact charges is appended and
+//     fsynced BEFORE any response byte reaches the client. A crash
+//     after the in-memory commit but before this point loses only
+//     state a crash erases anyway — and since the response never
+//     escaped, recovery correctly settles the reserve as void: by the
+//     information-theoretic reading, an emission that never happened
+//     leaks nothing and costs nothing.
+//  5. only then do the bytes escape. If the durable commit fails
+//     without a crash, the client gets a 5xx and the in-memory charge
+//     stands — conservative over-counting, never under-counting.
+//
+// Every error path settles the WAL transaction as void via the deferred
+// Release; a crash leaves the reserve unsettled, which recovery treats
+// identically. Commit-xor-5xx therefore survives reboots: a client
+// holds response bytes if and only if the WAL holds the commit record.
+//
+// With no WAL attached (t.wal == nil) every WAL call is a no-op and the
+// flow — including idempotent replay within the process lifetime — is
+// unchanged, consuming zero additional clock reads, so WAL-less servers
+// keep the goldened /metrics surface byte-identical.
+func (s *Server) durable(w http.ResponseWriter, r *http.Request, t *Tenant, endpoint string, seed int64, quoted float64, body func(ctx context.Context) (any, error)) {
+	ai := accessFrom(r.Context())
+	key := r.Header.Get(idempotencyHeader)
+	if key != "" {
+		ai.setIdemKey(key)
+		out, replay, err := t.idem.claim(key)
+		if err != nil {
+			s.writeError(w, r, t.ID, err)
+			return
+		}
+		if replay {
+			s.obs.Reg().Counter("dplearn_wal_idem_replays_total",
+				"requests served from the durable idempotency store", "tenant", t.ID).Inc()
+			ai.setOutcome("replayed")
+			w.Header().Set(replayedHeader, "true")
+			s.writeRaw(w, out.status, out.body)
+			return
+		}
+		// The claim must not outlive the request: settle stores the
+		// outcome on success, and abandon (a no-op after settle) frees
+		// the key on every refusal, error, and crash-unwind path so a
+		// retry can run afresh.
+		defer t.idem.abandon(key)
+	}
+	s.serveDurable(w, r, t, endpoint, seed, quoted, key, body)
+}
+
+// serveDurable is the envelope past the idempotency gate; split out so
+// the claim's abandon/settle pairing in durable stays readable.
+func (s *Server) serveDurable(w http.ResponseWriter, r *http.Request, t *Tenant, endpoint string, seed int64, quoted float64, key string, body func(ctx context.Context) (any, error)) {
+	s.crash(faults.WALCrashPreReserve, int(seed), t)
+	tx, err := t.wal.Begin(wal.Intent{Endpoint: endpoint, Key: key, Seed: seed, Epsilon: quoted})
+	if err != nil {
+		s.writeError(w, r, t.ID, err)
+		return
+	}
+	defer tx.Release()
+	s.crash(faults.WALCrashPostReserve, int(seed), t)
+	scope := s.charges.begin()
+	defer s.charges.drop(scope)
+	payload, err := body(mechanism.WithChargeScope(r.Context(), scope))
+	if err != nil {
+		s.writeError(w, r, t.ID, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(payload); err != nil {
+		http.Error(w, `{"error":"serve: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	s.crash(faults.WALCrashPreCommit, int(seed), t)
+	if err := tx.Commit(mechanism.SpendMeta{}, wal.Outcome{
+		Status:   http.StatusOK,
+		Response: buf.Bytes(),
+		Charges:  s.charges.take(scope),
+	}); err != nil {
+		// The charge is in memory but not durable, and the response must
+		// not escape without its durable commit; 5xx and let the client
+		// retry under its key. The in-memory charge stands — conservative
+		// over-counting until restart, never under-counting.
+		s.writeError(w, r, t.ID, err)
+		return
+	}
+	s.crash(faults.WALCrashPostCommit, int(seed), t)
+	if key != "" {
+		t.idem.settle(key, idemOutcome{
+			status:      http.StatusOK,
+			fingerprint: wal.Fingerprint(buf.Bytes()),
+			body:        buf.Bytes(),
+		})
+	}
+	s.writeRaw(w, http.StatusOK, buf.Bytes())
+}

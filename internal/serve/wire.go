@@ -232,10 +232,11 @@ type BudgetStatus struct {
 func budgetStatus(t *Tenant) BudgetStatus {
 	spent := t.Acct.BasicComposition()
 	rem, _ := t.Acct.Remaining()
+	budget := t.Budget()
 	return BudgetStatus{
 		Tenant:           t.ID,
-		BudgetEpsilon:    t.Budget.Epsilon,
-		BudgetDelta:      t.Budget.Delta,
+		BudgetEpsilon:    budget.Epsilon,
+		BudgetDelta:      budget.Delta,
 		SpentEpsilon:     spent.Epsilon,
 		SpentDelta:       spent.Delta,
 		RemainingEpsilon: rem.Epsilon,
